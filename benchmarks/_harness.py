@@ -1,0 +1,34 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every experiment module computes its table once (module-scoped fixture),
+prints it, and persists a markdown copy under ``benchmarks/results/`` so
+the numbers referenced by EXPERIMENTS.md can be regenerated with::
+
+    pytest benchmarks/ --benchmark-only
+
+The ``benchmark`` fixture times one representative kernel per experiment
+(one tester/partition run), keeping wall-clock bounded while the table
+itself covers the full parameter sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.analysis.tables import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(table: Table, filename: str) -> None:
+    """Print *table* and persist its markdown rendering."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(table.to_markdown() + "\n")
+    table.print()
+
+
+def quick_mode() -> bool:
+    """Smaller sweeps when REPRO_BENCH_QUICK=1 (CI-friendly)."""
+    return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"

@@ -1,0 +1,53 @@
+"""E1 (Table 1) -- Theorem 1 completeness: planar graphs are always accepted.
+
+Claim reproduced: one-sided error.  "If G is planar, then every node
+outputs accept" -- the rejection rate on every planar family, size, and
+epsilon must be identically zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis.tables import Table
+from repro.graphs import make_planar
+from repro.testers import test_planarity as run_planarity
+
+FAMILIES = ("grid", "tri-grid", "apollonian", "delaunay", "outerplanar", "tree")
+SIZES = (64, 256) if quick_mode() else (64, 256, 1024)
+EPSILONS = (0.5, 0.1)
+TRIALS = 3
+
+
+@pytest.fixture(scope="module")
+def completeness_table():
+    table = Table(
+        "E1: one-sided error -- rejection rate on planar inputs (must be 0)",
+        ["family", "n", "epsilon", "trials", "rejections", "rounds (last run)"],
+    )
+    total_rejections = 0
+    for family in FAMILIES:
+        for n in SIZES:
+            for epsilon in EPSILONS:
+                rejections = 0
+                rounds = 0
+                for seed in range(TRIALS):
+                    graph = make_planar(family, n, seed=seed)
+                    result = run_planarity(graph, epsilon=epsilon, seed=seed)
+                    rejections += not result.accepted
+                    rounds = result.rounds
+                total_rejections += rejections
+                table.add_row(family, n, epsilon, TRIALS, rejections, rounds)
+    save_table(table, "e01_completeness.md")
+    return total_rejections
+
+
+def test_zero_rejections_on_planar(completeness_table):
+    assert completeness_table == 0
+
+
+def test_benchmark_tester_on_planar(benchmark, completeness_table):
+    graph = make_planar("delaunay", 256, seed=0)
+    result = benchmark(lambda: run_planarity(graph, epsilon=0.1, seed=0))
+    assert result.accepted

@@ -1,0 +1,73 @@
+"""E5 (Table 3) -- Theorem 3: deterministic partition quality.
+
+Claim reproduced: "the algorithm runs in O(poly(1/eps) log n) rounds, the
+diameter of each part is poly(1/eps), and if G is minor-free, then the
+total number of edges between parts is at most eps*n".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis.tables import Table
+from repro.graphs import make_planar
+from repro.partition import partition_stage1
+
+FAMILIES = ("grid", "tri-grid", "apollonian", "delaunay", "outerplanar")
+EPSILONS = (0.4, 0.2, 0.1)
+N = 300 if quick_mode() else 600
+
+
+@pytest.fixture(scope="module")
+def partition_table():
+    table = Table(
+        f"E5: Theorem 3 partition quality (n={N}, target = eps*n)",
+        ["family", "epsilon", "parts", "cut", "target eps*n",
+         "max diameter", "max height", "phases", "rounds"],
+    )
+    rows = []
+    for family in FAMILIES:
+        graph = make_planar(family, N, seed=0)
+        n = graph.number_of_nodes()
+        for epsilon in EPSILONS:
+            result = partition_stage1(
+                graph, epsilon=epsilon, target_cut=epsilon * n
+            )
+            assert result.success, family
+            cut = result.partition.cut_size()
+            diam = result.partition.max_diameter()
+            rows.append((family, epsilon, cut, epsilon * n, diam))
+            table.add_row(
+                family,
+                epsilon,
+                result.partition.size,
+                cut,
+                epsilon * n,
+                diam,
+                result.partition.max_height(),
+                len(result.phases),
+                result.rounds,
+            )
+    save_table(table, "e05_partition.md")
+    return rows
+
+
+def test_cut_targets_met(partition_table):
+    for family, epsilon, cut, target, _diam in partition_table:
+        assert cut <= target, (family, epsilon, cut, target)
+
+
+def test_diameters_do_not_depend_on_n(partition_table):
+    # poly(1/eps) diameters: for fixed eps the diameter is bounded by a
+    # modest constant, far below n
+    for family, epsilon, _cut, _target, diam in partition_table:
+        assert diam <= 4 ** (2 + int(3 / epsilon)), (family, epsilon, diam)
+
+
+def test_benchmark_partition(benchmark, partition_table):
+    graph = make_planar("delaunay", N, seed=0)
+    result = benchmark(
+        lambda: partition_stage1(graph, epsilon=0.2, target_cut=0.2 * N)
+    )
+    assert result.success

@@ -1,0 +1,75 @@
+"""E6 (Table 4) -- Theorem 4: the randomized partition.
+
+Claims reproduced: success probability >= 1 - delta for the eps*n cut
+target, and a round complexity of O(poly(1/eps)(log(1/delta) + log* n))
+-- in particular *no* O(log n) factor (compare the rounds column against
+E5 at the same epsilon).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis import wilson_interval
+from repro.analysis.tables import Table
+from repro.graphs import make_planar
+from repro.partition import partition_randomized, partition_stage1
+
+DELTAS = (0.5, 0.1, 0.01)
+EPSILON = 0.2
+N = 300 if quick_mode() else 500
+TRIALS = 10 if quick_mode() else 30
+
+
+@pytest.fixture(scope="module")
+def randomized_table():
+    graph = make_planar("delaunay", N, seed=0)
+    n = graph.number_of_nodes()
+    table = Table(
+        f"E6: Theorem 4 randomized partition (delaunay n={n}, eps={EPSILON})",
+        ["delta", "trials/phase", "runs", "target met", "success (95% CI)",
+         "mean rounds", "mean phases"],
+    )
+    outcomes = {}
+    for delta in DELTAS:
+        successes = 0
+        rounds = []
+        phases = []
+        trials_used = None
+        for seed in range(TRIALS):
+            result = partition_randomized(
+                graph, epsilon=EPSILON, delta=delta, seed=seed
+            )
+            trials_used = result.trials
+            successes += result.met_target
+            rounds.append(result.rounds)
+            phases.append(len(result.phases))
+        lo, hi = wilson_interval(successes, TRIALS)
+        outcomes[delta] = successes / TRIALS
+        table.add_row(
+            delta,
+            trials_used,
+            TRIALS,
+            successes,
+            f"{successes / TRIALS:.2f} [{lo:.2f}, {hi:.2f}]",
+            sum(rounds) / len(rounds),
+            sum(phases) / len(phases),
+        )
+    det = partition_stage1(graph, epsilon=EPSILON, target_cut=EPSILON * n)
+    table.add_row("det. (E5)", "-", 1, int(det.success), "1.00", det.rounds, len(det.phases))
+    save_table(table, "e06_randomized_partition.md")
+    return outcomes
+
+
+def test_success_probability_meets_delta(randomized_table):
+    for delta, rate in randomized_table.items():
+        assert rate >= 1 - delta - 0.1, (delta, rate)
+
+
+def test_benchmark_randomized_partition(benchmark, randomized_table):
+    graph = make_planar("delaunay", N, seed=0)
+    result = benchmark(
+        lambda: partition_randomized(graph, epsilon=EPSILON, delta=0.1, seed=0)
+    )
+    assert result.partition.size >= 1

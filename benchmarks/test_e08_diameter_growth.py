@@ -1,0 +1,55 @@
+"""E8 (Table 5) -- Claim 4: part diameters grow at most geometrically.
+
+Claim reproduced: "for each phase i and part P, the subgraph induced by P
+is connected and has diameter at most 4^i".  We audit the spanning-tree
+height (an upper bound on the radius) after every phase against 4^i, and
+report how far below the bound reality stays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis.tables import Table
+from repro.graphs import make_planar
+from repro.partition import partition_stage1
+
+FAMILIES = ("grid", "delaunay", "apollonian", "tri-grid")
+N = 300 if quick_mode() else 600
+
+
+@pytest.fixture(scope="module")
+def diameter_table():
+    table = Table(
+        "E8: Claim 4 audit -- max part tree height after phase i vs 4^i",
+        ["family", "phase", "max height", "bound 4^i", "headroom", "parts"],
+    )
+    violations = 0
+    for family in FAMILIES:
+        graph = make_planar(family, N, seed=0)
+        result = partition_stage1(graph, epsilon=0.05)
+        for stats in result.phases:
+            bound = 4**stats.phase
+            if stats.max_height_after > bound:
+                violations += 1
+            table.add_row(
+                family,
+                stats.phase,
+                stats.max_height_after,
+                bound,
+                bound / max(1, stats.max_height_after),
+                stats.parts_after,
+            )
+    save_table(table, "e08_diameter_growth.md")
+    return violations
+
+
+def test_claim4_never_violated(diameter_table):
+    assert diameter_table == 0
+
+
+def test_benchmark_deep_phase_run(benchmark, diameter_table):
+    graph = make_planar("grid", N, seed=0)
+    result = benchmark(lambda: partition_stage1(graph, epsilon=0.05))
+    assert result.success

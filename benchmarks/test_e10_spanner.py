@@ -1,0 +1,74 @@
+"""E10 (Table 7) -- Corollary 17: spanners of minor-free graphs.
+
+Claims reproduced: the partition-based spanner has ``(1 + O(eps)) n``
+edges and ``poly(1/eps)`` stretch, deterministically.  Baselines: the
+MPX/Elkin-Neiman cluster spanner (the paper's comparison point: its
+ultra-sparse regime needs ``k = omega(log n)`` rounds) and the greedy
+(2k-1)-spanner (sequential size yardstick).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis.tables import Table
+from repro.applications import build_spanner, measure_stretch
+from repro.baselines import cluster_spanner, greedy_spanner
+from repro.graphs import make_planar
+
+FAMILIES = ("grid", "delaunay", "tri-grid")
+EPSILONS = (0.3, 0.1)
+N = 250 if quick_mode() else 500
+STRETCH_SAMPLES = 12
+
+
+@pytest.fixture(scope="module")
+def spanner_table():
+    table = Table(
+        f"E10: spanner size and stretch (n={N})",
+        ["family", "algorithm", "epsilon/beta", "edges", "size/n",
+         "measured stretch", "guarantee", "rounds"],
+    )
+    size_violations = 0
+    for family in FAMILIES:
+        graph = make_planar(family, N, seed=0)
+        n = graph.number_of_nodes()
+        for epsilon in EPSILONS:
+            result = build_spanner(graph, epsilon=epsilon)
+            stretch = measure_stretch(
+                graph, result.spanner, sample_nodes=STRETCH_SAMPLES, seed=0
+            )
+            if result.size > (1 + 3 * epsilon) * n:
+                size_violations += 1
+            table.add_row(
+                family, "partition (Cor 17)", epsilon, result.size,
+                result.size / n, stretch, result.guaranteed_stretch,
+                result.rounds,
+            )
+        # baselines at beta = 0.3
+        spanner, mpx = cluster_spanner(graph, beta=0.3, seed=0)
+        stretch = measure_stretch(graph, spanner, sample_nodes=STRETCH_SAMPLES, seed=0)
+        table.add_row(
+            family, "MPX cluster", 0.3, spanner.number_of_edges(),
+            spanner.number_of_edges() / n, stretch, "O(log n / beta)",
+            mpx.rounds,
+        )
+        greedy = greedy_spanner(graph, stretch=5)
+        stretch = measure_stretch(graph, greedy, sample_nodes=STRETCH_SAMPLES, seed=0)
+        table.add_row(
+            family, "greedy (2k-1)=5", "-", greedy.number_of_edges(),
+            greedy.number_of_edges() / n, stretch, 5, "(sequential)",
+        )
+    save_table(table, "e10_spanner.md")
+    return size_violations
+
+
+def test_size_bound_respected(spanner_table):
+    assert spanner_table == 0
+
+
+def test_benchmark_spanner_build(benchmark, spanner_table):
+    graph = make_planar("delaunay", N, seed=0)
+    result = benchmark(lambda: build_spanner(graph, epsilon=0.2))
+    assert result.size > 0

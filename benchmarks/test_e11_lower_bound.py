@@ -1,0 +1,77 @@
+"""E11 (Figure 4) -- Theorem 2: the Omega(log n) lower-bound construction.
+
+Claims reproduced (Claims 11 & 12): the surgically-thinned G(n, c/n) is
+simultaneously (a) certified Theta(1)-far from planarity and (b) of girth
+Omega(log n), so every node's view within ``ceil(girth/2) - 1`` rounds is
+a tree.  A tree view also occurs in a forest -- a planar graph on which a
+one-sided tester must accept -- hence no one-sided tester running fewer
+rounds can reject these far graphs.  The girth series grows with log n.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis import linear_fit
+from repro.analysis.tables import Table
+from repro.graphs import all_views_are_trees, lower_bound_instance
+
+SIZES = (256, 512, 1024) if quick_mode() else (256, 512, 1024, 2048, 4096)
+
+
+@pytest.fixture(scope="module")
+def lower_bound_table():
+    table = Table(
+        "E11: Theorem 2 hard instances -- girth grows with log n while the "
+        "graph stays certified-far",
+        ["n", "m", "girth", "target", "removed (frac of m)", "farness lb",
+         "blind radius", "views are trees"],
+    )
+    rows = []
+    for n in SIZES:
+        inst = lower_bound_instance(n, seed=0)
+        radius = inst.indistinguishability_radius
+        trees = all_views_are_trees(inst.graph, radius)
+        m = inst.graph.number_of_edges()
+        rows.append((n, inst.girth, inst.farness_lower_bound, trees))
+        table.add_row(
+            n,
+            m,
+            inst.girth,
+            inst.target_girth,
+            inst.removed_edges / max(1, m + inst.removed_edges),
+            inst.farness_lower_bound,
+            radius,
+            trees,
+        )
+    ns = [r[0] for r in rows]
+    girths = [float(r[1]) for r in rows]
+    fit = linear_fit([math.log2(n) for n in ns], girths)
+    table.add_row("fit", f"girth ~ {fit.slope:.2f}*log2(n)", "-", "-", "-",
+                  f"R^2={fit.r_squared:.2f}", "-", "-")
+    save_table(table, "e11_lower_bound.md")
+    return rows
+
+
+def test_instances_remain_far(lower_bound_table):
+    for n, _girth, farness, _trees in lower_bound_table:
+        assert farness > 0.25, (n, farness)
+
+
+def test_views_are_trees(lower_bound_table):
+    for n, _girth, _farness, trees in lower_bound_table:
+        assert trees, n
+
+
+def test_girth_grows_with_n(lower_bound_table):
+    girths = [g for _n, g, _f, _t in lower_bound_table]
+    assert girths[-1] >= girths[0]
+    assert girths[-1] >= 5
+
+
+def test_benchmark_construction(benchmark, lower_bound_table):
+    inst = benchmark(lambda: lower_bound_instance(512, seed=1))
+    assert inst.farness_lower_bound > 0

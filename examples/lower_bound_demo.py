@@ -1,0 +1,56 @@
+"""Scenario: why Omega(log n) rounds are necessary (Theorem 2).
+
+Builds the paper's hard instances -- graphs that are constant-far from
+planar yet contain no short cycles -- and demonstrates the
+indistinguishability argument concretely: within r rounds a node's output
+can only depend on its radius-r view, and on these graphs every such view
+is a tree, which also occurs in a (planar!) forest.  A one-sided tester
+must accept on forests, so it must accept here too.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro import lower_bound_instance
+from repro.analysis import Table
+from repro.graphs import view_is_tree
+
+
+def main() -> None:
+    table = Table(
+        "Theorem 2 hard instances: far from planar, locally tree-like",
+        ["n", "m", "girth", "farness lb", "blind radius r",
+         "tree views at r", "cyclic views at girth"],
+    )
+    for n in (256, 512, 1024, 2048):
+        inst = lower_bound_instance(n, seed=0)
+        graph = inst.graph
+        r = inst.indistinguishability_radius
+        tree_views = sum(view_is_tree(graph, v, r) for v in graph.nodes())
+        wide = int(inst.girth) if inst.girth != float("inf") else n
+        cyclic_views = sum(
+            not view_is_tree(graph, v, wide) for v in list(graph.nodes())[:50]
+        )
+        table.add_row(
+            graph.number_of_nodes(),
+            graph.number_of_edges(),
+            inst.girth,
+            inst.farness_lower_bound,
+            r,
+            f"{tree_views}/{graph.number_of_nodes()}",
+            f"{cyclic_views}/50 sampled",
+        )
+    table.print()
+    print(
+        "Within the blind radius every node sees a tree, indistinguishable\n"
+        "from a forest on which a one-sided tester must accept; the radius\n"
+        "grows like log n, so any one-sided tester needs Omega(log n) rounds\n"
+        "-- matching the upper bound of Theorem 1 and making it tight."
+    )
+
+
+if __name__ == "__main__":
+    main()

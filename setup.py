@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (offline environments).
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-use-pep517`` works where the ``wheel`` package is
+unavailable (PEP 660 editable builds require it).
+"""
+
+from setuptools import setup
+
+setup()

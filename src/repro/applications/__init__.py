@@ -1,0 +1,5 @@
+"""Applications of the minor-free partition (Corollary 17)."""
+
+from .spanner import SpannerResult, build_spanner, measure_stretch
+
+__all__ = ["SpannerResult", "build_spanner", "measure_stretch"]

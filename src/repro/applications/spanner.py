@@ -1,0 +1,159 @@
+"""Corollary 17: spanners for unweighted minor-free graphs.
+
+Given the Stage I (or Theorem 4) partition with edge-cut parameter
+``epsilon``, the spanner consists of
+
+* the spanning tree of every part (``n - k`` edges), and
+* one designated connector edge per pair of adjacent parts (at most the
+  number of cut edges, which is ``<= epsilon * n`` on minor-free inputs).
+
+Size: ``(1 + O(epsilon)) n`` edges.  Stretch: an intra-part edge detours
+through the part tree (``<= 2 * height``); a cut edge detours through the
+two part trees plus the connector (``<= 4 * height + 1``); heights are
+``poly(1/epsilon)`` by Claim 4.  Benchmark E10 measures size and exact
+stretch against baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+
+from ..errors import GraphInputError
+from ..graphs.utils import require_simple
+from ..partition.auxiliary import AuxiliaryGraph
+from ..partition.stage1 import Stage1Result, partition_stage1
+from ..partition.weighted_selection import partition_randomized
+
+
+@dataclass
+class SpannerResult:
+    """A constructed spanner plus provenance.
+
+    Attributes:
+        spanner: the spanner subgraph (same node set as the input).
+        partition_result: the partition it was derived from.
+        tree_edges: number of part spanning-tree edges.
+        connector_edges: number of inter-part connector edges.
+        guaranteed_stretch: the a-priori stretch bound
+            ``4 * max_height + 1`` from the part trees.
+    """
+
+    spanner: nx.Graph
+    partition_result: Stage1Result
+    tree_edges: int
+    connector_edges: int
+    guaranteed_stretch: int
+
+    @property
+    def size(self) -> int:
+        """Number of spanner edges."""
+        return self.spanner.number_of_edges()
+
+    @property
+    def rounds(self) -> int:
+        """CONGEST rounds charged (partition + one designation exchange)."""
+        return self.partition_result.rounds + 1
+
+
+def build_spanner(
+    graph: nx.Graph,
+    epsilon: float = 0.1,
+    method: str = "deterministic",
+    delta: float = 0.1,
+    alpha: int = 3,
+    seed: Optional[int] = None,
+) -> SpannerResult:
+    """Build the Corollary 17 spanner.
+
+    Args:
+        graph: unweighted minor-free graph (the promise; other inputs
+            yield a connected subgraph but the size bound may not hold).
+        epsilon: edge-cut parameter; the partition targets
+            ``epsilon * n`` cut edges per Theorems 3/4.
+        method: ``"deterministic"`` (Theorem 3, ``O(poly(1/eps) log n)``
+            rounds) or ``"randomized"`` (Theorem 4,
+            ``O(poly(1/eps)(log 1/delta + log* n))`` rounds, size bound
+            with probability ``>= 1 - delta``).
+        delta / alpha / seed: as in the partition algorithms.
+    """
+    require_simple(graph, "build_spanner input")
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise GraphInputError("build_spanner requires at least one node")
+    target = epsilon * n
+    if method == "deterministic":
+        result = partition_stage1(
+            graph, epsilon=epsilon, alpha=alpha, target_cut=target
+        )
+    elif method == "randomized":
+        result = partition_randomized(
+            graph,
+            epsilon=epsilon,
+            delta=delta,
+            alpha=alpha,
+            target_cut=target,
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    spanner = nx.Graph()
+    spanner.add_nodes_from(graph.nodes())
+    tree_edges = 0
+    for part in result.partition.parts.values():
+        for child, parent in part.tree_edges():
+            spanner.add_edge(child, parent)
+            tree_edges += 1
+
+    aux = AuxiliaryGraph(result.partition)
+    connector_edges = 0
+    for edge in aux.edges():
+        u, v = edge.connector
+        if not spanner.has_edge(u, v):
+            spanner.add_edge(u, v)
+            connector_edges += 1
+
+    max_height = result.partition.max_height()
+    return SpannerResult(
+        spanner=spanner,
+        partition_result=result,
+        tree_edges=tree_edges,
+        connector_edges=connector_edges,
+        guaranteed_stretch=4 * max_height + 1,
+    )
+
+
+def measure_stretch(
+    graph: nx.Graph,
+    spanner: nx.Graph,
+    sample_nodes: int = 16,
+    seed: Optional[int] = None,
+) -> float:
+    """Exact stretch over BFS from a sample of source nodes.
+
+    Returns ``max over sampled u, all v of d_S(u, v) / d_G(u, v)``; with
+    ``sample_nodes >= n`` this is the exact stretch.
+    """
+    import random
+
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes(), key=repr)
+    if sample_nodes < len(nodes):
+        sources = rng.sample(nodes, sample_nodes)
+    else:
+        sources = nodes
+    worst = 1.0
+    for source in sources:
+        d_g = nx.single_source_shortest_path_length(graph, source)
+        d_s = nx.single_source_shortest_path_length(spanner, source)
+        for v, dg in d_g.items():
+            if dg == 0:
+                continue
+            ds = d_s.get(v)
+            if ds is None:
+                raise GraphInputError("spanner does not span the graph")
+            worst = max(worst, ds / dg)
+    return worst

@@ -1,0 +1,28 @@
+"""Centralized ground-truth baselines.
+
+The distributed testers are compared against exact, centralized
+decisions: planarity from the library's own LR test (cross-validated
+against networkx in the test-suite), cycle-freeness and bipartiteness
+from elementary graph checks.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..planarity.lr_planarity import check_planarity
+
+
+def planarity_ground_truth(graph: nx.Graph) -> bool:
+    """Exact planarity decision (LR algorithm)."""
+    return check_planarity(graph).is_planar
+
+
+def cycle_freeness_ground_truth(graph: nx.Graph) -> bool:
+    """Exact forest decision: ``m == n - #components``."""
+    return graph.number_of_edges() == graph.number_of_nodes() - nx.number_connected_components(graph)
+
+
+def bipartiteness_ground_truth(graph: nx.Graph) -> bool:
+    """Exact bipartiteness decision (BFS 2-coloring)."""
+    return nx.is_bipartite(graph)

@@ -1,0 +1,80 @@
+"""Baseline spanner constructions for the Corollary 17 comparison.
+
+* :func:`cluster_spanner`: Elkin-Neiman-flavoured baseline -- MPX
+  exponential-shift clusters' BFS trees plus one edge per adjacent
+  cluster pair.  Stretch ``O(log n / beta)``; size ``n - k + #adjacent
+  cluster pairs``.
+* :func:`greedy_spanner`: the classic Althofer et al. greedy
+  ``(2k-1)``-spanner: scan edges, keep an edge iff the current spanner
+  distance between its endpoints exceeds the stretch budget.  Size
+  ``O(n^{1+1/k})``; the strongest sequential size baseline (but not a
+  distributed algorithm).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import networkx as nx
+
+from ..errors import GraphInputError
+from ..graphs.utils import require_simple
+from ..partition.auxiliary import AuxiliaryGraph
+from .mpx_partition import MPXResult, mpx_partition
+
+
+def cluster_spanner(
+    graph: nx.Graph,
+    beta: float,
+    seed: Optional[int] = None,
+):
+    """MPX-cluster spanner; returns (spanner, MPXResult)."""
+    result = mpx_partition(graph, beta=beta, seed=seed)
+    spanner = nx.Graph()
+    spanner.add_nodes_from(graph.nodes())
+    for part in result.partition.parts.values():
+        spanner.add_edges_from(part.tree_edges())
+    aux = AuxiliaryGraph(result.partition)
+    for edge in aux.edges():
+        u, v = edge.connector
+        spanner.add_edge(u, v)
+    return spanner, result
+
+
+def _bounded_distance(spanner: nx.Graph, source, target, limit: int) -> bool:
+    """True iff ``d_spanner(source, target) <= limit`` (bounded BFS)."""
+    if source == target:
+        return True
+    seen = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        d = seen[v]
+        if d >= limit:
+            continue
+        for w in spanner.adj[v]:
+            if w == target:
+                return True
+            if w not in seen:
+                seen[w] = d + 1
+                queue.append(w)
+    return False
+
+
+def greedy_spanner(graph: nx.Graph, stretch: int) -> nx.Graph:
+    """Althofer et al. greedy *stretch*-spanner (stretch must be odd >= 1).
+
+    Guarantees exact multiplicative stretch on every edge (hence every
+    path).  Quadratic-ish running time; intended for baseline tables on
+    graphs up to a few thousand nodes.
+    """
+    require_simple(graph, "greedy_spanner input")
+    if stretch < 1 or stretch % 2 == 0:
+        raise GraphInputError(f"stretch must be odd and >= 1, got {stretch}")
+    spanner = nx.Graph()
+    spanner.add_nodes_from(graph.nodes())
+    for u, v in sorted(graph.edges(), key=repr):
+        if not _bounded_distance(spanner, u, v, stretch):
+            spanner.add_edge(u, v)
+    return spanner

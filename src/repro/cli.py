@@ -1,0 +1,260 @@
+"""Command-line interface: ``repro-planarity``.
+
+Subcommands:
+
+* ``test``        -- run the Theorem 1 planarity tester on a generated graph
+* ``partition``   -- run the Theorem 3/4 partition and report its quality
+* ``spanner``     -- build the Corollary 17 spanner and measure it
+* ``applications``-- run the Corollary 16 cycle-freeness/bipartiteness testers
+* ``lower-bound`` -- sample the Theorem 2 hard instance and certify it
+* ``families``    -- list available graph families
+
+Examples::
+
+    repro-planarity test --family delaunay --n 1000 --epsilon 0.1
+    repro-planarity test --far planted-k5 --n 500 --epsilon 0.1
+    repro-planarity spanner --family grid --n 900 --epsilon 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.tables import Table
+from .applications.spanner import build_spanner, measure_stretch
+from .graphs.far_from_planar import FAR_FAMILIES, make_far
+from .graphs.generators import PLANAR_FAMILIES, make_planar
+from .graphs.lower_bound import lower_bound_instance
+from .partition.stage1 import partition_stage1
+from .partition.weighted_selection import partition_randomized
+from .testers.applications import test_bipartiteness, test_cycle_freeness
+from .testers.planarity import PlanarityTestConfig, test_planarity
+
+
+def _build_graph(args):
+    if getattr(args, "far", None):
+        graph, farness = make_far(args.far, args.n, seed=args.seed)
+        return graph, f"far:{args.far} (certified farness >= {farness:.3f})"
+    graph = make_planar(args.family, args.n, seed=args.seed)
+    return graph, f"planar:{args.family}"
+
+
+def _cmd_test(args) -> int:
+    graph, label = _build_graph(args)
+    config = PlanarityTestConfig(
+        epsilon=args.epsilon, collect_exact_violations=args.analyze
+    )
+    result = test_planarity(graph, seed=args.seed, config=config)
+    table = Table(
+        f"Planarity test on {label}",
+        ["n", "m", "epsilon", "verdict", "stage", "rounds", "stage1", "stage2", "parts"],
+    )
+    table.add_row(
+        graph.number_of_nodes(),
+        graph.number_of_edges(),
+        args.epsilon,
+        "accept" if result.accepted else "REJECT",
+        result.rejected_stage or "-",
+        result.rounds,
+        result.stage1_rounds,
+        result.stage2_rounds,
+        result.stage1.partition.size,
+    )
+    table.print()
+    if args.analyze and result.total_violating_exact is not None:
+        print(f"exact violating edges across parts: {result.total_violating_exact}")
+    return 0 if result.accepted else 1
+
+
+def _cmd_partition(args) -> int:
+    graph, label = _build_graph(args)
+    if args.method == "deterministic":
+        result = partition_stage1(
+            graph,
+            epsilon=args.epsilon,
+            target_cut=args.epsilon * graph.number_of_nodes(),
+        )
+    else:
+        result = partition_randomized(
+            graph, epsilon=args.epsilon, delta=args.delta, seed=args.seed
+        )
+    table = Table(
+        f"{args.method} partition of {label}",
+        ["n", "m", "parts", "cut", "target", "max height", "phases", "rounds"],
+    )
+    table.add_row(
+        graph.number_of_nodes(),
+        graph.number_of_edges(),
+        result.partition.size,
+        result.partition.cut_size(),
+        result.target_cut,
+        result.partition.max_height(),
+        len(result.phases),
+        result.rounds,
+    )
+    table.print()
+    return 0 if result.success else 1
+
+
+def _cmd_spanner(args) -> int:
+    graph, label = _build_graph(args)
+    result = build_spanner(
+        graph, epsilon=args.epsilon, method=args.method, seed=args.seed
+    )
+    stretch = measure_stretch(graph, result.spanner, sample_nodes=8, seed=args.seed)
+    n = graph.number_of_nodes()
+    table = Table(
+        f"Corollary 17 spanner on {label}",
+        ["n", "m", "spanner edges", "size/n", "measured stretch", "guaranteed", "rounds"],
+    )
+    table.add_row(
+        n,
+        graph.number_of_edges(),
+        result.size,
+        result.size / n,
+        stretch,
+        result.guaranteed_stretch,
+        result.rounds,
+    )
+    table.print()
+    return 0
+
+
+def _cmd_applications(args) -> int:
+    graph, label = _build_graph(args)
+    cycle = test_cycle_freeness(graph, epsilon=args.epsilon, seed=args.seed)
+    bipartite = test_bipartiteness(graph, epsilon=args.epsilon, seed=args.seed)
+    table = Table(
+        f"Corollary 16 testers on {label}",
+        ["property", "verdict", "rejecting parts", "rounds"],
+    )
+    table.add_row(
+        "cycle-freeness",
+        "accept" if cycle.accepted else "REJECT",
+        len(cycle.rejecting_parts),
+        cycle.rounds,
+    )
+    table.add_row(
+        "bipartiteness",
+        "accept" if bipartite.accepted else "REJECT",
+        len(bipartite.rejecting_parts),
+        bipartite.rounds,
+    )
+    table.print()
+    return 0
+
+
+def _cmd_lower_bound(args) -> int:
+    instance = lower_bound_instance(args.n, seed=args.seed)
+    table = Table(
+        "Theorem 2 lower-bound instance",
+        ["n", "m", "girth", "target girth", "removed", "farness lb", "blind radius"],
+    )
+    graph = instance.graph
+    table.add_row(
+        graph.number_of_nodes(),
+        graph.number_of_edges(),
+        instance.girth,
+        instance.target_girth,
+        instance.removed_edges,
+        instance.farness_lower_bound,
+        instance.indistinguishability_radius,
+    )
+    table.print()
+    print(
+        "Any one-sided tester running fewer rounds than the blind radius "
+        "must accept this epsilon-far graph (every local view is a tree)."
+    )
+    return 0
+
+
+def _cmd_families(_args) -> int:
+    print("planar families: ", ", ".join(sorted(PLANAR_FAMILIES)))
+    print("far families:    ", ", ".join(sorted(FAR_FAMILIES)))
+    return 0
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family",
+        default="delaunay",
+        choices=sorted(PLANAR_FAMILIES),
+        help="planar family to generate",
+    )
+    parser.add_argument(
+        "--far",
+        default=None,
+        choices=sorted(FAR_FAMILIES),
+        help="generate a certified far-from-planar family instead",
+    )
+    parser.add_argument("--n", type=int, default=500, help="number of nodes")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--epsilon", type=float, default=0.1, help="distance parameter"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-planarity",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_test = sub.add_parser("test", help="run the Theorem 1 planarity tester")
+    _add_graph_arguments(p_test)
+    p_test.add_argument(
+        "--analyze", action="store_true", help="collect exact violating counts"
+    )
+    p_test.set_defaults(func=_cmd_test)
+
+    p_part = sub.add_parser("partition", help="run the Theorem 3/4 partition")
+    _add_graph_arguments(p_part)
+    p_part.add_argument(
+        "--method",
+        default="deterministic",
+        choices=("deterministic", "randomized"),
+    )
+    p_part.add_argument("--delta", type=float, default=0.1)
+    p_part.set_defaults(func=_cmd_partition)
+
+    p_span = sub.add_parser("spanner", help="build the Corollary 17 spanner")
+    _add_graph_arguments(p_span)
+    p_span.add_argument(
+        "--method",
+        default="deterministic",
+        choices=("deterministic", "randomized"),
+    )
+    p_span.set_defaults(func=_cmd_spanner)
+
+    p_app = sub.add_parser(
+        "applications", help="run the Corollary 16 property testers"
+    )
+    _add_graph_arguments(p_app)
+    p_app.set_defaults(func=_cmd_applications)
+
+    p_lb = sub.add_parser(
+        "lower-bound", help="sample the Theorem 2 hard instance"
+    )
+    p_lb.add_argument("--n", type=int, default=2000)
+    p_lb.add_argument("--seed", type=int, default=0)
+    p_lb.set_defaults(func=_cmd_lower_bound)
+
+    p_fam = sub.add_parser("families", help="list graph families")
+    p_fam.set_defaults(func=_cmd_families)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""CONGEST model substrate: simulator, cost ledger, and node programs."""
+
+from .ledger import ChargeRecord, RoundLedger, TreeCostModel
+from .message import bit_size, default_bandwidth_bits
+from .network import CongestNetwork, SimulationResult
+from .node import BROADCAST, NodeContext, NodeProgram
+
+__all__ = [
+    "BROADCAST",
+    "ChargeRecord",
+    "CongestNetwork",
+    "NodeContext",
+    "NodeProgram",
+    "RoundLedger",
+    "SimulationResult",
+    "TreeCostModel",
+    "bit_size",
+    "default_bandwidth_bits",
+]

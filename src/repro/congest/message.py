@@ -1,0 +1,66 @@
+"""Message size accounting for the CONGEST simulator.
+
+The CONGEST model allows every edge to carry ``O(log n)`` bits per round.
+Node programs exchange plain Python values (ints, strings, tuples, ...);
+:func:`bit_size` estimates how many bits such a value would occupy on the
+wire so the simulator can enforce (or at least report) bandwidth usage.
+
+The encoding model is deliberately simple and deterministic:
+
+* ``None`` and booleans cost 1 bit,
+* integers cost ``bit_length + 1`` bits (sign),
+* floats cost 64 bits,
+* strings cost 8 bits per character,
+* tuples/lists/sets cost the sum of their items plus 2 bits of framing
+  per item (length/terminator overhead),
+* dicts cost the framed sum of keys and values.
+
+These constants do not need to match any particular real encoding; they
+only need to scale correctly so that, e.g., a message holding two node
+identifiers and a counter is charged ``Θ(log n)`` bits.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_FRAME_BITS = 2
+
+
+def bit_size(value: Any) -> int:
+    """Return the estimated wire size of *value* in bits."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return value.bit_length() + 1
+    if isinstance(value, float):
+        return 64
+    if isinstance(value, str):
+        return 8 * len(value) + _FRAME_BITS
+    if isinstance(value, (tuple, list, frozenset, set)):
+        return _FRAME_BITS + sum(bit_size(item) + _FRAME_BITS for item in value)
+    if isinstance(value, dict):
+        return _FRAME_BITS + sum(
+            bit_size(k) + bit_size(v) + _FRAME_BITS for k, v in value.items()
+        )
+    raise TypeError(
+        f"cannot estimate wire size of {type(value).__name__!r}; "
+        "CONGEST messages must be built from None/bool/int/float/str/"
+        "tuple/list/set/dict"
+    )
+
+
+def default_bandwidth_bits(n: int, words: int = 8) -> int:
+    """Return the default per-edge per-round bandwidth budget for *n* nodes.
+
+    The CONGEST model allows ``O(log n)`` bits; we interpret the constant as
+    *words* machine words of ``ceil(log2(n + 1)) + 1`` bits each, which
+    comfortably fits a small constant number of node identifiers plus tags
+    and counters (the paper's messages are of exactly this shape).
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    word = max(1, (n).bit_length()) + 1
+    return words * (word + _FRAME_BITS)

@@ -1,0 +1,223 @@
+"""Synchronous CONGEST network simulator.
+
+:class:`CongestNetwork` executes a :class:`~repro.congest.node.NodeProgram`
+per node of an undirected simple graph in synchronous rounds, delivering
+messages along edges and enforcing the CONGEST bandwidth constraint
+(``O(log n)`` bits per edge per round).
+
+The simulator is deliberately faithful rather than fast; it is used to run
+the primitive algorithms (BFS, forest decomposition, Cole-Vishkin, local
+checks) that validate the emulated layer.  Graphs up to a few thousand
+nodes simulate comfortably.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import networkx as nx
+
+from ..errors import (
+    BandwidthExceededError,
+    GraphInputError,
+    ProtocolError,
+    SimulationLimitError,
+)
+from .message import bit_size, default_bandwidth_bits
+from .node import BROADCAST, NodeContext, NodeProgram
+
+ProgramFactory = Callable[[NodeContext], NodeProgram]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a :meth:`CongestNetwork.run` call.
+
+    Attributes:
+        rounds: number of executed rounds (a round in which every program
+            was already halted is not counted).
+        outputs: mapping from node id to the program's ``output``.
+        halted: True when every program halted before the round limit.
+        total_messages: number of point-to-point messages delivered.
+        total_bits: estimated total bits transmitted.
+        max_message_bits: largest single message observed.
+        bandwidth_bits: per-edge per-round budget used for accounting.
+        over_budget_messages: messages that exceeded the budget (only
+            non-zero when ``strict_bandwidth`` was False).
+    """
+
+    rounds: int
+    outputs: Dict[Any, Any]
+    halted: bool
+    total_messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    bandwidth_bits: int = 0
+    over_budget_messages: int = 0
+    programs: Dict[Any, NodeProgram] = field(default_factory=dict, repr=False)
+
+
+class CongestNetwork:
+    """A synchronous message-passing network over an undirected graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        bandwidth_bits: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        """Build a network over *graph*.
+
+        Args:
+            graph: a simple undirected :class:`networkx.Graph`.  Node ids
+                must be hashable and sortable (ints are typical).
+            bandwidth_bits: per-edge per-round budget; defaults to
+                :func:`repro.congest.message.default_bandwidth_bits`.
+            seed: master seed from which per-node RNGs are derived.
+        """
+        if graph.is_directed() or graph.is_multigraph():
+            raise GraphInputError("CongestNetwork requires a simple undirected graph")
+        if any(u == v for u, v in graph.edges()):
+            raise GraphInputError("CongestNetwork does not support self-loops")
+        if graph.number_of_nodes() == 0:
+            raise GraphInputError("CongestNetwork requires at least one node")
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self.bandwidth_bits = (
+            bandwidth_bits
+            if bandwidth_bits is not None
+            else default_bandwidth_bits(self.n)
+        )
+        self.seed = seed
+        self._neighbors: Dict[Any, tuple] = {
+            v: tuple(sorted(graph.neighbors(v))) for v in graph.nodes()
+        }
+
+    # -- helpers -------------------------------------------------------------
+
+    def _node_rng(self, node: Any) -> random.Random:
+        """Deterministic per-node RNG derived from the master seed."""
+        return random.Random((self.seed, repr(node)).__repr__())
+
+    def make_programs(
+        self,
+        factory: ProgramFactory,
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[Any, NodeProgram]:
+        """Instantiate one program per node."""
+        config = dict(config or {})
+        programs: Dict[Any, NodeProgram] = {}
+        for node in sorted(self.graph.nodes()):
+            ctx = NodeContext(
+                node=node,
+                neighbors=self._neighbors[node],
+                n=self.n,
+                rng=self._node_rng(node),
+                config=config,
+            )
+            programs[node] = factory(ctx)
+        return programs
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        factory: ProgramFactory,
+        max_rounds: int,
+        config: Optional[Mapping[str, Any]] = None,
+        strict_bandwidth: bool = False,
+        raise_on_limit: bool = False,
+    ) -> SimulationResult:
+        """Run the protocol until all programs halt or *max_rounds* elapse.
+
+        Args:
+            factory: builds a program from a :class:`NodeContext`.
+            max_rounds: hard round limit.
+            config: shared read-only parameters passed to every program.
+            strict_bandwidth: raise :class:`BandwidthExceededError` instead
+                of merely counting over-budget messages.
+            raise_on_limit: raise :class:`SimulationLimitError` when the
+                round limit is reached with unhalted programs.
+        """
+        programs = self.make_programs(factory, config)
+        inboxes: Dict[Any, Dict[Any, Any]] = {v: {} for v in programs}
+        total_messages = 0
+        total_bits = 0
+        max_message_bits = 0
+        over_budget = 0
+        rounds_executed = 0
+
+        for round_index in range(max_rounds):
+            if all(p.halted for p in programs.values()):
+                break
+            rounds_executed += 1
+            next_inboxes: Dict[Any, Dict[Any, Any]] = {v: {} for v in programs}
+            any_activity = False
+            for node, program in programs.items():
+                if program.halted:
+                    continue
+                any_activity = True
+                outbox = program.step(round_index, inboxes[node])
+                if outbox is None:
+                    continue
+                if not isinstance(outbox, Mapping):
+                    raise ProtocolError(
+                        f"node {node!r} returned a non-mapping outbox: {outbox!r}"
+                    )
+                outbox = self._expand_broadcast(node, outbox)
+                for target, payload in outbox.items():
+                    if target not in self._neighbors or target not in set(
+                        self._neighbors[node]
+                    ):
+                        raise ProtocolError(
+                            f"node {node!r} attempted to message non-neighbor "
+                            f"{target!r}"
+                        )
+                    bits = bit_size(payload)
+                    total_messages += 1
+                    total_bits += bits
+                    max_message_bits = max(max_message_bits, bits)
+                    if bits > self.bandwidth_bits:
+                        if strict_bandwidth:
+                            raise BandwidthExceededError(
+                                node, target, bits, self.bandwidth_bits
+                            )
+                        over_budget += 1
+                    next_inboxes[target][node] = payload
+            inboxes = next_inboxes
+            if not any_activity:
+                rounds_executed -= 1
+                break
+
+        halted = all(p.halted for p in programs.values())
+        if not halted and raise_on_limit:
+            raise SimulationLimitError(
+                f"{sum(not p.halted for p in programs.values())} programs still "
+                f"running after {max_rounds} rounds"
+            )
+        return SimulationResult(
+            rounds=rounds_executed,
+            outputs={v: p.output for v, p in programs.items()},
+            halted=halted,
+            total_messages=total_messages,
+            total_bits=total_bits,
+            max_message_bits=max_message_bits,
+            bandwidth_bits=self.bandwidth_bits,
+            over_budget_messages=over_budget,
+            programs=programs,
+        )
+
+    def _expand_broadcast(self, node: Any, outbox: Mapping[Any, Any]) -> Dict[Any, Any]:
+        """Expand the BROADCAST sentinel into per-neighbor entries."""
+        if BROADCAST not in outbox:
+            return dict(outbox)
+        expanded: Dict[Any, Any] = {}
+        broadcast_payload = outbox[BROADCAST]
+        for neighbor in self._neighbors[node]:
+            expanded[neighbor] = broadcast_payload
+        for target, payload in outbox.items():
+            if target != BROADCAST:
+                expanded[target] = payload
+        return expanded

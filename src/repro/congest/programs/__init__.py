@@ -1,0 +1,44 @@
+"""Genuinely distributed node programs executed on the CONGEST simulator.
+
+These implement the primitive building blocks of the paper as real
+message-passing protocols.  They serve two purposes: they demonstrate that
+the building blocks fit the CONGEST bandwidth budget, and they provide
+ground truth against which the faster emulated layer is cross-validated.
+"""
+
+from .bfs import BFSTreeProgram, bfs_tree
+from .cole_vishkin import ColeVishkinProgram, cole_vishkin_coloring
+from .flood import FloodProgram, flood_eccentricity
+from .forest_decomposition import (
+    BarenboimElkinProgram,
+    run_forest_decomposition_simulated,
+)
+from .stage2_verification import (
+    SimulatedStage2Result,
+    Stage2VerificationProgram,
+    run_stage2_verification_simulated,
+)
+from .part_checks import (
+    BipartiteCheckProgram,
+    CycleCheckProgram,
+    run_bipartite_check_simulated,
+    run_cycle_check_simulated,
+)
+
+__all__ = [
+    "BFSTreeProgram",
+    "BarenboimElkinProgram",
+    "BipartiteCheckProgram",
+    "ColeVishkinProgram",
+    "CycleCheckProgram",
+    "FloodProgram",
+    "SimulatedStage2Result",
+    "Stage2VerificationProgram",
+    "bfs_tree",
+    "cole_vishkin_coloring",
+    "flood_eccentricity",
+    "run_bipartite_check_simulated",
+    "run_cycle_check_simulated",
+    "run_forest_decomposition_simulated",
+    "run_stage2_verification_simulated",
+]

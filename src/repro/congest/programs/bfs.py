@@ -1,0 +1,82 @@
+"""Distributed BFS-tree construction (paper Section 2.2.1).
+
+The root sends ``(root, 0)``; a node adopts as parent the minimum-id
+neighbor among those whose message arrived in the earliest round, then
+forwards ``(root, depth)``.  This is exactly the preprocessing step Stage
+II uses to build the per-part BFS trees ``T_B``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import networkx as nx
+
+from ..network import CongestNetwork
+from .tags import MSG_BFS
+from ..node import Inbox, NodeContext, NodeProgram, Outbox
+
+
+class BFSTreeProgram(NodeProgram):
+    """Build a BFS tree rooted at ``config['root']``.
+
+    Output per node: ``(parent, depth)`` with ``parent is None`` for the
+    root; nodes never reached halt with output ``None`` when the round
+    limit expires.
+    """
+
+    def __init__(self, ctx: NodeContext):  # noqa: D107
+        super().__init__(ctx)
+        self._parent: Optional[Any] = None
+        self._depth: Optional[int] = None
+        self._announced = False
+
+    def step(self, round_index: int, inbox: Inbox) -> Optional[Outbox]:
+        """Adopt the min-id earliest announcer as parent, then announce."""
+        if self._announced:
+            self.halt((self._parent, self._depth))
+            return self.silence()
+        if round_index == 0 and self.ctx.node == self.ctx.config["root"]:
+            self._depth = 0
+            self._announced = True
+            return self.broadcast((MSG_BFS, 0))
+        if self._depth is None and inbox:
+            offers = sorted(
+                (msg[1], sender) for sender, msg in inbox.items() if msg[0] == MSG_BFS
+            )
+            if offers:
+                depth, parent = offers[0]
+                self._parent = parent
+                self._depth = depth + 1
+                self._announced = True
+                return self.broadcast((MSG_BFS, self._depth))
+        return self.silence()
+
+
+def bfs_tree(
+    graph: nx.Graph,
+    root: Any,
+    bandwidth_bits: Optional[int] = None,
+) -> Tuple[Dict[Any, Any], Dict[Any, int], int]:
+    """Run :class:`BFSTreeProgram`; return (parents, depths, rounds).
+
+    ``parents`` maps each reached non-root node to its BFS parent;
+    ``depths`` maps each reached node to its BFS depth.
+    """
+    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits)
+    result = network.run(
+        BFSTreeProgram,
+        max_rounds=graph.number_of_nodes() + 2,
+        config={"root": root},
+        strict_bandwidth=True,
+    )
+    parents: Dict[Any, Any] = {}
+    depths: Dict[Any, int] = {}
+    for node, out in result.outputs.items():
+        if out is None:
+            continue
+        parent, depth = out
+        depths[node] = depth
+        if parent is not None:
+            parents[node] = parent
+    return parents, depths, result.rounds

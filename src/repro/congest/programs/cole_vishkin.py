@@ -1,0 +1,142 @@
+"""Cole-Vishkin 3-coloring of rooted (pseudo)forests as a CONGEST protocol.
+
+Used in Sub-step 2a of the merging step (paper Section 2.1.2).  Each node
+knows its parent in the (pseudo)forest; colors start as node identifiers,
+shrink to {0..5} via iterated CV bit tricks in ``O(log* n)`` rounds, and
+are then reduced to {0,1,2} by three shift-down + eliminate phases.
+
+The protocol is correct on directed pseudoforests (every node has at most
+one out-edge / parent), which covers both Stage I's forests and the
+randomized variant's pseudoforests (paper Section 4, Claim 15).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..network import CongestNetwork
+from .tags import MSG_CV
+from ..node import Inbox, NodeContext, NodeProgram, Outbox
+
+
+def cv_step_value(own: int, parent: int) -> int:
+    """One Cole-Vishkin step: encode lowest differing bit position + value."""
+    if own == parent:
+        raise ValueError("CV step requires own color != parent color")
+    diff = own ^ parent
+    i = (diff & -diff).bit_length() - 1  # index of lowest set bit
+    return 2 * i + ((own >> i) & 1)
+
+
+def cv_schedule(max_initial_color: int) -> List[str]:
+    """Deterministic phase schedule shared by all nodes.
+
+    Returns a list of phases; ``'cv'`` entries reduce the palette until all
+    colors are < 6, then shift/eliminate pairs reduce 6 -> 3.
+    """
+    phases: List[str] = []
+    m = max(max_initial_color, 1)
+    while m > 5:
+        # After one CV step values are at most 2*bit_length(m) - 1.
+        m = 2 * m.bit_length() - 1
+        phases.append("cv")
+    phases.append("cv")  # safety margin: one extra step is harmless
+    for c in (5, 4, 3):
+        phases.append("shift")
+        phases.append(f"elim{c}")
+    return phases
+
+
+class ColeVishkinProgram(NodeProgram):
+    """3-color a pseudoforest given via ``config['parents']``.
+
+    ``config['parents']`` maps node id to parent id (or None for roots);
+    every node reads only its own entry, its neighbors learn about
+    child/parent relations through the round-0 announcement, preserving
+    the local character of the protocol.  Node ids must be non-negative
+    integers (they seed the initial coloring).  Output: final color.
+    """
+
+    def __init__(self, ctx: NodeContext):  # noqa: D107
+        super().__init__(ctx)
+        if not isinstance(ctx.node, int) or ctx.node < 0:
+            raise ValueError("ColeVishkinProgram requires non-negative int node ids")
+        self._parent: Optional[int] = ctx.config["parents"].get(ctx.node)
+        self._phases: List[str] = list(ctx.config["schedule"])
+        self._color: int = ctx.node
+        self._children: set = set()
+        self._neighbor_colors: Dict[Any, int] = {}
+
+    def _payload(self) -> tuple:
+        return (MSG_CV, self._color, self._parent if self._parent is not None else -1)
+
+    def step(self, round_index: int, inbox: Inbox) -> Optional[Outbox]:
+        """Apply the scheduled CV/shift/eliminate phase; broadcast color."""
+        for sender, msg in inbox.items():
+            if msg[0] == MSG_CV:
+                self._neighbor_colors[sender] = msg[1]
+                if round_index == 1 and msg[2] == self.ctx.node:
+                    self._children.add(sender)
+        if round_index == 0:
+            return self.broadcast(self._payload())
+        phase_index = round_index - 1
+        if phase_index >= len(self._phases):
+            self.halt(self._color)
+            return self.silence()
+        self._apply_phase(self._phases[phase_index])
+        return self.broadcast(self._payload())
+
+    def _apply_phase(self, phase: str) -> None:
+        if phase == "cv":
+            if self._parent is None:
+                # Roots pretend the parent differs in bit 0.
+                self._color = cv_step_value(self._color, self._color ^ 1)
+            else:
+                self._color = cv_step_value(
+                    self._color, self._neighbor_colors[self._parent]
+                )
+        elif phase == "shift":
+            if self._parent is None:
+                old = self._color
+                self._color = 0 if old != 0 else 1
+            else:
+                self._color = self._neighbor_colors[self._parent]
+        elif phase.startswith("elim"):
+            target = int(phase[4:])
+            if self._color == target:
+                forbidden = set()
+                if self._parent is not None:
+                    forbidden.add(self._neighbor_colors[self._parent])
+                for child in self._children:
+                    forbidden.add(self._neighbor_colors[child])
+                self._color = min(c for c in (0, 1, 2) if c not in forbidden)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown CV phase {phase!r}")
+
+
+def cole_vishkin_coloring(
+    graph: nx.Graph,
+    parents: Dict[int, Optional[int]],
+    bandwidth_bits: Optional[int] = None,
+) -> Tuple[Dict[int, int], int]:
+    """Run the CV protocol; return (colors, rounds).
+
+    *graph* must contain every (child, parent) pair of *parents* as an
+    edge; extra edges are permitted (they carry status messages that the
+    protocol simply ignores).
+    """
+    for child, parent in parents.items():
+        if parent is not None and not graph.has_edge(child, parent):
+            raise ValueError(f"parent edge ({child}, {parent}) missing from graph")
+    max_id = max((v for v in graph.nodes()), default=1)
+    schedule = cv_schedule(max_id)
+    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits)
+    result = network.run(
+        ColeVishkinProgram,
+        max_rounds=len(schedule) + 3,
+        config={"parents": parents, "schedule": schedule},
+        strict_bandwidth=True,
+    )
+    return dict(result.outputs), result.rounds

@@ -1,0 +1,68 @@
+"""Flooding: the simplest CONGEST protocol, used for distance estimation.
+
+A designated root floods a token through the network; every node records
+the round in which the token first reached it, which equals its distance
+from the root.  The maximum over nodes is the root's eccentricity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import networkx as nx
+
+from ..network import CongestNetwork
+from .tags import MSG_FLOOD
+from ..node import Inbox, NodeContext, NodeProgram, Outbox
+
+
+class FloodProgram(NodeProgram):
+    """Flood a token from ``config['root']``; output = hop distance.
+
+    Nodes halt one round after forwarding, so the protocol terminates in
+    ``eccentricity(root) + 2`` rounds.  Nodes unreachable from the root
+    halt at the round limit with output ``None`` (the caller should size
+    ``max_rounds`` accordingly).
+    """
+
+    def __init__(self, ctx: NodeContext):  # noqa: D107
+        super().__init__(ctx)
+        self._distance: Optional[int] = None
+
+    def step(self, round_index: int, inbox: Inbox) -> Optional[Outbox]:
+        """Forward the flood token once, then halt with the hop distance."""
+        if self._distance is not None:
+            # Token already forwarded last round; we are done.
+            self.halt(self._distance)
+            return self.silence()
+        if round_index == 0:
+            if self.ctx.node == self.ctx.config["root"]:
+                self._distance = 0
+                return self.broadcast((MSG_FLOOD, 0))
+            return self.silence()
+        arrivals = [msg for msg in inbox.values() if msg[0] == MSG_FLOOD]
+        if arrivals:
+            self._distance = min(dist for _tag, dist in arrivals) + 1
+            return self.broadcast((MSG_FLOOD, self._distance))
+        return self.silence()
+
+
+def flood_eccentricity(
+    graph: nx.Graph,
+    root: Any,
+    bandwidth_bits: Optional[int] = None,
+) -> Tuple[int, dict]:
+    """Run :class:`FloodProgram` and return (eccentricity, distances).
+
+    Only meaningful for graphs where every node is reachable from *root*.
+    """
+    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits)
+    result = network.run(
+        FloodProgram,
+        max_rounds=graph.number_of_nodes() + 2,
+        config={"root": root},
+        strict_bandwidth=True,
+    )
+    distances = {v: d for v, d in result.outputs.items() if d is not None}
+    eccentricity = max(distances.values())
+    return eccentricity, distances

@@ -1,0 +1,160 @@
+"""Barenboim-Elkin forest decomposition as a real CONGEST protocol.
+
+Paper Section 2.1.1: all nodes start *active*; in each of ``s = Θ(log n)``
+rounds, an active node with at most ``3*alpha`` active neighbors announces
+that it becomes inactive in the next round.  If the graph has arboricity
+at most ``alpha``, a constant fraction of active nodes deactivates per
+round (the active subgraph has average degree at most ``2*alpha``), so all
+nodes are inactive after ``s`` rounds.  A node still active after ``s``
+rounds is *evidence* that the arboricity exceeds ``alpha``.
+
+On success the deactivation schedule defines an acyclic orientation with
+out-degree at most ``3*alpha``: orient ``{u, v}`` from the earlier
+deactivated endpoint to the later one, breaking ties toward the larger id.
+Grouping each node's out-edges yields at most ``3*alpha`` forests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import networkx as nx
+
+from ..network import CongestNetwork
+from .tags import MSG_ACTIVE, MSG_INACTIVE
+from ..node import Inbox, NodeContext, NodeProgram, Outbox
+
+
+def barenboim_elkin_round_budget(n: int) -> int:
+    """Number of deactivation super-rounds that guarantees success.
+
+    With arboricity <= alpha, at least a third of the active nodes
+    deactivate per round (degree threshold 3*alpha versus average active
+    degree <= 2*alpha), so ``log_{3/2}(n) + 1`` rounds always suffice.
+    """
+    if n <= 1:
+        return 1
+    return int(math.ceil(math.log(n) / math.log(1.5))) + 1
+
+
+class BarenboimElkinProgram(NodeProgram):
+    """Forest decomposition via deactivation (config: ``alpha``, ``budget``).
+
+    Output per node: a dict with keys
+
+    * ``active``: True when the node never deactivated (rejection evidence),
+    * ``inactive_round``: the super-round at which it deactivated (or None),
+    * ``out_neighbors``: the oriented out-edges (empty if still active).
+    """
+
+    def __init__(self, ctx: NodeContext):  # noqa: D107
+        super().__init__(ctx)
+        self._active = True
+        self._inactive_round: Optional[int] = None
+        self._neighbor_inactive_round: Dict[Any, Optional[int]] = {
+            v: None for v in ctx.neighbors
+        }
+        self._alpha = int(ctx.config["alpha"])
+        self._budget = int(ctx.config["budget"])
+
+    def _record(self, inbox: Inbox) -> None:
+        for sender, msg in inbox.items():
+            tag = msg[0]
+            if tag == MSG_INACTIVE:
+                self._neighbor_inactive_round[sender] = msg[1]
+
+    def _active_neighbor_count(self) -> int:
+        return sum(
+            1 for r in self._neighbor_inactive_round.values() if r is None
+        )
+
+    def step(self, round_index: int, inbox: Inbox) -> Optional[Outbox]:
+        """One deactivation super-round: count active neighbors, decide."""
+        self._record(inbox)
+        if round_index == 0:
+            # Initial status exchange; everyone starts active.
+            return self.broadcast((MSG_ACTIVE,))
+        super_round = round_index  # super-round ell = round index (1-based)
+        if super_round > self._budget:
+            self._finish()
+            return self.silence()
+        if self._active:
+            if self._active_neighbor_count() <= 3 * self._alpha:
+                self._active = False
+                self._inactive_round = super_round
+                return self.broadcast((MSG_INACTIVE, super_round))
+            return self.broadcast((MSG_ACTIVE,))
+        # Inactive nodes stay silent but keep listening so they learn when
+        # each remaining neighbor deactivates (needed for orientation).
+        return self.silence()
+
+    def _finish(self) -> None:
+        if self._active:
+            self.halt({"active": True, "inactive_round": None, "out_neighbors": ()})
+            return
+        mine = self._inactive_round
+        out = []
+        for v, theirs in self._neighbor_inactive_round.items():
+            if theirs is None:  # neighbor never deactivated: deactivates "later"
+                out.append(v)
+            elif theirs > mine or (theirs == mine and v > self.ctx.node):
+                out.append(v)
+        self.halt(
+            {
+                "active": False,
+                "inactive_round": mine,
+                "out_neighbors": tuple(sorted(out)),
+            }
+        )
+
+
+@dataclass
+class SimulatedForestDecomposition:
+    """Result of :func:`run_forest_decomposition_simulated`."""
+
+    success: bool
+    inactive_round: Dict[Any, Optional[int]]
+    out_neighbors: Dict[Any, Tuple[Any, ...]]
+    rejecting_nodes: Tuple[Any, ...]
+    rounds: int
+
+    def orientation_edges(self):
+        """Yield oriented edges (u, v) with u -> v."""
+        for u, outs in self.out_neighbors.items():
+            for v in outs:
+                yield (u, v)
+
+
+def run_forest_decomposition_simulated(
+    graph: nx.Graph,
+    alpha: int = 3,
+    budget: Optional[int] = None,
+    bandwidth_bits: Optional[int] = None,
+) -> SimulatedForestDecomposition:
+    """Run :class:`BarenboimElkinProgram` on *graph*."""
+    n = graph.number_of_nodes()
+    budget = budget if budget is not None else barenboim_elkin_round_budget(n)
+    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits)
+    result = network.run(
+        BarenboimElkinProgram,
+        max_rounds=budget + 3,
+        config={"alpha": alpha, "budget": budget},
+        strict_bandwidth=True,
+    )
+    inactive_round = {}
+    out_neighbors = {}
+    rejecting = []
+    for node, out in result.outputs.items():
+        inactive_round[node] = out["inactive_round"]
+        out_neighbors[node] = out["out_neighbors"]
+        if out["active"]:
+            rejecting.append(node)
+    return SimulatedForestDecomposition(
+        success=not rejecting,
+        inactive_round=inactive_round,
+        out_neighbors=out_neighbors,
+        rejecting_nodes=tuple(sorted(rejecting)),
+        rounds=result.rounds,
+    )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CongestError(ReproError):
+    """Base class for errors raised by the CONGEST simulator."""
+
+
+class BandwidthExceededError(CongestError):
+    """A message exceeded the per-edge per-round bandwidth budget.
+
+    Raised only when the network runs with ``strict_bandwidth=True``;
+    otherwise over-budget messages are recorded in the run metrics.
+    """
+
+    def __init__(self, sender, receiver, bits: int, budget: int):
+        self.sender = sender
+        self.receiver = receiver
+        self.bits = bits
+        self.budget = budget
+        super().__init__(
+            f"message from {sender!r} to {receiver!r} uses {bits} bits, "
+            f"exceeding the bandwidth budget of {budget} bits"
+        )
+
+
+class ProtocolError(CongestError):
+    """A node program violated the CONGEST contract.
+
+    Examples: sending a message to a non-neighbor, or returning an outbox
+    that is not a mapping.
+    """
+
+
+class SimulationLimitError(CongestError):
+    """The simulation exceeded its configured maximum number of rounds."""
+
+
+class PartitionError(ReproError):
+    """A partition invariant was violated (internal consistency check)."""
+
+
+class EmbeddingError(ReproError):
+    """A rotation system / combinatorial embedding is malformed."""
+
+
+class GraphInputError(ReproError):
+    """The input graph does not meet an algorithm's preconditions.
+
+    For instance, algorithms that require simple undirected graphs raise
+    this error when handed multigraphs or graphs with self-loops.
+    """

@@ -1,0 +1,46 @@
+"""Stage I partitioning: deterministic (Thm 1/3) and randomized (Thm 4)."""
+
+from .auxiliary import AuxEdge, AuxiliaryGraph
+from .coloring import cole_vishkin_emulated, randomized_coloring_emulated
+from .forest_decomposition import (
+    ForestDecompositionResult,
+    forest_decomposition_emulated,
+)
+from .marking import MarkingResult, mark_and_choose
+from .parts import Part, Partition, build_part
+from .stage1 import (
+    PhaseStats,
+    Stage1Result,
+    merge_parts,
+    partition_stage1,
+    select_heaviest_out_edges,
+    theoretical_phase_cap,
+)
+from .weighted_selection import (
+    RandomizedPartitionResult,
+    partition_randomized,
+    weighted_edge_selection,
+)
+
+__all__ = [
+    "AuxEdge",
+    "AuxiliaryGraph",
+    "ForestDecompositionResult",
+    "MarkingResult",
+    "Part",
+    "Partition",
+    "PhaseStats",
+    "RandomizedPartitionResult",
+    "Stage1Result",
+    "build_part",
+    "cole_vishkin_emulated",
+    "randomized_coloring_emulated",
+    "forest_decomposition_emulated",
+    "mark_and_choose",
+    "merge_parts",
+    "partition_randomized",
+    "partition_stage1",
+    "select_heaviest_out_edges",
+    "theoretical_phase_cap",
+    "weighted_edge_selection",
+]

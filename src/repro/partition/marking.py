@@ -1,0 +1,171 @@
+"""CHW shallow-subtree marking and even/odd contraction choice.
+
+Sub-steps 2b-4 of the merging step (paper Section 2.1.2, after Czygrinow,
+Hanckowiak & Wawrzyniak).  Input: a directed pseudoforest ``F_i`` over
+part ids (each node has at most one out-edge) with auxiliary edge
+weights, plus a proper 3-coloring.  The marking rules select a set
+``T_i`` of *shallow* subtrees (Claim 1: height at most 10, total weight
+at least half of ``w(F_i)``); each tree's root then compares the total
+weight of "even" edges (child at even level) against "odd" edges and
+contracts the heavier class, producing vertex-disjoint *stars*.
+
+Claim 15: even on pseudoforests (directed cycles possible), the marked
+subgraph is always a forest; this is asserted at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import PartitionError
+
+
+@dataclass
+class MarkingResult:
+    """Outcome of the marking + contraction choice.
+
+    Attributes:
+        marked_edges: the selected subtree edges, as (child, parent).
+        contract_edges: the star edges chosen for contraction.
+        tree_heights: height of each marked subtree, keyed by its root.
+        marked_weight: total weight of marked edges, w(T_i).
+        contracted_weight: total weight of contracted edges.
+    """
+
+    marked_edges: List[Tuple[Any, Any]]
+    contract_edges: List[Tuple[Any, Any]]
+    tree_heights: Dict[Any, int]
+    marked_weight: int
+    contracted_weight: int
+
+
+def mark_and_choose(
+    out_edge: Dict[Any, Optional[Any]],
+    weight: Dict[Tuple[Any, Any], int],
+    colors: Dict[Any, int],
+) -> MarkingResult:
+    """Run sub-steps 2b-4 on the pseudoforest ``{v: out_edge[v]}``.
+
+    Args:
+        out_edge: each node's selected out-neighbor (None when absent).
+        weight: weight of each pseudoforest edge keyed by (child, parent).
+        colors: proper 3-coloring with values {0, 1, 2}; the paper's
+            color classes {1, 2, 3} map to {0, 1, 2} here (class "3" = 2).
+    """
+    incoming: Dict[Any, List[Any]] = {v: [] for v in out_edge}
+    for v, p in out_edge.items():
+        if p is not None:
+            if p not in incoming:
+                raise PartitionError(f"out-edge target {p!r} not a pseudoforest node")
+            incoming[p].append(v)
+
+    marked: set = set()
+    color_one, color_two, color_three = 0, 1, 2
+
+    def participates(v: Any) -> bool:
+        # Nodes with color None abstained from the randomized coloring
+        # (Remark 1); they make no decisions and their edges stay
+        # unmarked, so the marked graph is the marked graph of the
+        # properly-colored subgraph and Claim 15 applies unchanged.
+        return colors[v] is not None
+
+    for u in out_edge:
+        if not participates(u):
+            continue
+        color = colors[u]
+        if color == color_one:
+            p = out_edge[u]
+            considered = [v for v in incoming[u] if participates(v)]
+            w_in = sum(weight[(v, u)] for v in considered)
+            if p is not None and participates(p) and weight[(u, p)] >= w_in:
+                marked.add((u, p))
+            else:
+                marked.update((v, u) for v in considered)
+        elif color == color_two:
+            p = out_edge[u]
+            in3 = [v for v in incoming[u] if colors[v] == color_three]
+            w_in3 = sum(weight[(v, u)] for v in in3)
+            if (
+                p is not None
+                and colors[p] == color_three
+                and weight[(u, p)] >= w_in3
+            ):
+                marked.add((u, p))
+            else:
+                marked.update((v, u) for v in in3)
+
+    return _choose_parity(out_edge, weight, marked)
+
+
+def _choose_parity(out_edge, weight, marked) -> MarkingResult:
+    """Compute levels per marked tree and contract the heavier parity."""
+    marked_children: Dict[Any, List[Any]] = {v: [] for v in out_edge}
+    marked_out: Dict[Any, Optional[Any]] = {v: None for v in out_edge}
+    for child, parent in marked:
+        marked_children[parent].append(child)
+        marked_out[child] = parent
+
+    # Roots of marked trees: nodes with a marked incident edge but no
+    # marked out-edge.  Claim 15 guarantees there are no marked cycles.
+    touched = {v for e in marked for v in e}
+    roots = [v for v in touched if marked_out[v] is None]
+
+    level: Dict[Any, int] = {}
+    tree_heights: Dict[Any, int] = {}
+    for root in roots:
+        stack = [(root, 0)]
+        height = 0
+        while stack:
+            v, depth = stack.pop()
+            if v in level:
+                raise PartitionError("marked subgraph is not a forest (Claim 15)")
+            level[v] = depth
+            height = max(height, depth)
+            for child in marked_children[v]:
+                stack.append((child, depth + 1))
+        tree_heights[root] = height
+    if len(level) != len(touched):
+        raise PartitionError("marked subgraph contains a cycle (Claim 15)")
+
+    # Per-tree parity decision; trees are identified by their root.
+    tree_root: Dict[Any, Any] = {}
+    for root in roots:
+        stack = [root]
+        while stack:
+            v = stack.pop()
+            tree_root[v] = root
+            stack.extend(marked_children[v])
+
+    parity_weight: Dict[Any, List[int]] = {root: [0, 0] for root in roots}
+    for child, parent in marked:
+        parity_weight[tree_root[parent]][level[child] % 2] += weight[(child, parent)]
+
+    contract: List[Tuple[Any, Any]] = []
+    contracted_weight = 0
+    for child, parent in marked:
+        w0, w1 = parity_weight[tree_root[parent]]
+        chosen_parity = 0 if w0 >= w1 else 1
+        if level[child] % 2 == chosen_parity:
+            contract.append((child, parent))
+            contracted_weight += weight[(child, parent)]
+
+    _assert_stars(contract)
+    return MarkingResult(
+        marked_edges=sorted(marked, key=repr),
+        contract_edges=sorted(contract, key=repr),
+        tree_heights=tree_heights,
+        marked_weight=sum(weight[e] for e in marked),
+        contracted_weight=contracted_weight,
+    )
+
+
+def _assert_stars(contract: List[Tuple[Any, Any]]) -> None:
+    """Contracted edges must form stars: children merge into centers."""
+    children = {c for c, _p in contract}
+    centers = {p for _c, p in contract}
+    overlap = children & centers
+    if overlap:
+        raise PartitionError(
+            f"contraction edges do not form stars; chained nodes: {overlap!r}"
+        )

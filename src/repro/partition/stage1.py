@@ -1,0 +1,320 @@
+"""Stage I: the deterministic partition algorithm (paper Section 2.1).
+
+Repeatedly contracts the partition through phases of forest decomposition
+(on the auxiliary graph) + CHW merging until the number of inter-part
+edges drops below the target (``epsilon * m / 2`` for the planarity
+tester; ``epsilon * n`` for the Theorem 3 partition).  Claims reproduced:
+
+* Claim 1 / Claim 3: each phase multiplies the cut weight by at most
+  ``1 - 1/(12*alpha)`` (we assert the provable ``1 - 1/(36*alpha)``),
+  so ``O(log 1/epsilon)`` phases suffice; on planar (arboricity <= 3)
+  graphs the forest decomposition never rejects.
+* Claim 4: part diameters grow at most geometrically (<= 4^i); we track
+  spanning-tree heights exactly.
+* Lemma 6: parts keep rooted spanning trees; maintained by construction
+  and checked by ``Partition.validate`` in tests.
+
+Termination: the default mode stops as soon as the cut target is met
+(substitution 2 in DESIGN.md -- a fixed-schedule CONGEST execution would
+run the a-priori phase cap; we report both).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..congest.ledger import RoundLedger, TreeCostModel
+from ..errors import PartitionError
+from ..graphs.utils import id_key
+from .auxiliary import AuxiliaryGraph
+from .coloring import cole_vishkin_emulated
+from .forest_decomposition import forest_decomposition_emulated
+from .marking import MarkingResult, mark_and_choose
+from .parts import Partition, build_part
+
+
+@dataclass
+class PhaseStats:
+    """Measurements of one Stage I phase (benchmark E7/E8 inputs)."""
+
+    phase: int
+    parts_before: int
+    parts_after: int
+    cut_before: int
+    cut_after: int
+    max_height_before: int
+    max_height_after: int
+    fd_super_rounds: int
+    cv_super_rounds: int
+    max_marked_tree_height: int
+    marked_weight: int
+    contracted_weight: int
+
+    @property
+    def decay(self) -> float:
+        """Cut-weight decay factor achieved by this phase."""
+        if self.cut_before == 0:
+            return 1.0
+        return self.cut_after / self.cut_before
+
+
+@dataclass
+class Stage1Result:
+    """Outcome of Stage I.
+
+    Attributes:
+        partition: the final partition (or the partition at rejection).
+        success: False when some part obtained evidence of arboricity
+            > alpha (the graph is certainly not planar).
+        rejecting_parts: root ids holding the rejection evidence.
+        phases: per-phase statistics.
+        ledger: round-cost accounting for the whole stage.
+        target_cut: the cut-size target that was used.
+        theoretical_phase_cap: the a-priori phase bound t.
+    """
+
+    partition: Partition
+    success: bool
+    rejecting_parts: Tuple[Any, ...]
+    phases: List[PhaseStats]
+    ledger: RoundLedger
+    target_cut: float
+    theoretical_phase_cap: int
+
+    @property
+    def rounds(self) -> int:
+        """Total CONGEST rounds charged for Stage I."""
+        return self.ledger.total
+
+    @property
+    def final_cut(self) -> int:
+        """Number of inter-part edges in the final partition."""
+        return self.phases[-1].cut_after if self.phases else self.partition.cut_size()
+
+
+def theoretical_phase_cap(m: int, target_cut: float, alpha: int) -> int:
+    """A-priori number of phases t with m * decay^t <= target.
+
+    Uses the conservative provable per-phase decay ``1 - 1/(36*alpha)``
+    (heaviest-out-edge selection keeps >= 1/(3*alpha) of the weight, the
+    marking keeps >= 1/3 of that, the parity choice >= 1/2).
+    """
+    if m == 0 or target_cut >= m:
+        return 0
+    decay = 1.0 - 1.0 / (36 * alpha)
+    return int(math.ceil(math.log(max(target_cut, 0.5) / m) / math.log(decay)))
+
+
+def select_heaviest_out_edges(
+    aux: AuxiliaryGraph, out_edges: Dict[Any, List[Any]]
+) -> Tuple[Dict[Any, Optional[Any]], Dict[Tuple[Any, Any], int]]:
+    """Sub-step 1: each part selects its heaviest out-edge (ties: id order).
+
+    Returns the pseudoforest ``{pid: parent pid or None}`` plus the weight
+    of each selected edge keyed by (child, parent).  Because the
+    orientation from the forest decomposition is acyclic, the result is in
+    fact a forest.
+    """
+    selected: Dict[Any, Optional[Any]] = {}
+    weights: Dict[Tuple[Any, Any], int] = {}
+    for pid in aux.nodes():
+        best: Optional[Any] = None
+        best_weight = -1
+        for nbr in out_edges.get(pid, ()):
+            w = aux.weight(pid, nbr)
+            if w > best_weight or (
+                w == best_weight and (best is None or id_key(nbr) < id_key(best))
+            ):
+                best, best_weight = nbr, w
+        selected[pid] = best
+        if best is not None:
+            weights[(pid, best)] = best_weight
+    return selected, weights
+
+
+def merge_parts(
+    partition: Partition,
+    aux: AuxiliaryGraph,
+    contract_edges: List[Tuple[Any, Any]],
+) -> Partition:
+    """Sub-step 4: contract star edges, gluing spanning trees via connectors.
+
+    For each contracted auxiliary edge (child part -> center part) the
+    designated connector edge joins the child's spanning tree to the
+    center's; the merged part keeps the center's root (paper
+    Section 2.1.6: "notifying all nodes that r_h(i,j) is their new root").
+    """
+    star_children: Dict[Any, List[Any]] = {}
+    absorbed = set()
+    for child, center in contract_edges:
+        star_children.setdefault(center, []).append(child)
+        if child in absorbed:
+            raise PartitionError(f"part {child!r} contracted twice")
+        absorbed.add(child)
+    overlap = absorbed & set(star_children)
+    if overlap:
+        raise PartitionError(f"contraction is not star-shaped at {overlap!r}")
+
+    new_parts = []
+    for pid, part in partition.parts.items():
+        if pid in absorbed:
+            continue
+        children = star_children.get(pid, ())
+        if not children:
+            new_parts.append(part)
+            continue
+        nodes = set(part.nodes)
+        tree_edges = list(part.tree_edges())
+        for child_pid in children:
+            child = partition.parts[child_pid]
+            nodes.update(child.nodes)
+            tree_edges.extend(child.tree_edges())
+            u, v = aux.connector(child_pid, pid)
+            tree_edges.append((u, v))
+        new_parts.append(build_part(part.root, nodes, tree_edges))
+    return Partition(partition.graph, new_parts)
+
+
+def _charge_merging_overhead(
+    ledger: RoundLedger,
+    model: TreeCostModel,
+    height: int,
+    marking: MarkingResult,
+) -> None:
+    """Rounds for sub-steps 1, 2b, 3 and 4 (all but the CV coloring).
+
+    Per Section 2.1.6: the heaviest-out-edge designation is a broadcast +
+    convergecast over part trees; the marking decision needs per-color
+    incoming weight sums (one convergecast carrying <= 3 values); the
+    parity decision walks each marked tree (height <= 10) with one
+    auxiliary hop per level, twice (levels down, weights up); the
+    contraction notification is one broadcast + path flip.
+    """
+    relay = model.aux_message_relay(height)
+    ledger.charge(2 * relay, "stage1.merge.designate", "sub-step 1: pick u_i^j")
+    ledger.charge(
+        model.convergecast(height, messages=3) + model.broadcast(height),
+        "stage1.merge.marking",
+        "sub-step 2b: per-color incoming weight sums",
+    )
+    tree_h = max(marking.tree_heights.values(), default=0)
+    ledger.charge(
+        (2 * tree_h + 2) * relay,
+        "stage1.merge.parity",
+        f"sub-step 3: levels+weights over marked trees (height {tree_h})",
+    )
+    ledger.charge(2 * relay, "stage1.merge.contract", "sub-step 4: re-root")
+
+
+def partition_stage1(
+    graph: nx.Graph,
+    epsilon: float,
+    alpha: int = 3,
+    target_cut: Optional[float] = None,
+    max_phases: Optional[int] = None,
+    early_stop: bool = True,
+    ledger: Optional[RoundLedger] = None,
+    cost_model: Optional[TreeCostModel] = None,
+    charge_full_budget: bool = True,
+) -> Stage1Result:
+    """Run Stage I on *graph*.
+
+    Args:
+        graph: simple undirected graph (int-labeled recommended).
+        epsilon: distance parameter; the default cut target is
+            ``epsilon * m / 2`` per Claim 3.
+        alpha: arboricity bound to verify (3 = planar).
+        target_cut: override the cut target (Theorem 3 uses
+            ``epsilon * n``).
+        max_phases: phase cap; defaults to the theoretical bound.
+        early_stop: stop as soon as the target is met (see module doc).
+        ledger: optional shared ledger (a fresh one is made otherwise).
+        cost_model: emulation cost formulas.
+        charge_full_budget: charge the full O(log n) forest-decomposition
+            schedule per phase (paper behavior).
+    """
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    m = graph.number_of_edges()
+    if target_cut is None:
+        target_cut = epsilon * m / 2
+    ledger = ledger if ledger is not None else RoundLedger()
+    model = cost_model or TreeCostModel()
+    cap = theoretical_phase_cap(m, target_cut, alpha)
+    if max_phases is None:
+        max_phases = cap
+
+    partition = Partition.singletons(graph)
+    phases: List[PhaseStats] = []
+    cut = m  # singletons: every edge is a cut edge
+
+    for phase_index in range(1, max_phases + 1):
+        if cut == 0 or (early_stop and cut <= target_cut):
+            break
+        aux = AuxiliaryGraph(partition)
+        height = partition.max_height()
+
+        fd = forest_decomposition_emulated(
+            aux,
+            alpha,
+            ledger=ledger,
+            cost_model=model,
+            charge_full_budget=charge_full_budget,
+        )
+        if not fd.success:
+            return Stage1Result(
+                partition=partition,
+                success=False,
+                rejecting_parts=fd.rejecting_parts,
+                phases=phases,
+                ledger=ledger,
+                target_cut=target_cut,
+                theoretical_phase_cap=cap,
+            )
+
+        out_edge, weights = select_heaviest_out_edges(aux, fd.out_edges)
+        colors, cv_rounds = cole_vishkin_emulated(
+            out_edge, ledger=ledger, cost_model=model, height=height
+        )
+        marking = mark_and_choose(out_edge, weights, colors)
+        _charge_merging_overhead(ledger, model, height, marking)
+
+        new_partition = merge_parts(partition, aux, marking.contract_edges)
+        new_cut = new_partition.cut_size()
+        phases.append(
+            PhaseStats(
+                phase=phase_index,
+                parts_before=partition.size,
+                parts_after=new_partition.size,
+                cut_before=cut,
+                cut_after=new_cut,
+                max_height_before=height,
+                max_height_after=new_partition.max_height(),
+                fd_super_rounds=fd.super_rounds,
+                cv_super_rounds=cv_rounds,
+                max_marked_tree_height=max(
+                    marking.tree_heights.values(), default=0
+                ),
+                marked_weight=marking.marked_weight,
+                contracted_weight=marking.contracted_weight,
+            )
+        )
+        if new_cut >= cut and cut > 0:
+            raise PartitionError(
+                f"phase {phase_index} made no progress (cut {cut} -> {new_cut})"
+            )
+        partition, cut = new_partition, new_cut
+
+    return Stage1Result(
+        partition=partition,
+        success=True,
+        rejecting_parts=(),
+        phases=phases,
+        ledger=ledger,
+        target_cut=target_cut,
+        theoretical_phase_cap=cap,
+    )

@@ -1,0 +1,176 @@
+"""Rotation systems (combinatorial embeddings).
+
+A rotation system assigns to every node a cyclic *clockwise* ordering of
+its incident edges.  Together with the graph it fully determines a
+cellular embedding on an orientable surface; the embedding is planar iff
+the Euler characteristic computed from the face count is 2 per connected
+component (see :mod:`repro.planarity.embedding`).
+
+The structure is stored as doubly linked circular lists per node so the
+LR embedding phase can insert half-edges in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import EmbeddingError
+
+HalfEdge = Tuple[Any, Any]
+
+
+class RotationSystem:
+    """A mutable clockwise rotation system over hashable node ids."""
+
+    def __init__(self) -> None:  # noqa: D107
+        self._first: Dict[Any, Optional[Any]] = {}
+        self._cw: Dict[Any, Dict[Any, Any]] = {}
+        self._ccw: Dict[Any, Dict[Any, Any]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, v: Any) -> None:
+        """Register node *v* with an empty rotation."""
+        if v not in self._first:
+            self._first[v] = None
+            self._cw[v] = {}
+            self._ccw[v] = {}
+
+    def _require_node(self, v: Any) -> None:
+        if v not in self._first:
+            raise EmbeddingError(f"unknown node {v!r}")
+
+    def _insert_only(self, v: Any, w: Any) -> None:
+        self._first[v] = w
+        self._cw[v][w] = w
+        self._ccw[v][w] = w
+
+    def add_half_edge_cw(self, v: Any, w: Any, ref: Optional[Any]) -> None:
+        """Insert half-edge ``(v, w)`` clockwise-after *ref* in v's rotation."""
+        self._require_node(v)
+        if w in self._cw[v]:
+            raise EmbeddingError(f"half-edge ({v!r}, {w!r}) already present")
+        if not self._cw[v]:
+            if ref is not None:
+                raise EmbeddingError(
+                    f"reference {ref!r} given but rotation of {v!r} is empty"
+                )
+            self._insert_only(v, w)
+            return
+        if ref not in self._cw[v]:
+            raise EmbeddingError(f"reference {ref!r} not in rotation of {v!r}")
+        nxt = self._cw[v][ref]
+        self._cw[v][ref] = w
+        self._cw[v][w] = nxt
+        self._ccw[v][nxt] = w
+        self._ccw[v][w] = ref
+
+    def add_half_edge_ccw(self, v: Any, w: Any, ref: Optional[Any]) -> None:
+        """Insert half-edge ``(v, w)`` counterclockwise-after (before) *ref*."""
+        self._require_node(v)
+        if not self._cw[v]:
+            if ref is not None:
+                raise EmbeddingError(
+                    f"reference {ref!r} given but rotation of {v!r} is empty"
+                )
+            if w in self._cw[v]:
+                raise EmbeddingError(f"half-edge ({v!r}, {w!r}) already present")
+            self._insert_only(v, w)
+            return
+        if ref not in self._ccw[v]:
+            raise EmbeddingError(f"reference {ref!r} not in rotation of {v!r}")
+        self.add_half_edge_cw(v, w, self._ccw[v][ref])
+
+    def add_half_edge_first(self, v: Any, w: Any) -> None:
+        """Insert half-edge ``(v, w)`` as the new first entry of v's rotation."""
+        self._require_node(v)
+        if self._first[v] is None:
+            if w in self._cw[v]:
+                raise EmbeddingError(f"half-edge ({v!r}, {w!r}) already present")
+            self._insert_only(v, w)
+        else:
+            self.add_half_edge_ccw(v, w, self._first[v])
+            self._first[v] = w
+
+    def set_rotation(self, v: Any, neighbors: Iterable[Any]) -> None:
+        """Replace v's rotation with *neighbors* in clockwise order."""
+        self.add_node(v)
+        ordered = list(neighbors)
+        if len(set(ordered)) != len(ordered):
+            raise EmbeddingError(f"duplicate neighbor in rotation of {v!r}")
+        self._cw[v] = {}
+        self._ccw[v] = {}
+        self._first[v] = ordered[0] if ordered else None
+        k = len(ordered)
+        for i, w in enumerate(ordered):
+            self._cw[v][w] = ordered[(i + 1) % k]
+            self._ccw[v][w] = ordered[(i - 1) % k]
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[Any, ...]:
+        """All registered nodes."""
+        return tuple(self._first)
+
+    def degree(self, v: Any) -> int:
+        """Number of half-edges leaving *v*."""
+        self._require_node(v)
+        return len(self._cw[v])
+
+    def has_half_edge(self, v: Any, w: Any) -> bool:
+        """True if half-edge ``(v, w)`` is present."""
+        return v in self._cw and w in self._cw[v]
+
+    def next_cw(self, v: Any, w: Any) -> Any:
+        """Neighbor following *w* clockwise in v's rotation."""
+        try:
+            return self._cw[v][w]
+        except KeyError:
+            raise EmbeddingError(f"half-edge ({v!r}, {w!r}) not present") from None
+
+    def next_ccw(self, v: Any, w: Any) -> Any:
+        """Neighbor preceding *w* (counterclockwise) in v's rotation."""
+        try:
+            return self._ccw[v][w]
+        except KeyError:
+            raise EmbeddingError(f"half-edge ({v!r}, {w!r}) not present") from None
+
+    def rotation(self, v: Any) -> List[Any]:
+        """Clockwise neighbor list of *v*, starting at its first entry."""
+        self._require_node(v)
+        start = self._first[v]
+        if start is None:
+            return []
+        out = [start]
+        cur = self._cw[v][start]
+        while cur != start:
+            out.append(cur)
+            cur = self._cw[v][cur]
+        return out
+
+    def half_edges(self) -> Iterator[HalfEdge]:
+        """Iterate over all half-edges (v, w)."""
+        for v in self._first:
+            for w in self._cw[v]:
+                yield (v, w)
+
+    def to_dict(self) -> Dict[Any, List[Any]]:
+        """Plain-dict snapshot ``{node: clockwise neighbor list}``."""
+        return {v: self.rotation(v) for v in self._first}
+
+    @classmethod
+    def from_dict(cls, rotations: Dict[Any, Iterable[Any]]) -> "RotationSystem":
+        """Build a rotation system from ``{node: clockwise neighbor list}``."""
+        rs = cls()
+        for v, order in rotations.items():
+            rs.set_rotation(v, order)
+        return rs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RotationSystem):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RotationSystem({self.to_dict()!r})"

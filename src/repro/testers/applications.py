@@ -1,0 +1,144 @@
+"""Corollary 16: testing cycle-freeness and bipartiteness on minor-free
+graphs.
+
+Both testers first partition the graph (deterministically per Theorem 3,
+or randomized per Theorem 4) with the edge-cut target set below
+``epsilon * m``, then verify the property inside every part with a BFS
+tree:
+
+* cycle-freeness: any non-tree edge closes a cycle;
+* bipartiteness: any non-tree edge joining equal BFS parities closes an
+  odd cycle.
+
+Soundness: when G is epsilon-far from the property, removing the
+<= ``epsilon m / 2`` cut edges cannot make it close, so some part still
+violates the property, and the BFS check finds a witness
+deterministically.  Completeness is immediate (the checks only fire on
+genuine witnesses), so the deterministic variant errs on *no* input
+satisfying the minor-free promise, and the randomized variant fails only
+when the partition misses its cut target (probability <= delta).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, List, Optional, Tuple
+
+import networkx as nx
+
+from ..congest.ledger import TreeCostModel
+from ..graphs.utils import require_simple
+from ..partition.stage1 import Stage1Result, partition_stage1
+from ..partition.weighted_selection import partition_randomized
+from .labels import deterministic_bfs_tree
+from .results import ApplicationTestResult
+
+
+def _partition_for_application(
+    graph: nx.Graph,
+    epsilon: float,
+    alpha: int,
+    method: str,
+    delta: float,
+    seed: Optional[int],
+) -> Stage1Result:
+    target = epsilon * graph.number_of_edges() / 2
+    if method == "deterministic":
+        return partition_stage1(
+            graph, epsilon=epsilon, alpha=alpha, target_cut=target
+        )
+    if method == "randomized":
+        return partition_randomized(
+            graph,
+            epsilon=epsilon,
+            delta=delta,
+            alpha=alpha,
+            target_cut=target,
+            seed=seed,
+        )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _verify_parts(
+    graph: nx.Graph,
+    stage1: Stage1Result,
+    check: str,
+) -> Tuple[List[Any], int]:
+    """BFS verification in every part; returns (rejecting pids, max rounds)."""
+    model = TreeCostModel()
+    rejecting: List[Any] = []
+    max_rounds = 0
+    for pid, part in stage1.partition.parts.items():
+        sub = graph.subgraph(part.nodes)
+        parents, depths = deterministic_bfs_tree(sub, part.root)
+        depth = max(depths.values(), default=0)
+        # BFS + one (depth, parent) exchange round, as in the simulated
+        # per-part check programs.
+        rounds = (depth + 1) + model.neighbor_exchange()
+        max_rounds = max(max_rounds, rounds)
+        bad = False
+        for u, v in sub.edges():
+            if parents.get(u) == v or parents.get(v) == u:
+                continue
+            if check == "cycle":
+                bad = True
+                break
+            if check == "bipartite" and depths[u] % 2 == depths[v] % 2:
+                bad = True
+                break
+        if bad:
+            rejecting.append(pid)
+    return rejecting, max_rounds
+
+
+def _run_application(
+    graph: nx.Graph,
+    epsilon: float,
+    check: str,
+    alpha: int,
+    method: str,
+    delta: float,
+    seed: Optional[int],
+) -> ApplicationTestResult:
+    require_simple(graph)
+    if not 0 < epsilon <= 1:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    stage1 = _partition_for_application(graph, epsilon, alpha, method, delta, seed)
+    rejecting, verify_rounds = _verify_parts(graph, stage1, check)
+    return ApplicationTestResult(
+        accepted=not rejecting,
+        rejecting_parts=tuple(sorted(rejecting, key=repr)),
+        partition_result=stage1,
+        partition_rounds=stage1.rounds,
+        verification_rounds=verify_rounds,
+    )
+
+
+def test_cycle_freeness(
+    graph: nx.Graph,
+    epsilon: float = 0.1,
+    alpha: int = 3,
+    method: str = "deterministic",
+    delta: float = 0.1,
+    seed: Optional[int] = None,
+) -> ApplicationTestResult:
+    """Corollary 16 cycle-freeness tester (minor-free promise).
+
+    Deterministic method: ``O(poly(1/eps) log n)`` rounds, never errs on
+    promise-satisfying inputs.  Randomized method: ``O(poly(1/eps)
+    (log 1/delta + log* n))`` rounds, success probability >= 1 - delta.
+    """
+    return _run_application(graph, epsilon, "cycle", alpha, method, delta, seed)
+
+
+def test_bipartiteness(
+    graph: nx.Graph,
+    epsilon: float = 0.1,
+    alpha: int = 3,
+    method: str = "deterministic",
+    delta: float = 0.1,
+    seed: Optional[int] = None,
+) -> ApplicationTestResult:
+    """Corollary 16 bipartiteness tester (minor-free promise)."""
+    return _run_application(graph, epsilon, "bipartite", alpha, method, delta, seed)

@@ -1,0 +1,238 @@
+"""Embedding-derived lexicographic node labels (paper Section 2.2.2).
+
+Within each part, Stage II builds a BFS tree ``T_B`` and, using the
+circular clockwise ordering of each node's incident edges from the
+combinatorial embedding, labels every tree edge by its position among the
+node's child edges *counting clockwise from the parent edge* (the root
+starts at an arbitrary first edge).  A node's label is the concatenation
+of the edge labels on its root path; lexicographic order over labels is
+exactly DFS preorder of ``T_B`` with children visited in rotation order,
+so we assign each node its preorder *rank* -- an equivalent, compact
+representation of the order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import GraphInputError
+from ..graphs.utils import id_key
+from ..planarity.rotation import RotationSystem
+
+
+def deterministic_bfs_tree(
+    graph: nx.Graph, root: Any
+) -> Tuple[Dict[Any, Optional[Any]], Dict[Any, int]]:
+    """BFS tree matching the distributed construction of Section 2.2.1.
+
+    All nodes of depth ``d`` announce in the same round, so a node at
+    depth ``d + 1`` picks the minimum-id announcing neighbor as its
+    parent -- the same rule as :class:`repro.congest.programs.bfs`.
+
+    Returns (parents, depths); ``parents[root] is None``.
+    """
+    depths = {root: 0}
+    order = deque([root])
+    while order:
+        v = order.popleft()
+        for w in graph.adj[v]:
+            if w not in depths:
+                depths[w] = depths[v] + 1
+                order.append(w)
+    if len(depths) != graph.number_of_nodes():
+        raise GraphInputError("BFS labeling requires a connected part")
+    parents: Dict[Any, Optional[Any]] = {root: None}
+    for v, d in depths.items():
+        if v == root:
+            continue
+        candidates = [w for w in graph.adj[v] if depths[w] == d - 1]
+        parents[v] = min(candidates, key=id_key)
+    return parents, depths
+
+
+def children_in_rotation_order(
+    rotation: RotationSystem,
+    parents: Dict[Any, Optional[Any]],
+    v: Any,
+) -> List[Any]:
+    """Children of *v* in ``T_B``, ordered clockwise from the parent edge.
+
+    For the root the order starts at the rotation's first entry, which is
+    the emulation of "r_j arbitrarily labels one of its incident edges by
+    1" -- any fixed starting edge satisfies the paper's requirement.
+    """
+    rot = rotation.rotation(v)
+    parent = parents[v]
+    if parent is None:
+        ordered = rot
+    else:
+        idx = rot.index(parent)
+        ordered = rot[idx + 1 :] + rot[:idx]
+    return [w for w in ordered if parents.get(w) == v]
+
+
+def embedding_ranks(
+    graph: nx.Graph,
+    root: Any,
+    rotation: RotationSystem,
+    parents: Dict[Any, Optional[Any]],
+) -> Dict[Any, int]:
+    """Preorder rank of every node under the embedding-ordered DFS of T_B.
+
+    Ranks realize the lexicographic order on the paper's labels: the
+    label of u is a strict prefix of v's iff u is an ancestor of v (and
+    then rank(u) < rank(v)); otherwise the first differing edge label
+    orders the subtrees exactly as rotation-ordered DFS does.
+    """
+    ranks: Dict[Any, int] = {}
+    counter = 0
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        ranks[v] = counter
+        counter += 1
+        # Push children in reverse so the first child is visited first.
+        for child in reversed(children_in_rotation_order(rotation, parents, v)):
+            stack.append(child)
+    if len(ranks) != graph.number_of_nodes():
+        raise GraphInputError(
+            "rotation order did not reach every node; embedding does not "
+            "match the part"
+        )
+    return ranks
+
+
+def non_tree_intervals(
+    graph: nx.Graph,
+    parents: Dict[Any, Optional[Any]],
+    ranks: Dict[Any, int],
+) -> List[Tuple[int, int, Any, Any]]:
+    """Non-tree edges of T_B as rank intervals ``(a, b, u, v)`` with a < b.
+
+    Definition 7 orients each edge so the smaller label comes first; the
+    returned tuples keep the original endpoints for reporting.
+    """
+    intervals: List[Tuple[int, int, Any, Any]] = []
+    for u, v in graph.edges():
+        if parents.get(u) == v or parents.get(v) == u:
+            continue
+        a, b = ranks[u], ranks[v]
+        if a > b:
+            a, b = b, a
+            u, v = v, u
+        intervals.append((a, b, u, v))
+    return intervals
+
+
+def max_label_length(depths: Dict[Any, int]) -> int:
+    """Length (in edge labels = id-sized words) of the longest node label."""
+    return max(depths.values(), default=0)
+
+
+def euler_tour_positions(
+    graph: nx.Graph,
+    root: Any,
+    rotation: RotationSystem,
+    parents: Dict[Any, Optional[Any]],
+) -> Tuple[Dict[Tuple[Any, Any], int], int]:
+    """Corner positions of non-tree half-edges along the tree's Euler tour.
+
+    The complement of a spanning tree in the sphere is a single disk whose
+    boundary is the tree's facial walk; every non-tree edge is a chord of
+    that disk, attached at the *corner* (angular gap between consecutive
+    tree edges in the rotation) where it appears.  The walk assigns each
+    non-tree half-edge a distinct position; a rotation system is a
+    genus-0 embedding of the part iff no two chords interlace in this
+    circular order.
+
+    This is the corner-refined variant of the paper's labeling: the
+    literal Claim 10 labeling (first-visit preorder ranks, see
+    :func:`embedding_ranks`) discards the corner information and admits
+    interlacements even on planar embeddings (e.g. the 3x3 grid --
+    reproduced in the test-suite), whereas the corner positions restore
+    the exact planarity characterization with the same O(D)-round,
+    O(log n)-bit-label distributed implementation (the root distributes
+    prefix sums of subtree corner counts down ``T_B``).
+
+    Returns:
+        (positions, total): ``positions[(v, x)]`` is the walk position of
+        non-tree half-edge ``(v, x)``; ``total`` is the number of
+        positions assigned (= 2 * number of non-tree edges).
+    """
+    n = graph.number_of_nodes()
+    positions: Dict[Tuple[Any, Any], int] = {}
+    if n <= 1:
+        return positions, 0
+
+    def is_tree(v: Any, w: Any) -> bool:
+        return parents.get(v) == w or parents.get(w) == v
+
+    rotations = {v: rotation.rotation(v) for v in graph.nodes()}
+    index_of = {
+        v: {w: i for i, w in enumerate(rot)} for v, rot in rotations.items()
+    }
+    counter = 0
+
+    # Start by traversing the first tree edge of the root's rotation; the
+    # gap preceding it is scanned on the final return.
+    root_rot = rotations[root]
+    first_tree_index = next(
+        i for i, w in enumerate(root_rot) if is_tree(root, w)
+    )
+    current, incoming = root_rot[first_tree_index], root
+    traversed = 1
+    total_tree_half_edges = 2 * (n - 1)
+
+    while traversed < total_tree_half_edges:
+        rot = rotations[current]
+        i = index_of[current][incoming]
+        while True:
+            i = (i + 1) % len(rot)
+            w = rot[i]
+            if is_tree(current, w):
+                current, incoming = w, current
+                traversed += 1
+                break
+            positions[(current, w)] = counter
+            counter += 1
+
+    # Final gap at the root: from after the last incoming edge up to (and
+    # excluding) the starting tree edge.
+    if current != root:
+        raise GraphInputError("Euler tour did not return to the root")
+    i = index_of[root][incoming]
+    while True:
+        i = (i + 1) % len(root_rot)
+        if i == first_tree_index:
+            break
+        w = root_rot[i]
+        if is_tree(root, w):
+            raise GraphInputError("Euler tour missed a tree edge")
+        positions[(root, w)] = counter
+        counter += 1
+    return positions, counter
+
+
+def corner_intervals(
+    graph: nx.Graph,
+    parents: Dict[Any, Optional[Any]],
+    positions: Dict[Tuple[Any, Any], int],
+) -> List[Tuple[int, int, Any, Any]]:
+    """Non-tree edges as corner-position intervals ``(a, b, u, v)``, a < b.
+
+    All 2k endpoints are distinct, so interlacement is exactly strict
+    alternation around the disk boundary.
+    """
+    intervals: List[Tuple[int, int, Any, Any]] = []
+    for u, v in graph.edges():
+        if parents.get(u) == v or parents.get(v) == u:
+            continue
+        a, b = positions[(u, v)], positions[(v, u)]
+        if a > b:
+            a, b = b, a
+            u, v = v, u
+        intervals.append((a, b, u, v))
+    return intervals

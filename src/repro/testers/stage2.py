@@ -1,0 +1,200 @@
+"""Stage II: per-part planarity verification (paper Section 2.2).
+
+For each part ``G_j`` of the Stage I partition (all parts run in
+parallel; the stage's round cost is the maximum over parts):
+
+1. build the BFS tree ``T_B^j`` and aggregate ``n(G_j)``, ``m(G_j)``
+   (Section 2.2.1 preprocessing);
+2. reject when ``m > 3n - 6`` (Euler density check);
+3. compute a combinatorial embedding with the embedding subroutine
+   (Ghaffari-Haeupler in the paper; this library's LR implementation
+   here -- see DESIGN.md substitution 1).  On non-planar parts, where GH
+   may emit an arbitrary ordering, use the id-sorted fallback rotation;
+4. derive the lexicographic labels / preorder ranks;
+5. sample ``s = Theta(log n / epsilon)`` non-tree edges and reject when
+   any sampled edge interlaces another non-tree edge (Definition 7).
+
+Round accounting per part (charged to the ledger, category "stage2.*"):
+BFS costs ``depth + 1``; the counts convergecast/broadcast ``2 depth + 2``;
+the embedding ``D + min(ceil(log2 n_j), D)`` with ``D <= 2 depth`` (the GH
+bound); label distribution pipelines ``depth`` words down the tree
+(``2 depth``); the sample gather/broadcast pipelines ``s`` edge labels of
+``<= 2 depth`` words (``depth + 2 s depth``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import networkx as nx
+
+from ..congest.ledger import RoundLedger, TreeCostModel
+from ..partition.parts import Part
+from ..planarity.embedding import identity_rotation
+from ..planarity.lr_planarity import check_planarity
+from .labels import (
+    corner_intervals,
+    deterministic_bfs_tree,
+    embedding_ranks,
+    euler_tour_positions,
+    max_label_length,
+    non_tree_intervals,
+)
+from .results import PartVerdict
+from .violations import count_violating, sample_and_detect
+
+
+@dataclass
+class Stage2Config:
+    """Knobs for Stage II.
+
+    Attributes:
+        epsilon: distance parameter (detection threshold is epsilon/2
+            per part, per Claim 3).
+        sample_constant: c in ``s = ceil(c * log2(n) / epsilon)``.
+        criterion: which interlacement criterion defines "violating":
+
+            * ``"corner"`` (default): non-tree edges as chords of the
+              tree-complement disk, positioned at their Euler-tour
+              corners.  Sound *and* complete: a planar embedding has no
+              violating edge, and a violating-edge-free part is planar.
+            * ``"preorder"``: the paper's literal Definition 7 labels
+              (first-visit preorder ranks).  Sound (Claim 8 holds) but
+              NOT complete: planar parts can exhibit interlacements
+              (counterexample: the 3x3 grid; see tests), which would
+              break one-sided error.  Provided for comparison/benchmarks.
+        reject_on_embedding_failure: treat an embedding-subroutine
+            failure as rejection evidence.  Off by default: the paper's
+            GH subroutine may emit an ordering even on non-planar parts,
+            and we exercise the sampling machinery rather than leak the
+            LR oracle's verdict (DESIGN.md substitution 1).
+        collect_exact_violations: also compute the exact violating-edge
+            count per part (analysis only; used by benchmark E13).
+    """
+
+    epsilon: float = 0.1
+    sample_constant: float = 2.0
+    criterion: str = "corner"
+    reject_on_embedding_failure: bool = False
+    collect_exact_violations: bool = False
+
+
+def sample_size(n_total: int, config: Stage2Config) -> int:
+    """The paper's ``s = Theta(log n / epsilon)`` with n = |V(G)|."""
+    return max(
+        1,
+        int(
+            math.ceil(
+                config.sample_constant * math.log2(max(n_total, 2)) / config.epsilon
+            )
+        ),
+    )
+
+
+def test_part(
+    graph: nx.Graph,
+    part: Part,
+    n_total: int,
+    rng: random.Random,
+    config: Stage2Config,
+    ledger: Optional[RoundLedger] = None,
+    cost_model: Optional[TreeCostModel] = None,
+) -> PartVerdict:
+    """Run Stage II on one part; return its verdict.
+
+    *graph* is the full graph; the part's induced subgraph is examined.
+    """
+    model = cost_model or TreeCostModel()
+    local = RoundLedger()
+    sub = graph.subgraph(part.nodes)
+    n, m = sub.number_of_nodes(), sub.number_of_edges()
+
+    # 1. BFS tree + counts (Section 2.2.1).
+    parents, depths = deterministic_bfs_tree(sub, part.root)
+    depth = max(depths.values(), default=0)
+    local.charge(depth + 1, "stage2.bfs", f"BFS tree of depth {depth}")
+    local.charge(
+        model.convergecast(depth, 2) + model.broadcast(depth, 2),
+        "stage2.counts",
+        "aggregate and redistribute n(Gj), m(Gj)",
+    )
+
+    def verdict(accepted, reason, embedding_planar, sampled, violating):
+        if ledger is not None:
+            ledger.merge(local)
+        return PartVerdict(
+            pid=part.pid,
+            accepted=accepted,
+            reason=reason,
+            n=n,
+            m=m,
+            non_tree_edges=max(0, m - (n - 1)),
+            bfs_depth=depth,
+            embedding_planar=embedding_planar,
+            sampled=sampled,
+            violating_exact=violating,
+            rounds=local.total,
+        )
+
+    # 2. Density check.
+    if n > 2 and m > 3 * n - 6:
+        return verdict(False, "density", False, 0, None)
+
+    # 3. Embedding (GH in the paper; LR here, GH round cost charged).
+    diameter_bound = max(1, 2 * depth)
+    local.charge(
+        diameter_bound + min(math.ceil(math.log2(max(n, 2))), diameter_bound),
+        "stage2.embedding",
+        f"planar embedding, D<={diameter_bound} (Ghaffari-Haeupler bound)",
+    )
+    lr = check_planarity(sub)
+    if lr.is_planar:
+        rotation = lr.embedding
+        embedding_planar = True
+    else:
+        if config.reject_on_embedding_failure:
+            return verdict(False, "embedding", False, 0, None)
+        rotation = identity_rotation(sub)
+        embedding_planar = False
+
+    # 4. Labels: corner positions on the tree's Euler tour (default) or
+    # the paper-literal preorder ranks.
+    if config.criterion == "corner":
+        positions, universe = euler_tour_positions(sub, part.root, rotation, parents)
+        intervals_full = corner_intervals(sub, parents, positions)
+    elif config.criterion == "preorder":
+        ranks = embedding_ranks(sub, part.root, rotation, parents)
+        intervals_full = non_tree_intervals(sub, parents, ranks)
+        universe = n
+    else:
+        raise ValueError(f"unknown criterion {config.criterion!r}")
+    label_words = max_label_length(depths)
+    local.charge(
+        model.broadcast(depth, max(1, label_words)),
+        "stage2.labels",
+        f"distribute labels of <= {label_words} words",
+    )
+    intervals = [(a, b) for (a, b, _u, _v) in intervals_full]
+
+    violating = (
+        count_violating(intervals, universe=universe)
+        if config.collect_exact_violations
+        else None
+    )
+
+    # 5. Sampling-based detection.
+    s = sample_size(n_total, config)
+    outcome = sample_and_detect(intervals, s, rng)
+    label_cost = max(1, 2 * label_words)
+    local.charge(
+        model.convergecast(depth, max(1, outcome.sampled))
+        + model.broadcast(depth, max(1, outcome.sampled * label_cost)),
+        "stage2.sampling",
+        f"gather + broadcast {outcome.sampled} sampled edge labels",
+    )
+    if outcome.detected:
+        return verdict(False, "violation", embedding_planar, outcome.sampled, violating)
+    return verdict(True, None, embedding_planar, outcome.sampled, violating)

@@ -1,0 +1,99 @@
+"""Tests for the MPX baseline partition, baseline spanners, ground truth."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    bipartiteness_ground_truth,
+    cluster_spanner,
+    cycle_freeness_ground_truth,
+    greedy_spanner,
+    mpx_partition,
+    planarity_ground_truth,
+)
+from repro.errors import GraphInputError
+from repro.graphs import make_planar
+
+
+class TestMPXPartition:
+    def test_valid_partition(self):
+        graph = make_planar("delaunay", 250, seed=1)
+        result = mpx_partition(graph, beta=0.3, seed=2)
+        result.partition.validate()
+
+    def test_cut_expectation(self):
+        # E[cut] <= beta * m; check across seeds with slack factor 2.
+        graph = make_planar("grid", 400, seed=0)
+        m = graph.number_of_edges()
+        beta = 0.2
+        cuts = [mpx_partition(graph, beta=beta, seed=s).cut_size for s in range(10)]
+        assert sum(cuts) / len(cuts) <= 2 * beta * m
+
+    def test_rounds_reported(self):
+        graph = make_planar("grid", 200, seed=0)
+        result = mpx_partition(graph, beta=0.3, seed=1)
+        assert result.rounds >= result.partition.max_height()
+
+    def test_smaller_beta_bigger_clusters(self):
+        graph = make_planar("grid", 400, seed=0)
+        fine = mpx_partition(graph, beta=0.9, seed=3)
+        coarse = mpx_partition(graph, beta=0.05, seed=3)
+        assert coarse.partition.size <= fine.partition.size
+
+    def test_invalid_beta(self, small_grid):
+        with pytest.raises(GraphInputError):
+            mpx_partition(small_grid, beta=0)
+        with pytest.raises(GraphInputError):
+            mpx_partition(small_grid, beta=1.5)
+
+    def test_deterministic(self):
+        graph = make_planar("delaunay", 150, seed=2)
+        a = mpx_partition(graph, beta=0.3, seed=9)
+        b = mpx_partition(graph, beta=0.3, seed=9)
+        assert {p: sorted(part.nodes) for p, part in a.partition.parts.items()} == {
+            p: sorted(part.nodes) for p, part in b.partition.parts.items()
+        }
+
+
+class TestBaselineSpanners:
+    def test_cluster_spanner_spans(self):
+        graph = make_planar("delaunay", 200, seed=3)
+        spanner, result = cluster_spanner(graph, beta=0.3, seed=1)
+        assert nx.is_connected(spanner)
+        assert set(spanner.nodes()) == set(graph.nodes())
+
+    def test_greedy_spanner_stretch_guarantee(self):
+        graph = make_planar("grid", 100, seed=0)
+        spanner = greedy_spanner(graph, stretch=3)
+        for u, v in graph.edges():
+            assert nx.shortest_path_length(spanner, u, v) <= 3
+
+    def test_greedy_spanner_sparser_than_input(self):
+        graph = make_planar("apollonian", 100, seed=1)
+        spanner = greedy_spanner(graph, stretch=5)
+        assert spanner.number_of_edges() < graph.number_of_edges()
+
+    def test_greedy_stretch_one_keeps_everything(self):
+        graph = nx.cycle_graph(8)
+        spanner = greedy_spanner(graph, stretch=1)
+        assert spanner.number_of_edges() == graph.number_of_edges()
+
+    def test_greedy_even_stretch_rejected(self, small_grid):
+        with pytest.raises(GraphInputError):
+            greedy_spanner(small_grid, stretch=4)
+
+
+class TestGroundTruth:
+    def test_planarity(self, k5, small_grid):
+        assert planarity_ground_truth(small_grid)
+        assert not planarity_ground_truth(k5)
+
+    def test_cycle_freeness(self):
+        assert cycle_freeness_ground_truth(nx.random_labeled_tree(20, seed=0))
+        assert not cycle_freeness_ground_truth(nx.cycle_graph(5))
+
+    def test_bipartiteness(self, small_grid, small_tri_grid):
+        assert bipartiteness_ground_truth(small_grid)
+        assert not bipartiteness_ground_truth(small_tri_grid)

@@ -1,0 +1,182 @@
+"""Tests for the CONGEST simulator core (network, node, message)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    BROADCAST,
+    CongestNetwork,
+    NodeProgram,
+    bit_size,
+    default_bandwidth_bits,
+)
+from repro.errors import (
+    BandwidthExceededError,
+    GraphInputError,
+    ProtocolError,
+    SimulationLimitError,
+)
+
+
+class EchoOnce(NodeProgram):
+    """Round 0: broadcast own id; round 1: record inbox and halt."""
+
+    def step(self, round_index, inbox):
+        if round_index == 0:
+            return self.broadcast(("id", self.ctx.node))
+        self.halt(sorted(sender for sender in inbox))
+        return self.silence()
+
+
+class Chatterbox(NodeProgram):
+    """Never halts; used for round-limit behavior."""
+
+    def step(self, round_index, inbox):
+        return self.broadcast(("tick", round_index))
+
+
+class BadSender(NodeProgram):
+    """Attempts to message a non-neighbor."""
+
+    def step(self, round_index, inbox):
+        target = (self.ctx.node + 2) % self.ctx.n
+        return {target: ("oops",)}
+
+
+class HugeSender(NodeProgram):
+    """Sends a message far above the bandwidth budget."""
+
+    def step(self, round_index, inbox):
+        if round_index == 0:
+            return self.broadcast(("x" * 10_000,))
+        self.halt("done")
+        return self.silence()
+
+
+class TestBitSize:
+    def test_none_and_bool(self):
+        assert bit_size(None) == 1
+        assert bit_size(True) == 1
+
+    def test_int_scales_with_magnitude(self):
+        assert bit_size(0) == 1
+        assert bit_size(1023) == 11
+        assert bit_size(2**40) > bit_size(2**20)
+
+    def test_tuple_adds_framing(self):
+        assert bit_size((1, 2)) > bit_size(1) + bit_size(2)
+
+    def test_string(self):
+        assert bit_size("ab") == 8 * 2 + 2
+
+    def test_dict(self):
+        assert bit_size({1: 2}) > 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            bit_size(object())
+
+    def test_default_bandwidth_scales_logarithmically(self):
+        assert default_bandwidth_bits(2**20) > default_bandwidth_bits(2**10)
+        with pytest.raises(ValueError):
+            default_bandwidth_bits(0)
+
+
+class TestNetworkValidation:
+    def test_rejects_directed(self):
+        with pytest.raises(GraphInputError):
+            CongestNetwork(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_self_loops(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        with pytest.raises(GraphInputError):
+            CongestNetwork(graph)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphInputError):
+            CongestNetwork(nx.Graph())
+
+    def test_rejects_multigraph(self):
+        with pytest.raises(GraphInputError):
+            CongestNetwork(nx.MultiGraph([(0, 1), (0, 1)]))
+
+
+class TestExecution:
+    def test_broadcast_reaches_all_neighbors(self):
+        graph = nx.cycle_graph(5)
+        result = CongestNetwork(graph).run(EchoOnce, max_rounds=5)
+        assert result.halted
+        for v in graph.nodes():
+            assert result.outputs[v] == sorted(graph.neighbors(v))
+
+    def test_rounds_counted(self):
+        graph = nx.path_graph(4)
+        result = CongestNetwork(graph).run(EchoOnce, max_rounds=10)
+        assert result.rounds == 2
+
+    def test_round_limit_without_halt(self):
+        graph = nx.path_graph(3)
+        result = CongestNetwork(graph).run(Chatterbox, max_rounds=4)
+        assert not result.halted
+        assert result.rounds == 4
+
+    def test_raise_on_limit(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(SimulationLimitError):
+            CongestNetwork(graph).run(Chatterbox, max_rounds=2, raise_on_limit=True)
+
+    def test_non_neighbor_message_rejected(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ProtocolError):
+            CongestNetwork(graph).run(BadSender, max_rounds=2)
+
+    def test_strict_bandwidth_raises(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(BandwidthExceededError):
+            CongestNetwork(graph).run(HugeSender, max_rounds=3, strict_bandwidth=True)
+
+    def test_lenient_bandwidth_counts(self):
+        graph = nx.path_graph(3)
+        result = CongestNetwork(graph).run(HugeSender, max_rounds=3)
+        assert result.over_budget_messages > 0
+        assert result.halted
+
+    def test_message_metrics(self):
+        graph = nx.cycle_graph(4)
+        result = CongestNetwork(graph).run(EchoOnce, max_rounds=5)
+        # every node broadcasts to 2 neighbors in round 0 only
+        assert result.total_messages == 8
+        assert result.total_bits > 0
+        assert result.max_message_bits <= result.bandwidth_bits
+
+    def test_per_node_rng_deterministic(self):
+        graph = nx.path_graph(4)
+        net1 = CongestNetwork(graph, seed=5)
+        net2 = CongestNetwork(graph, seed=5)
+        r1 = [net1._node_rng(v).random() for v in graph.nodes()]
+        r2 = [net2._node_rng(v).random() for v in graph.nodes()]
+        assert r1 == r2
+
+    def test_per_node_rng_differs_between_nodes(self):
+        net = CongestNetwork(nx.path_graph(4), seed=5)
+        values = {net._node_rng(v).random() for v in range(4)}
+        assert len(values) == 4
+
+    def test_broadcast_sentinel_expansion(self):
+        class Mixed(NodeProgram):
+            def step(self, round_index, inbox):
+                if round_index == 0 and self.ctx.node == 0:
+                    out = {BROADCAST: ("b",)}
+                    out[self.ctx.neighbors[0]] = ("direct",)
+                    return out
+                if round_index == 1:
+                    self.halt(dict(inbox))
+                return self.silence()
+
+        graph = nx.path_graph(3)
+        result = CongestNetwork(graph).run(Mixed, max_rounds=4)
+        # node 1 gets the direct override, not the broadcast payload
+        assert result.outputs[1][0] == ("direct",)

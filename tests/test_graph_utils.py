@@ -1,0 +1,182 @@
+"""Tests for graph utilities: girth, diameter, arboricity, cycles."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphInputError
+from repro.graphs import (
+    arboricity_bounds,
+    bfs_levels,
+    degeneracy,
+    diameter,
+    eccentricity,
+    ensure_int_labels,
+    find_short_cycle,
+    girth,
+    greedy_forest_partition,
+    require_simple,
+    tree_height,
+)
+
+
+class TestBFSLevels:
+    def test_levels(self, small_grid):
+        levels = bfs_levels(small_grid.adj, 0)
+        assert levels == nx.single_source_shortest_path_length(small_grid, 0)
+
+
+class TestDiameter:
+    def test_path(self):
+        assert diameter(nx.path_graph(10)) == 9
+
+    def test_cycle(self):
+        assert diameter(nx.cycle_graph(10)) == 5
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        assert diameter(graph) == 0
+
+    def test_grid_matches_networkx(self, small_grid):
+        assert diameter(small_grid) == nx.diameter(small_grid)
+
+    def test_double_sweep_on_large(self):
+        tree = nx.random_labeled_tree(2000, seed=0)
+        # double sweep is exact on trees
+        assert diameter(tree, exact_threshold=10) == nx.diameter(tree)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphInputError):
+            diameter(nx.Graph())
+
+    def test_eccentricity(self, small_grid):
+        assert eccentricity(small_grid, 0) == nx.eccentricity(small_grid, 0)
+
+    def test_eccentricity_disconnected_rejected(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(GraphInputError):
+            eccentricity(graph, 0)
+
+
+class TestGirth:
+    def test_forest_infinite(self):
+        assert girth(nx.random_labeled_tree(30, seed=1)) == math.inf
+
+    def test_triangle(self):
+        assert girth(nx.complete_graph(4)) == 3
+
+    def test_cycle_graph(self):
+        for n in (4, 5, 9):
+            assert girth(nx.cycle_graph(n)) == n
+
+    def test_petersen(self):
+        assert girth(nx.petersen_graph()) == 5
+
+    def test_grid(self, small_grid):
+        assert girth(small_grid) == 4
+
+    def test_early_exit_bound(self):
+        # with upper_bound, may stop at any cycle <= bound
+        g = girth(nx.complete_graph(6), upper_bound=3)
+        assert g == 3
+
+
+class TestFindShortCycle:
+    def test_no_cycle_in_tree(self):
+        assert find_short_cycle(nx.random_labeled_tree(20, seed=0), 10) is None
+
+    def test_finds_triangle(self):
+        cycle = find_short_cycle(nx.complete_graph(5), 3)
+        assert cycle is not None
+        assert len(cycle) == 3
+
+    def test_respects_max_length(self):
+        assert find_short_cycle(nx.cycle_graph(10), 9) is None
+        cycle = find_short_cycle(nx.cycle_graph(10), 10)
+        assert cycle is not None and len(cycle) == 10
+
+    def test_returned_cycle_is_real(self, small_tri_grid):
+        cycle = find_short_cycle(small_tri_grid, 3)
+        assert len(cycle) == 3
+        for i in range(3):
+            assert small_tri_grid.has_edge(cycle[i], cycle[(i + 1) % 3])
+
+    def test_max_length_below_three(self):
+        assert find_short_cycle(nx.complete_graph(4), 2) is None
+
+
+class TestDegeneracyAndArboricity:
+    def test_degeneracy_tree(self):
+        assert degeneracy(nx.random_labeled_tree(30, seed=0)) == 1
+
+    def test_degeneracy_complete(self):
+        assert degeneracy(nx.complete_graph(7)) == 6
+
+    def test_degeneracy_empty(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        assert degeneracy(graph) == 0
+
+    def test_planar_degeneracy_at_most_5(self, planar_zoo):
+        for name, graph in planar_zoo:
+            assert degeneracy(graph) <= 5, name
+
+    def test_forest_partition_valid(self, small_apollonian):
+        forests = greedy_forest_partition(small_apollonian)
+        seen = set()
+        for forest in forests:
+            sub = nx.Graph(forest)
+            assert nx.is_forest(sub)
+            for u, v in forest:
+                edge = frozenset((u, v))
+                assert edge not in seen
+                seen.add(edge)
+        assert len(seen) == small_apollonian.number_of_edges()
+
+    def test_arboricity_bounds_ordered(self, planar_zoo):
+        for name, graph in planar_zoo:
+            lower, upper = arboricity_bounds(graph)
+            assert 0 < lower <= upper, name
+
+    def test_planar_arboricity_lower_at_most_3(self, planar_zoo):
+        for name, graph in planar_zoo:
+            lower, _upper = arboricity_bounds(graph)
+            assert lower <= 3, name
+
+    def test_k5_arboricity_exact(self, k5):
+        lower, upper = arboricity_bounds(k5)
+        assert lower == 3  # ceil(10/4)
+
+    def test_empty_graph_bounds(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        assert arboricity_bounds(graph) == (0, 0)
+
+
+class TestMisc:
+    def test_tree_height(self):
+        parents = {1: 0, 2: 0, 3: 1, 4: 3}
+        assert tree_height(parents, 0) == 3
+
+    def test_tree_height_cycle_detected(self):
+        with pytest.raises(GraphInputError):
+            tree_height({1: 0, 0: 1}, 0)
+
+    def test_require_simple(self):
+        require_simple(nx.path_graph(3))
+        with pytest.raises(GraphInputError):
+            require_simple(nx.DiGraph([(0, 1)]))
+        loop = nx.Graph()
+        loop.add_edge(0, 0)
+        with pytest.raises(GraphInputError):
+            require_simple(loop)
+
+    def test_ensure_int_labels(self):
+        graph = nx.Graph([("a", "b"), ("b", "c")])
+        relabeled, mapping = ensure_int_labels(graph)
+        assert sorted(relabeled.nodes()) == [0, 1, 2]
+        assert mapping["a"] == 0

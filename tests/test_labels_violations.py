@@ -1,0 +1,199 @@
+"""Tests for Stage II labels (BFS, ranks, Euler-tour corners) and the
+violating-edge machinery."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest.programs import bfs_tree
+from repro.graphs import make_far, make_planar
+from repro.planarity import check_planarity, identity_rotation
+from repro.testers import (
+    count_violating,
+    deterministic_bfs_tree,
+    edges_interlace,
+    embedding_ranks,
+    non_tree_intervals,
+    sample_and_detect,
+    violating_mask,
+    violating_mask_bruteforce,
+)
+from repro.testers.labels import corner_intervals, euler_tour_positions
+
+
+class TestDeterministicBFS:
+    def test_matches_distributed_protocol(self, small_tri_grid):
+        """The emulated BFS must equal the simulated CONGEST BFS exactly."""
+        sim_parents, sim_depths, _ = bfs_tree(small_tri_grid, 0)
+        emu_parents, emu_depths = deterministic_bfs_tree(small_tri_grid, 0)
+        assert emu_depths == sim_depths
+        assert {v: p for v, p in emu_parents.items() if p is not None} == sim_parents
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        from repro.errors import GraphInputError
+
+        with pytest.raises(GraphInputError):
+            deterministic_bfs_tree(graph, 0)
+
+
+class TestEmbeddingRanks:
+    def test_root_rank_zero(self, small_grid):
+        emb = check_planarity(small_grid).embedding
+        parents, _ = deterministic_bfs_tree(small_grid, 0)
+        ranks = embedding_ranks(small_grid, 0, emb, parents)
+        assert ranks[0] == 0
+        assert sorted(ranks.values()) == list(range(small_grid.number_of_nodes()))
+
+    def test_parents_before_children(self, small_apollonian):
+        emb = check_planarity(small_apollonian).embedding
+        parents, _ = deterministic_bfs_tree(small_apollonian, 0)
+        ranks = embedding_ranks(small_apollonian, 0, emb, parents)
+        for child, parent in parents.items():
+            if parent is not None:
+                assert ranks[parent] < ranks[child]
+
+
+class TestEulerTourPositions:
+    def test_position_count(self, planar_zoo):
+        for name, graph in planar_zoo:
+            emb = check_planarity(graph).embedding
+            parents, _ = deterministic_bfs_tree(graph, 0)
+            positions, total = euler_tour_positions(graph, 0, emb, parents)
+            non_tree = graph.number_of_edges() - (graph.number_of_nodes() - 1)
+            assert len(positions) == 2 * non_tree, name
+            assert total == 2 * non_tree, name
+            assert sorted(positions.values()) == list(range(total)), name
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        emb = check_planarity(graph).embedding
+        positions, total = euler_tour_positions(graph, 0, emb, {0: None})
+        assert positions == {} and total == 0
+
+    def test_tree_has_no_positions(self):
+        tree = nx.random_labeled_tree(30, seed=2)
+        emb = check_planarity(tree).embedding
+        parents, _ = deterministic_bfs_tree(tree, 0)
+        positions, total = euler_tour_positions(tree, 0, emb, parents)
+        assert total == 0
+
+    def test_works_with_identity_rotation(self, k5):
+        rot = identity_rotation(k5)
+        parents, _ = deterministic_bfs_tree(k5, 0)
+        positions, total = euler_tour_positions(k5, 0, rot, parents)
+        assert total == 2 * (10 - 4)
+
+
+class TestClaimTen:
+    """The completeness side of Stage II.
+
+    * Corner criterion: planar embedding => zero violating edges (the
+      property our tester's one-sided error rests on).
+    * Preorder criterion (the paper's literal Definition 7 labels): NOT
+      complete -- the 3x3 grid is a counterexample, pinned here.
+    """
+
+    def test_corner_criterion_complete_on_planar(self, planar_zoo):
+        for name, graph in planar_zoo:
+            emb = check_planarity(graph).embedding
+            parents, _ = deterministic_bfs_tree(graph, 0)
+            positions, total = euler_tour_positions(graph, 0, emb, parents)
+            intervals = [(a, b) for a, b, _u, _v in corner_intervals(graph, parents, positions)]
+            assert count_violating(intervals, universe=total) == 0, name
+
+    def test_preorder_criterion_incomplete_on_3x3_grid(self):
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3))
+        emb = check_planarity(graph).embedding
+        parents, _ = deterministic_bfs_tree(graph, 0)
+        ranks = embedding_ranks(graph, 0, emb, parents)
+        intervals = [(a, b) for a, b, _u, _v in non_tree_intervals(graph, parents, ranks)]
+        # the paper-literal criterion flags violations on a planar graph
+        assert count_violating(intervals, universe=9) > 0
+
+    def test_corner_criterion_fine_on_3x3_grid(self):
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3))
+        emb = check_planarity(graph).embedding
+        parents, _ = deterministic_bfs_tree(graph, 0)
+        positions, total = euler_tour_positions(graph, 0, emb, parents)
+        intervals = [(a, b) for a, b, _u, _v in corner_intervals(graph, parents, positions)]
+        assert count_violating(intervals, universe=total) == 0
+
+    def test_far_graphs_have_many_violations(self, far_zoo):
+        """Corollary 9 (corner form): gamma-far => >= gamma*m violating."""
+        for name, graph, certified in far_zoo:
+            rot = identity_rotation(graph)
+            parents, _ = deterministic_bfs_tree(graph, 0)
+            positions, total = euler_tour_positions(graph, 0, rot, parents)
+            intervals = [(a, b) for a, b, _u, _v in corner_intervals(graph, parents, positions)]
+            violating = count_violating(intervals, universe=total)
+            m = graph.number_of_edges()
+            assert violating >= certified * m - 1e-9, (name, violating, certified * m)
+
+
+class TestInterlacement:
+    def test_basic_predicate(self):
+        assert edges_interlace((1, 5), (3, 8))
+        assert edges_interlace((3, 8), (1, 5))  # order-insensitive
+        assert not edges_interlace((1, 5), (6, 8))  # disjoint
+        assert not edges_interlace((1, 8), (3, 5))  # nested
+        assert not edges_interlace((1, 5), (5, 8))  # shared endpoint
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 49), st.integers(0, 49)).filter(
+                lambda t: t[0] != t[1]
+            ),
+            max_size=40,
+        )
+    )
+    def test_fenwick_matches_bruteforce(self, raw):
+        intervals = [(min(a, b), max(a, b)) for a, b in raw]
+        fast = violating_mask(intervals, universe=50)
+        slow = violating_mask_bruteforce(intervals)
+        assert fast == slow
+
+    def test_count_empty(self):
+        assert count_violating([], universe=10) == 0
+
+
+class TestSampling:
+    def test_no_intervals(self):
+        outcome = sample_and_detect([], 5, random.Random(0))
+        assert not outcome.detected
+        assert outcome.sampled == 0
+
+    def test_full_sampling_detects(self):
+        intervals = [(0, 2), (1, 3)]  # interlacing pair
+        outcome = sample_and_detect(intervals, 10, random.Random(0))
+        assert outcome.detected
+        assert outcome.witness is not None
+
+    def test_no_violation_no_detection(self):
+        intervals = [(0, 1), (2, 3), (4, 9)]
+        outcome = sample_and_detect(intervals, 10, random.Random(0))
+        assert not outcome.detected
+
+    def test_sampling_probability_reasonable(self):
+        intervals = [(i, i + 100) for i in range(0, 400, 2)]  # massively interlacing
+        detected = sum(
+            sample_and_detect(intervals, 5, random.Random(seed)).detected
+            for seed in range(20)
+        )
+        assert detected == 20  # any sample hits (all edges are violating)
+
+    def test_truncation_cap(self):
+        intervals = [(2 * i, 2 * i + 1) for i in range(1000)]
+        outcome = sample_and_detect(intervals, 1, random.Random(3))
+        assert outcome.sampled <= 4  # cap = 4 * s
+
+    def test_zero_target(self):
+        outcome = sample_and_detect([(0, 2), (1, 3)], 0, random.Random(0))
+        assert not outcome.detected

@@ -1,0 +1,84 @@
+"""Tests for the Theorem 2 lower-bound construction."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphInputError
+from repro.graphs import (
+    all_views_are_trees,
+    girth,
+    lower_bound_instance,
+    view_is_tree,
+)
+
+
+class TestConstruction:
+    def test_girth_at_least_target(self):
+        inst = lower_bound_instance(300, seed=1)
+        assert inst.girth >= inst.target_girth
+
+    def test_far_from_planar(self):
+        inst = lower_bound_instance(400, average_degree=8, seed=2)
+        assert inst.farness_lower_bound > 0.3
+
+    def test_custom_target_girth(self):
+        inst = lower_bound_instance(200, target_girth=6, seed=3)
+        assert inst.girth >= 6
+
+    def test_surgery_counted(self):
+        inst = lower_bound_instance(300, seed=4)
+        assert inst.removed_edges > 0
+
+    def test_small_n_rejected(self):
+        with pytest.raises(GraphInputError):
+            lower_bound_instance(4)
+
+    def test_default_target_logarithmic(self):
+        inst_small = lower_bound_instance(64, seed=0)
+        inst_large = lower_bound_instance(1024, seed=0)
+        assert inst_large.target_girth >= inst_small.target_girth
+
+    def test_deterministic_given_seed(self):
+        a = lower_bound_instance(200, seed=9)
+        b = lower_bound_instance(200, seed=9)
+        assert nx.utils.graphs_equal(a.graph, b.graph)
+
+
+class TestIndistinguishability:
+    def test_views_are_trees_within_radius(self):
+        inst = lower_bound_instance(300, seed=5)
+        radius = inst.indistinguishability_radius
+        assert all_views_are_trees(inst.graph, radius)
+
+    def test_radius_matches_girth(self):
+        inst = lower_bound_instance(300, seed=6)
+        if inst.girth != math.inf:
+            g = int(inst.girth)
+            assert inst.indistinguishability_radius == (g - 2) // 2
+            # at radius floor(g/2), nodes on a shortest cycle see it whole
+            assert not all_views_are_trees(inst.graph, g // 2)
+
+    def test_radius_tight_for_odd_girth(self):
+        # a single 5-cycle: radius 1 views are paths, radius 2 sees the cycle
+        import networkx as nx
+        from repro.graphs import view_is_tree
+
+        cycle = nx.cycle_graph(5)
+        assert all(view_is_tree(cycle, v, 1) for v in cycle)
+        assert not view_is_tree(cycle, 0, 2)
+
+    def test_view_is_tree_on_cycle(self):
+        cycle = nx.cycle_graph(10)
+        assert view_is_tree(cycle, 0, 3)  # ball of radius 3 is a path
+        assert not view_is_tree(cycle, 0, 5)  # whole cycle visible
+
+    def test_view_is_tree_consistent_with_girth(self):
+        inst = lower_bound_instance(200, average_degree=6, seed=7)
+        g = girth(inst.graph)
+        if g != math.inf:
+            r = int(math.ceil(g / 2)) - 1
+            assert all(view_is_tree(inst.graph, v, r) for v in list(inst.graph)[:20])

@@ -1,0 +1,171 @@
+"""Tests for the from-scratch LR planarity test.
+
+networkx is used strictly as an *oracle* for the verdict; embeddings are
+verified independently through Euler's formula.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphInputError
+from repro.planarity import check_planarity, is_planar, verify_planar_embedding
+
+
+def assert_agrees_with_oracle(graph):
+    mine = check_planarity(graph)
+    oracle, _ = nx.check_planarity(graph)
+    assert mine.is_planar == oracle
+    if mine.is_planar:
+        verify_planar_embedding(mine.embedding, graph)
+    else:
+        assert mine.embedding is None
+    return mine
+
+
+class TestVerdicts:
+    def test_k5_not_planar(self, k5):
+        assert not is_planar(k5)
+
+    def test_k33_not_planar(self, k33):
+        assert not is_planar(k33)
+
+    def test_k4_planar(self):
+        assert is_planar(nx.complete_graph(4))
+
+    def test_petersen_not_planar(self):
+        assert not is_planar(nx.petersen_graph())
+
+    def test_planar_zoo(self, planar_zoo):
+        for name, graph in planar_zoo:
+            result = assert_agrees_with_oracle(graph)
+            assert result.is_planar, name
+
+    def test_far_zoo(self, far_zoo):
+        for name, graph, _f in far_zoo:
+            result = assert_agrees_with_oracle(graph)
+            assert not result.is_planar, name
+
+    def test_k5_subdivision_not_planar(self, k5):
+        # subdivide every edge once; still a K5 subdivision
+        sub = nx.Graph()
+        next_id = 5
+        for u, v in k5.edges():
+            sub.add_edge(u, next_id)
+            sub.add_edge(next_id, v)
+            next_id += 1
+        assert not is_planar(sub)
+
+    def test_dense_shortcut(self):
+        graph = nx.complete_graph(30)  # m >> 3n - 6: shortcut path
+        assert not is_planar(graph)
+
+    def test_named_planar_graphs(self):
+        for builder in (
+            nx.dodecahedral_graph,
+            nx.icosahedral_graph,
+            nx.frucht_graph,
+            lambda: nx.wheel_graph(12),
+            lambda: nx.circular_ladder_graph(9),
+        ):
+            assert_agrees_with_oracle(builder())
+
+    def test_named_nonplanar_graphs(self):
+        for builder in (
+            nx.heawood_graph,
+            nx.pappus_graph,
+            nx.desargues_graph,
+            lambda: nx.complete_graph(6),
+            lambda: nx.hypercube_graph(4),
+        ):
+            graph = nx.convert_node_labels_to_integers(builder())
+            assert_agrees_with_oracle(graph)
+
+
+class TestEdgeCases:
+    def test_empty_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        result = check_planarity(graph)
+        assert result.is_planar
+        assert result.embedding.rotation(0) == []
+
+    def test_single_edge(self):
+        result = check_planarity(nx.path_graph(2))
+        assert result.is_planar
+        assert result.embedding.rotation(0) == [1]
+
+    def test_disconnected(self):
+        graph = nx.union(
+            nx.cycle_graph(4),
+            nx.relabel_nodes(nx.complete_graph(4), {i: i + 10 for i in range(4)}),
+        )
+        assert_agrees_with_oracle(graph)
+
+    def test_disconnected_with_nonplanar_component(self, k5):
+        graph = nx.union(nx.path_graph(3), nx.relabel_nodes(k5, {i: i + 10 for i in range(5)}))
+        assert not is_planar(graph)
+
+    def test_deep_path_no_recursion_error(self):
+        assert is_planar(nx.path_graph(20000))
+
+    def test_large_grid_embedding(self):
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(40, 40))
+        result = check_planarity(graph)
+        assert result.is_planar
+        verify_planar_embedding(result.embedding, graph)
+
+    def test_self_loop_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        with pytest.raises(GraphInputError):
+            check_planarity(graph)
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphInputError):
+            check_planarity(nx.DiGraph([(0, 1)]))
+
+    def test_result_truthiness(self):
+        assert check_planarity(nx.path_graph(3))
+        assert not check_planarity(nx.complete_graph(5))
+
+
+class TestRandomizedOracle:
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n=st.integers(1, 14),
+        seed=st.integers(0, 10_000),
+        p=st.floats(0.05, 0.95),
+    )
+    def test_gnp_agrees_with_oracle(self, n, seed, p):
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        assert_agrees_with_oracle(graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(4, 30), seed=st.integers(0, 1000))
+    def test_random_planar_has_valid_embedding(self, n, seed):
+        from repro.graphs import random_planar
+
+        graph = random_planar(n, seed=seed)
+        result = check_planarity(graph)
+        assert result.is_planar
+        verify_planar_embedding(result.embedding, graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_near_planar_boundary(self, seed):
+        # maximal planar graph plus one random edge: always non-planar
+        from repro.graphs import random_apollonian
+        import random
+
+        rng = random.Random(seed)
+        graph = random_apollonian(20, seed=seed)
+        while True:
+            u, v = rng.randrange(20), rng.randrange(20)
+            if u != v and not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                break
+        assert not is_planar(graph)

@@ -1,0 +1,103 @@
+"""Tests for the RotationSystem data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EmbeddingError
+from repro.planarity import RotationSystem
+
+
+class TestConstruction:
+    def test_empty_rotation(self):
+        rs = RotationSystem()
+        rs.add_node(1)
+        assert rs.rotation(1) == []
+        assert rs.degree(1) == 0
+
+    def test_unknown_node_rejected(self):
+        rs = RotationSystem()
+        with pytest.raises(EmbeddingError):
+            rs.rotation(0)
+
+    def test_set_rotation_roundtrip(self):
+        rs = RotationSystem()
+        rs.set_rotation(0, [1, 2, 3])
+        assert rs.rotation(0) == [1, 2, 3]
+
+    def test_set_rotation_duplicate_rejected(self):
+        rs = RotationSystem()
+        with pytest.raises(EmbeddingError):
+            rs.set_rotation(0, [1, 1])
+
+    def test_add_first_prepends(self):
+        rs = RotationSystem()
+        rs.set_rotation(0, [1, 2])
+        rs.add_half_edge_first(0, 9)
+        assert rs.rotation(0) == [9, 1, 2]
+
+    def test_add_cw_inserts_after_reference(self):
+        rs = RotationSystem()
+        rs.set_rotation(0, [1, 2, 3])
+        rs.add_half_edge_cw(0, 9, 1)
+        assert rs.rotation(0) == [1, 9, 2, 3]
+
+    def test_add_ccw_inserts_before_reference(self):
+        rs = RotationSystem()
+        rs.set_rotation(0, [1, 2, 3])
+        rs.add_half_edge_ccw(0, 9, 2)
+        assert rs.rotation(0) == [1, 9, 2, 3]
+
+    def test_duplicate_half_edge_rejected(self):
+        rs = RotationSystem()
+        rs.set_rotation(0, [1, 2])
+        with pytest.raises(EmbeddingError):
+            rs.add_half_edge_cw(0, 1, 2)
+
+    def test_missing_reference_rejected(self):
+        rs = RotationSystem()
+        rs.set_rotation(0, [1])
+        with pytest.raises(EmbeddingError):
+            rs.add_half_edge_cw(0, 2, 77)
+
+    def test_first_insert_into_empty(self):
+        rs = RotationSystem()
+        rs.add_node(0)
+        rs.add_half_edge_first(0, 5)
+        assert rs.rotation(0) == [5]
+
+
+class TestQueries:
+    def setup_method(self):
+        self.rs = RotationSystem()
+        self.rs.set_rotation(0, [1, 2, 3])
+
+    def test_next_cw_cycles(self):
+        assert self.rs.next_cw(0, 1) == 2
+        assert self.rs.next_cw(0, 3) == 1
+
+    def test_next_ccw_cycles(self):
+        assert self.rs.next_ccw(0, 1) == 3
+
+    def test_missing_half_edge(self):
+        with pytest.raises(EmbeddingError):
+            self.rs.next_cw(0, 99)
+
+    def test_has_half_edge(self):
+        assert self.rs.has_half_edge(0, 2)
+        assert not self.rs.has_half_edge(0, 9)
+        assert not self.rs.has_half_edge(9, 0)
+
+    def test_half_edges_enumeration(self):
+        assert set(self.rs.half_edges()) == {(0, 1), (0, 2), (0, 3)}
+
+    def test_to_from_dict_roundtrip(self):
+        snapshot = self.rs.to_dict()
+        clone = RotationSystem.from_dict(snapshot)
+        assert clone == self.rs
+
+    def test_equality_respects_order(self):
+        other = RotationSystem()
+        other.set_rotation(0, [2, 3, 1])  # same cycle, different start
+        # to_dict starts from the stored first pointer, so these differ
+        assert other.to_dict() != self.rs.to_dict()

@@ -1,0 +1,111 @@
+"""Unit + property tests for DisjointSets and FenwickTree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.structures import DisjointSets, FenwickTree
+
+
+class TestDisjointSets:
+    def test_singletons_are_distinct(self):
+        ds = DisjointSets(range(5))
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert not ds.connected(i, j)
+
+    def test_union_connects(self):
+        ds = DisjointSets()
+        ds.union(1, 2)
+        ds.union(2, 3)
+        assert ds.connected(1, 3)
+        assert not ds.connected(1, 4)
+
+    def test_union_returns_root(self):
+        ds = DisjointSets()
+        root = ds.union("a", "b")
+        assert ds.find("a") == root
+        assert ds.find("b") == root
+
+    def test_lazy_add_on_find(self):
+        ds = DisjointSets()
+        assert ds.find(42) == 42
+        assert 42 in ds
+
+    def test_union_idempotent(self):
+        ds = DisjointSets()
+        r1 = ds.union(1, 2)
+        r2 = ds.union(1, 2)
+        assert r1 == r2
+
+    def test_groups_partition_elements(self):
+        ds = DisjointSets(range(6))
+        ds.union(0, 1)
+        ds.union(2, 3)
+        groups = ds.groups()
+        sizes = sorted(len(g) for g in groups.values())
+        assert sizes == [1, 1, 2, 2]
+        assert sorted(x for g in groups.values() for x in g) == list(range(6))
+
+    def test_len_and_iter(self):
+        ds = DisjointSets("abc")
+        assert len(ds) == 3
+        assert sorted(ds) == ["a", "b", "c"]
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+    def test_matches_naive_connectivity(self, unions):
+        ds = DisjointSets(range(21))
+        naive = {i: {i} for i in range(21)}
+        for a, b in unions:
+            ds.union(a, b)
+            merged = naive[a] | naive[b]
+            for x in merged:
+                naive[x] = merged
+        for i in range(21):
+            for j in range(i + 1, 21):
+                assert ds.connected(i, j) == (j in naive[i])
+
+
+class TestFenwickTree:
+    def test_empty_total(self):
+        assert FenwickTree(10).total() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_out_of_range_add(self):
+        tree = FenwickTree(4)
+        with pytest.raises(IndexError):
+            tree.add(4)
+        with pytest.raises(IndexError):
+            tree.add(-1)
+
+    def test_prefix_sums(self):
+        tree = FenwickTree(8)
+        for i in range(8):
+            tree.add(i, i)
+        assert tree.prefix_sum(3) == 0 + 1 + 2 + 3
+        assert tree.prefix_sum(-1) == 0
+        assert tree.prefix_sum(100) == sum(range(8))
+
+    def test_range_sum_empty_range(self):
+        tree = FenwickTree(5)
+        tree.add(2, 7)
+        assert tree.range_sum(3, 2) == 0
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 31), st.integers(-5, 5)), max_size=80),
+        st.integers(0, 31),
+        st.integers(0, 31),
+    )
+    def test_matches_naive_array(self, updates, lo, hi):
+        tree = FenwickTree(32)
+        naive = [0] * 32
+        for index, delta in updates:
+            tree.add(index, delta)
+            naive[index] += delta
+        assert tree.range_sum(lo, hi) == sum(naive[lo : hi + 1])
+        assert tree.total() == sum(naive)
