@@ -32,3 +32,38 @@ def save_table(table: Table, filename: str) -> None:
 def quick_mode() -> bool:
     """Smaller sweeps when REPRO_BENCH_QUICK=1 (CI-friendly)."""
     return os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+
+def bench_backend():
+    """The runtime backend benchmark sweeps run on.
+
+    ``REPRO_BENCH_BACKEND=process`` fans the sweep over a process pool
+    (optionally sized by ``REPRO_BENCH_WORKERS``); the default stays
+    serial so timings remain comparable across machines.  Records are
+    identical either way -- the choice only affects wall-clock.
+    """
+    from repro.runtime import make_backend
+
+    name = os.environ.get("REPRO_BENCH_BACKEND", "serial")
+    if name == "process":
+        workers = os.environ.get("REPRO_BENCH_WORKERS")
+        return make_backend("process", max_workers=int(workers) if workers else None)
+    return make_backend(name)
+
+
+def bench_cache():
+    """The result cache for benchmark sweeps, or ``None``.
+
+    Every cell of one experiment's grid is a distinct spec, so a fresh
+    in-memory cache could never hit within a run; caching only pays off
+    across runs.  Set ``REPRO_BENCH_CACHE_DIR`` to a directory to enable
+    the persistent store (repeat benchmark runs then skip the simulator
+    entirely); the default disables caching so one-shot runs don't pay
+    the graph-fingerprinting overhead.
+    """
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if not cache_dir:
+        return None
+    from repro.runtime import ResultCache
+
+    return ResultCache(disk_dir=cache_dir)

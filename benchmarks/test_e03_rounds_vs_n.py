@@ -4,6 +4,10 @@ Claim reproduced: Theorem 1's ``O(log n * poly(1/eps))`` round bound and
 its optimality (Theorem 2): measured rounds grow linearly in ``log2 n``.
 The table is the figure's data series; the fit quantifies the shape
 (rounds ~ a*log2(n) + b with high R^2, and rounds/log2(n) flat).
+
+The size series runs as one :mod:`repro.runtime` sweep, so the points
+can be computed in parallel (``REPRO_BENCH_BACKEND=process``), and
+repeat runs hit the result cache when ``REPRO_BENCH_CACHE_DIR`` is set.
 """
 
 from __future__ import annotations
@@ -12,10 +16,11 @@ import math
 
 import pytest
 
-from _harness import quick_mode, save_table
+from _harness import bench_backend, bench_cache, quick_mode, save_table
 from repro.analysis import fit_rounds_vs_log_n
 from repro.analysis.tables import Table
 from repro.graphs import make_planar
+from repro.runtime import SweepSpec, run_sweep
 from repro.testers import test_planarity as run_planarity
 
 SIZES = (128, 256, 512, 1024) if quick_mode() else (128, 256, 512, 1024, 2048, 4096)
@@ -29,21 +34,23 @@ def scaling_series():
         f"E3: rounds vs n ({FAMILY}, epsilon={EPSILON}) -- expect linear in log n",
         ["n", "rounds", "stage1", "stage2", "rounds/log2(n)", "phases"],
     )
+    sweep = SweepSpec.make(
+        "test_planarity", families=[FAMILY], ns=SIZES, seeds=[0], epsilon=EPSILON
+    )
+    result = run_sweep(sweep, backend=bench_backend(), cache=bench_cache())
     ns, rounds = [], []
-    for n in SIZES:
-        graph = make_planar(FAMILY, n, seed=0)
-        result = run_planarity(graph, epsilon=EPSILON, seed=0)
-        assert result.accepted
-        actual_n = graph.number_of_nodes()
+    for record in result.records:
+        assert record["accepted"]
+        actual_n = record["n"]
         ns.append(actual_n)
-        rounds.append(result.rounds)
+        rounds.append(record["rounds"])
         table.add_row(
             actual_n,
-            result.rounds,
-            result.stage1_rounds,
-            result.stage2_rounds,
-            result.rounds / math.log2(actual_n),
-            len(result.stage1.phases),
+            record["rounds"],
+            record["stage1_rounds"],
+            record["stage2_rounds"],
+            record["rounds"] / math.log2(actual_n),
+            record["phases"],
         )
     fit = fit_rounds_vs_log_n(ns, rounds)
     table.add_row("fit", f"{fit.slope:.0f}*log2(n)+{fit.intercept:.0f}",

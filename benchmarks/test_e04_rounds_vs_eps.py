@@ -3,15 +3,20 @@
 Claim reproduced: the poly(1/eps) factor of Theorem 1.  At fixed n the
 measured rounds grow as epsilon shrinks (more phases, deeper parts,
 larger samples), and the growth is polynomial in 1/eps.
+
+The epsilon axis runs as one :mod:`repro.runtime` sweep
+(``REPRO_BENCH_BACKEND=process`` parallelizes it; with a cache
+configured, all points share one generated graph and its fingerprint).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import save_table
+from _harness import bench_backend, bench_cache, save_table
 from repro.analysis.tables import Table
 from repro.graphs import make_planar
+from repro.runtime import SweepSpec, run_sweep
 from repro.testers import test_planarity as run_planarity
 
 EPSILONS = (0.5, 0.4, 0.3, 0.2, 0.1, 0.05)
@@ -26,21 +31,28 @@ def eps_series():
         ["epsilon", "1/epsilon", "rounds", "stage1", "stage2",
          "phases", "parts", "max part height"],
     )
-    graph = make_planar(FAMILY, N, seed=0)
+    sweep = SweepSpec.make(
+        "test_planarity",
+        families=[FAMILY],
+        ns=[N],
+        seeds=[0],
+        epsilon=list(EPSILONS),
+    )
+    result = run_sweep(sweep, backend=bench_backend(), cache=bench_cache())
     series = []
-    for epsilon in EPSILONS:
-        result = run_planarity(graph, epsilon=epsilon, seed=0)
-        assert result.accepted
-        series.append((epsilon, result.rounds))
+    for record in result.records:
+        assert record["accepted"]
+        epsilon = record["epsilon"]
+        series.append((epsilon, record["rounds"]))
         table.add_row(
             epsilon,
             1 / epsilon,
-            result.rounds,
-            result.stage1_rounds,
-            result.stage2_rounds,
-            len(result.stage1.phases),
-            result.stage1.partition.size,
-            result.stage1.partition.max_height(),
+            record["rounds"],
+            record["stage1_rounds"],
+            record["stage2_rounds"],
+            record["phases"],
+            record["parts"],
+            record["max_part_height"],
         )
     save_table(table, "e04_rounds_vs_eps.md")
     return series

@@ -19,6 +19,7 @@ The package layers:
 * :mod:`repro.testers` -- the planarity tester (Thm 1) and Corollary 16;
 * :mod:`repro.applications` -- spanners (Corollary 17);
 * :mod:`repro.baselines` -- MPX partition, baseline spanners, ground truth;
+* :mod:`repro.runtime` -- parallel batch-execution engine with caching;
 * :mod:`repro.analysis` -- experiment statistics and tables.
 """
 
@@ -47,6 +48,15 @@ from .partition.weighted_selection import (
     partition_randomized,
 )
 from .planarity.embedding import verify_planar_embedding
+from .runtime import (
+    JobSpec,
+    ResultCache,
+    SweepResult,
+    SweepSpec,
+    derive_seed,
+    run_jobs,
+    run_sweep,
+)
 from .planarity.lr_planarity import PlanarityResult, check_planarity, is_planar
 from .planarity.rotation import RotationSystem
 from .testers.applications import test_bipartiteness, test_cycle_freeness
@@ -66,6 +76,7 @@ __all__ = [
     "EmbeddingError",
     "FAR_FAMILIES",
     "GraphInputError",
+    "JobSpec",
     "LowerBoundInstance",
     "MPXResult",
     "NodeContext",
@@ -81,15 +92,19 @@ __all__ = [
     "ProtocolError",
     "RandomizedPartitionResult",
     "ReproError",
+    "ResultCache",
     "RotationSystem",
     "RoundLedger",
     "SimulationResult",
     "SpannerResult",
     "Stage1Result",
+    "SweepResult",
+    "SweepSpec",
     "TreeCostModel",
     "__version__",
     "build_spanner",
     "check_planarity",
+    "derive_seed",
     "is_planar",
     "lower_bound_instance",
     "make_far",
@@ -98,6 +113,8 @@ __all__ = [
     "mpx_partition",
     "partition_randomized",
     "partition_stage1",
+    "run_jobs",
+    "run_sweep",
     "test_bipartiteness",
     "test_cycle_freeness",
     "test_hereditary_property",

@@ -8,12 +8,22 @@ Subcommands:
 * ``applications``-- run the Corollary 16 cycle-freeness/bipartiteness testers
 * ``lower-bound`` -- sample the Theorem 2 hard instance and certify it
 * ``families``    -- list available graph families
+* ``sweep``       -- expand an n x epsilon x seed grid into jobs and run
+  them on the :mod:`repro.runtime` engine (serial or process-pool
+  backend, with content-addressed result caching)
+
+The ``sweep`` subcommand takes comma-separated axis lists and executes
+their cartesian product; repeated invocations with ``--cache-dir`` are
+served from the on-disk cache instead of re-running the simulator.
 
 Examples::
 
     repro-planarity test --family delaunay --n 1000 --epsilon 0.1
     repro-planarity test --far planted-k5 --n 500 --epsilon 0.1
     repro-planarity spanner --family grid --n 900 --epsilon 0.2
+    repro-planarity sweep --kind test --families grid,delaunay \\
+        --ns 128,256,512 --epsilons 0.5,0.1 --seeds 0,1 \\
+        --backend process --cache-dir /tmp/repro-cache
 """
 
 from __future__ import annotations
@@ -29,8 +39,18 @@ from .graphs.generators import PLANAR_FAMILIES, make_planar
 from .graphs.lower_bound import lower_bound_instance
 from .partition.stage1 import partition_stage1
 from .partition.weighted_selection import partition_randomized
+from .runtime import ResultCache, SweepSpec, make_backend, run_sweep
 from .testers.applications import test_bipartiteness, test_cycle_freeness
 from .testers.planarity import PlanarityTestConfig, test_planarity
+
+SWEEP_KINDS = {
+    "test": "test_planarity",
+    "partition": "partition_stage1",
+    "partition-randomized": "partition_randomized",
+    "spanner": "spanner",
+    "cycle-freeness": "cycle_freeness",
+    "bipartiteness": "bipartiteness",
+}
 
 
 def _build_graph(args):
@@ -170,6 +190,54 @@ def _cmd_lower_bound(args) -> int:
     return 0
 
 
+def _parse_axis(raw: str, convert):
+    """Parse a comma-separated CLI axis into a list of *convert* values."""
+    values = [convert(tok.strip()) for tok in raw.split(",") if tok.strip()]
+    if not values:
+        raise SystemExit(f"empty axis list: {raw!r}")
+    return values
+
+
+def _cmd_sweep(args) -> int:
+    kind = SWEEP_KINDS[args.kind]
+    params = {"epsilon": _parse_axis(args.epsilons, float)}
+    if args.deltas:
+        params["delta"] = _parse_axis(args.deltas, float)
+    if args.methods:
+        params["method"] = _parse_axis(args.methods, str)
+    fars = _parse_axis(args.far_families, str) if args.far_families else ()
+    sweep = SweepSpec.make(
+        kind,
+        families=_parse_axis(args.families, str),
+        fars=fars,
+        ns=_parse_axis(args.ns, int),
+        seeds=_parse_axis(args.seeds, int),
+        **params,
+    )
+    if args.backend == "process":
+        backend = make_backend("process", max_workers=args.workers)
+    else:
+        backend = make_backend(args.backend)
+    cache = ResultCache(disk_dir=args.cache_dir)
+    result = run_sweep(sweep, backend=backend, cache=cache)
+    table = result.to_table(
+        f"sweep: {args.kind} over {sweep.size} jobs", columns=None
+    )
+    table.print()
+    summary = result.summary()
+    print(
+        f"jobs={summary['jobs']} executed={summary['executed']} "
+        f"cache_hits={summary['cache_hits']} "
+        f"hit_rate={summary['cache_hit_rate']:.0%} "
+        f"backend={summary['backend']}"
+    )
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(table.to_markdown() + "\n")
+        print(f"markdown table written to {args.markdown}")
+    return 0
+
+
 def _cmd_families(_args) -> int:
     print("planar families: ", ", ".join(sorted(PLANAR_FAMILIES)))
     print("far families:    ", ", ".join(sorted(FAR_FAMILIES)))
@@ -246,6 +314,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fam = sub.add_parser("families", help="list graph families")
     p_fam.set_defaults(func=_cmd_families)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter-grid sweep on the batch runtime",
+    )
+    p_sweep.add_argument(
+        "--kind",
+        default="test",
+        choices=sorted(SWEEP_KINDS),
+        help="workload to sweep",
+    )
+    p_sweep.add_argument(
+        "--families",
+        default="delaunay",
+        help="comma-separated planar families",
+    )
+    p_sweep.add_argument(
+        "--far-families",
+        default=None,
+        help="comma-separated far families (overrides --families)",
+    )
+    p_sweep.add_argument("--ns", default="256,512", help="comma-separated sizes")
+    p_sweep.add_argument(
+        "--epsilons", default="0.5,0.1", help="comma-separated epsilons"
+    )
+    p_sweep.add_argument("--seeds", default="0", help="comma-separated seeds")
+    p_sweep.add_argument(
+        "--deltas", default=None, help="comma-separated deltas (randomized kinds)"
+    )
+    p_sweep.add_argument(
+        "--methods", default=None, help="comma-separated methods (spanner/apps)"
+    )
+    p_sweep.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "process"),
+        help="execution backend",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=None, help="process-pool size"
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist results as JSON under this directory",
+    )
+    p_sweep.add_argument(
+        "--markdown", default=None, help="also write the table as markdown"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -27,6 +27,7 @@ from ..errors import (
 )
 from .message import bit_size, default_bandwidth_bits
 from .node import BROADCAST, NodeContext, NodeProgram
+from ..runtime.seeding import derive_seed
 
 ProgramFactory = Callable[[NodeContext], NodeProgram]
 
@@ -94,12 +95,17 @@ class CongestNetwork:
         self._neighbors: Dict[Any, tuple] = {
             v: tuple(sorted(graph.neighbors(v))) for v in graph.nodes()
         }
+        # Frozen membership sets for the delivery hot loop; rebuilding a
+        # set per delivered message dominated run() on dense graphs.
+        self._neighbor_sets: Dict[Any, frozenset] = {
+            v: frozenset(nbrs) for v, nbrs in self._neighbors.items()
+        }
 
     # -- helpers -------------------------------------------------------------
 
     def _node_rng(self, node: Any) -> random.Random:
         """Deterministic per-node RNG derived from the master seed."""
-        return random.Random((self.seed, repr(node)).__repr__())
+        return random.Random(derive_seed(self.seed, repr(node)))
 
     def make_programs(
         self,
@@ -168,9 +174,7 @@ class CongestNetwork:
                     )
                 outbox = self._expand_broadcast(node, outbox)
                 for target, payload in outbox.items():
-                    if target not in self._neighbors or target not in set(
-                        self._neighbors[node]
-                    ):
+                    if target not in self._neighbor_sets[node]:
                         raise ProtocolError(
                             f"node {node!r} attempted to message non-neighbor "
                             f"{target!r}"

@@ -1,0 +1,75 @@
+"""Parallel batch-execution engine with result caching.
+
+The runtime turns every computation in the repo -- planarity tests,
+partitions, spanners, application testers -- into a declarative,
+hashable :class:`JobSpec`, executes batches of them on pluggable
+backends (in-process or a chunked process pool), and memoizes records in
+a content-addressed cache keyed by graph fingerprint + config digest.
+
+Typical use::
+
+    from repro.runtime import JobSpec, ResultCache, run_jobs
+
+    specs = [
+        JobSpec.make("test_planarity", family="grid", n=n, epsilon=0.25)
+        for n in (128, 256, 512)
+    ]
+    cache = ResultCache()
+    batch = run_jobs(specs, backend="process", cache=cache)
+    for record in batch:
+        print(record["n"], record["rounds"])
+
+Grid sweeps (the benchmark/CLI entry point) layer on top::
+
+    from repro.runtime import SweepSpec, run_sweep
+
+    sweep = SweepSpec.make(
+        "test_planarity", families=["grid"], ns=[128, 256],
+        epsilon=[0.5, 0.25], seeds=[0, 1],
+    )
+    result = run_sweep(sweep, backend="serial", cache=cache)
+    result.to_table("rounds vs n").print()
+"""
+
+from .cache import (
+    CacheStats,
+    ResultCache,
+    cache_key,
+    config_digest,
+    graph_fingerprint,
+)
+from .executor import (
+    BACKENDS,
+    BatchResult,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    run_jobs,
+)
+from .jobs import JobSpec, Record, job_kinds, register_kind, run_job
+from .seeding import derive_rng, derive_seed
+from .sweeps import SweepResult, SweepSpec, run_sweep
+
+__all__ = [
+    "BACKENDS",
+    "BatchResult",
+    "CacheStats",
+    "JobSpec",
+    "ProcessPoolBackend",
+    "Record",
+    "ResultCache",
+    "SerialBackend",
+    "SweepResult",
+    "SweepSpec",
+    "cache_key",
+    "config_digest",
+    "derive_rng",
+    "derive_seed",
+    "graph_fingerprint",
+    "job_kinds",
+    "make_backend",
+    "register_kind",
+    "run_job",
+    "run_jobs",
+    "run_sweep",
+]

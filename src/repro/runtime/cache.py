@@ -1,0 +1,218 @@
+"""Content-addressed result cache for the batch runtime.
+
+Cache keys are ``sha256(kind || graph fingerprint || config digest)``:
+
+* the **graph fingerprint** hashes the canonical edge list of the actual
+  input graph (sorted nodes + sorted edges), so two specs that generate
+  the same graph share entries regardless of how they were phrased;
+* the **config digest** hashes the spec's canonical JSON minus the graph
+  coordinates, so any change to ``epsilon``, ``method``, sampling knobs,
+  or the algorithm seed invalidates the entry.
+
+Entries live in a bounded in-memory LRU; an optional on-disk JSON store
+(one file per entry, atomic rename writes) persists them across
+processes and CLI invocations.  Only flat primitive records (see
+:mod:`repro.runtime.jobs`) are stored, so JSON round-trips are lossless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import networkx as nx
+
+from .jobs import JobSpec, Record
+
+
+def graph_fingerprint(graph: nx.Graph) -> str:
+    """SHA-256 over the canonical node and edge lists of *graph*.
+
+    Nodes and edges are sorted by :func:`repr`; each undirected edge is
+    normalized so ``(u, v)`` and ``(v, u)`` fingerprint identically.
+    """
+    digest = hashlib.sha256()
+    for node in sorted(graph.nodes(), key=repr):
+        token = repr(node).encode("utf-8")
+        digest.update(b"n" + len(token).to_bytes(4, "big") + token)
+    edges = sorted(
+        tuple(sorted((u, v), key=repr)) for u, v in graph.edges()
+    )
+    for u, v in edges:
+        token = (repr(u) + "|" + repr(v)).encode("utf-8")
+        digest.update(b"e" + len(token).to_bytes(4, "big") + token)
+    return digest.hexdigest()
+
+
+def config_digest(spec: JobSpec) -> str:
+    """SHA-256 over the non-graph part of the spec: kind + seed + config.
+
+    The graph coordinates (family, n) are deliberately excluded -- the
+    graph's identity is the fingerprint's job.  The seed stays in: it
+    drives the algorithm's randomness, not just generation.
+    """
+    payload = json.dumps(
+        {
+            "kind": spec.kind,
+            "seed": spec.seed,
+            "config": [[k, repr(v)] for k, v in spec.config],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_key(spec: JobSpec, fingerprint: str) -> str:
+    """The content address of *spec* run on a graph with *fingerprint*."""
+    payload = f"{spec.kind}\x00{fingerprint}\x00{config_digest(spec)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """In-memory LRU over job records, with an optional JSON disk store.
+
+    Args:
+        max_entries: LRU capacity; oldest entries evict first.  The disk
+            store (when configured) is unbounded and re-warms the LRU on
+            hit.
+        disk_dir: directory for the persistent JSON store; created on
+            first write.  ``None`` keeps the cache memory-only.
+    """
+
+    max_entries: int = 4096
+    disk_dir: Optional[Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[str, Record]" = field(default_factory=OrderedDict)
+
+    def __post_init__(self):
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.json"
+
+    def lookup(self, key: str) -> Optional[Record]:
+        """Return the cached record for *key*, or ``None`` on a miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return dict(self._entries[key])
+        path = self._disk_path(key)
+        if path is not None and path.is_file():
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                record = None
+            if isinstance(record, dict):
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._remember(key, record)
+                return dict(record)
+        self.stats.misses += 1
+        return None
+
+    def store(self, key: str, record: Record) -> None:
+        """Insert *record* under *key* (memory, and disk when configured)."""
+        self.stats.stores += 1
+        self._remember(key, record)
+        path = self._disk_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic write: concurrent CLI runs must never read a torn file.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                # Insertion order is preserved through JSON, so tables
+                # rendered from disk hits keep the runner's column order.
+                json.dump(record, handle)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    def _remember(self, key: str, record: Record) -> None:
+        self._entries[key] = dict(record)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the in-memory entries (and the disk store when *disk*)."""
+        self._entries.clear()
+        if disk and self.disk_dir is not None and self.disk_dir.is_dir():
+            for path in self.disk_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+
+# Keys derived per spec in one batch: the graph fingerprint is memoized
+# on (family/far, n, seed) so a sweep over epsilon builds each graph once.
+class KeyDeriver:
+    """Computes cache keys for specs, memoizing fingerprints and graphs.
+
+    Built graphs are retained (for the lifetime of the deriver, i.e. one
+    batch) so in-process execution can reuse them instead of generating
+    each input a second time after fingerprinting.
+    """
+
+    def __init__(self):
+        self._fingerprints: Dict[Any, str] = {}
+        self._graphs: Dict[Any, nx.Graph] = {}
+
+    def _graph_id(self, spec: JobSpec) -> Any:
+        return (spec.far or f"planar/{spec.family}", spec.n, spec.seed)
+
+    def key_for(self, spec: JobSpec) -> str:
+        graph_id = self._graph_id(spec)
+        fingerprint = self._fingerprints.get(graph_id)
+        if fingerprint is None:
+            graph = spec.build_graph()
+            fingerprint = graph_fingerprint(graph)
+            self._fingerprints[graph_id] = fingerprint
+            self._graphs[graph_id] = graph
+        return cache_key(spec, fingerprint)
+
+    def graph_for(self, spec: JobSpec) -> Optional[nx.Graph]:
+        """The graph built while fingerprinting *spec*, if still held."""
+        return self._graphs.get(self._graph_id(spec))

@@ -1,0 +1,217 @@
+"""Pluggable batch-execution backends behind one ``run_jobs`` API.
+
+``run_jobs(specs)`` is the single entry point the CLI, the sweeps
+front-end, and the benchmarks use to execute work:
+
+1. every spec's cache key is derived (graph fingerprint + config
+   digest; fingerprints are memoized per graph within the batch);
+2. cache hits are answered immediately;
+3. the misses are dispatched to the chosen backend --
+   :class:`SerialBackend` runs them in-process, while
+   :class:`ProcessPoolBackend` fans them over a
+   :class:`concurrent.futures.ProcessPoolExecutor` with chunked
+   dispatch;
+4. fresh records are stored back and the full result list is returned
+   in the order of the input specs.
+
+Records are flat primitive dicts (see :mod:`repro.runtime.jobs`), so
+backends are interchangeable: the same batch yields byte-identical
+aggregates whether it ran serially or on a pool.  Per-job randomness is
+carried entirely by ``spec.seed`` (workers derive their streams via
+:mod:`repro.runtime.seeding`), never by process-global state.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .cache import CacheStats, KeyDeriver, ResultCache
+from .jobs import JobSpec, Record, run_job
+
+
+class SerialBackend:
+    """Runs every job in the calling process, one at a time."""
+
+    name = "serial"
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        graphs: Optional[Sequence] = None,
+    ) -> List[Record]:
+        if graphs is None:
+            return [run_job(spec) for spec in specs]
+        # Reuse graphs the caller already built (e.g. for fingerprinting).
+        return [run_job(spec, graph) for spec, graph in zip(specs, graphs)]
+
+
+class ProcessPoolBackend:
+    """Fans jobs over a process pool with chunked dispatch.
+
+    Args:
+        max_workers: pool size; defaults to ``os.cpu_count()`` capped at
+            the number of jobs.
+        chunksize: jobs handed to a worker per dispatch; ``None`` picks
+            ``ceil(len(jobs) / (4 * workers))`` so each worker sees a few
+            chunks (amortizing pickling) while keeping the tail balanced.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+    ):
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        graphs: Optional[Sequence] = None,
+    ) -> List[Record]:
+        # *graphs* is accepted for interface parity but ignored: workers
+        # regenerate inputs from the spec, which is cheaper than pickling
+        # whole graphs across the process boundary.
+        if not specs:
+            return []
+        # Lazy import: keep module import cheap and fork-safe contexts
+        # selectable by the caller's environment.
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = self.max_workers or min(len(specs), os.cpu_count() or 1)
+        workers = max(1, min(workers, len(specs)))
+        if workers == 1:
+            return SerialBackend().run(specs)
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, -(-len(specs) // (4 * workers)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() preserves input order, so cached and fresh records
+            # interleave deterministically regardless of worker timing.
+            return list(pool.map(run_job, specs, chunksize=chunksize))
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+}
+"""Backend registry used by the CLI's ``--backend`` flag."""
+
+
+def make_backend(name: str, **kwargs):
+    """Instantiate a backend by registry name."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :func:`run_jobs` call.
+
+    Attributes:
+        records: one record per input spec, in input order.
+        cache_stats: snapshot of this batch's hits/misses (hits are
+            lookups answered from the cache *in this call*).
+        backend: name of the backend that ran the misses.
+        executed: number of jobs actually executed (= misses).
+    """
+
+    records: List[Record]
+    cache_stats: CacheStats
+    backend: str
+    executed: int
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    backend=None,
+    cache: Optional[ResultCache] = None,
+) -> BatchResult:
+    """Execute *specs*, serving repeats from *cache*.
+
+    Args:
+        specs: job specs; duplicates within the batch are executed once.
+        backend: a backend instance or registry name; defaults to
+            :class:`SerialBackend`.
+        cache: a :class:`ResultCache`; ``None`` disables caching (every
+            spec executes).
+
+    Returns:
+        A :class:`BatchResult` with one record per spec, in input order.
+    """
+    if backend is None:
+        backend = SerialBackend()
+    elif isinstance(backend, str):
+        backend = make_backend(backend)
+
+    specs = list(specs)
+    batch_stats = CacheStats()
+    records: List[Optional[Record]] = [None] * len(specs)
+
+    if cache is None:
+        # No cache: still deduplicate identical specs within the batch.
+        unique: Dict[JobSpec, List[int]] = {}
+        for index, spec in enumerate(specs):
+            unique.setdefault(spec, []).append(index)
+        ordered = list(unique)
+        fresh = backend.run(ordered)
+        for spec, record in zip(ordered, fresh):
+            for index in unique[spec]:
+                records[index] = dict(record)
+        return BatchResult(
+            records=[r for r in records if r is not None],
+            cache_stats=batch_stats,
+            backend=getattr(backend, "name", type(backend).__name__),
+            executed=len(ordered),
+        )
+
+    deriver = KeyDeriver()
+    keys = [deriver.key_for(spec) for spec in specs]
+    miss_indices: List[int] = []
+    pending: Dict[str, List[int]] = {}
+    for index, (spec, key) in enumerate(zip(specs, keys)):
+        if key in pending:
+            # Duplicate within the batch: piggyback on the first miss.
+            pending[key].append(index)
+            batch_stats.hits += 1
+            continue
+        hit = cache.lookup(key)
+        if hit is not None:
+            records[index] = hit
+            batch_stats.hits += 1
+        else:
+            batch_stats.misses += 1
+            miss_indices.append(index)
+            pending[key] = [index]
+
+    miss_specs = [specs[i] for i in miss_indices]
+    fresh = backend.run(
+        miss_specs, graphs=[deriver.graph_for(spec) for spec in miss_specs]
+    )
+    for index, record in zip(miss_indices, fresh):
+        cache.store(keys[index], record)
+        batch_stats.stores += 1
+        for dup_index in pending[keys[index]]:
+            records[dup_index] = dict(record)
+
+    return BatchResult(
+        records=[r for r in records if r is not None],
+        cache_stats=batch_stats,
+        backend=getattr(backend, "name", type(backend).__name__),
+        executed=len(miss_indices),
+    )

@@ -1,0 +1,340 @@
+"""Declarative job specs for every unit of work in the repo.
+
+A :class:`JobSpec` names a *kind* of computation (planarity test,
+partition, spanner construction, application tester), the graph it runs
+on (family or far-family + size + seed), and a frozen configuration
+mapping.  Specs are hashable and canonically serializable, so they can
+be deduplicated, dispatched to process pools, and used as cache keys.
+
+Running a spec produces a *record*: a flat ``dict`` of primitives
+(numbers, strings, bools) in a deterministic key order.  Records are the
+only thing that crosses process boundaries or lands in the cache, which
+keeps both pickling and JSON persistence trivial and guarantees that the
+serial and process-pool backends produce byte-identical aggregates.
+
+New job kinds register with :func:`register_kind`; the registry maps the
+kind name to a module-level runner (module-level so it pickles), making
+the runtime extensible from application code without touching this file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..graphs.far_from_planar import make_far
+from ..graphs.generators import make_planar
+
+Record = Dict[str, Any]
+Runner = Callable[["JobSpec", nx.Graph], Record]
+
+_RUNNERS: Dict[str, Runner] = {}
+
+
+def register_kind(kind: str, runner: Runner) -> None:
+    """Register *runner* for *kind*; overwrites a previous registration."""
+    _RUNNERS[kind] = runner
+
+
+def job_kinds() -> Tuple[str, ...]:
+    """All registered job kinds, sorted."""
+    return tuple(sorted(_RUNNERS))
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert mappings/sequences to hashable tuples."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_freeze(v) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return tuple(items)
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work: ``kind`` applied to a generated graph.
+
+    Attributes:
+        kind: registered job kind (see :func:`job_kinds`).
+        family: planar family name (ignored when *far* is set).
+        far: far-from-planar family name, or ``None``.
+        n: requested graph size (generators may round).
+        seed: master seed for graph generation and algorithm randomness.
+        config: frozen ``(key, value)`` tuple of kind-specific knobs
+            (e.g. ``epsilon``, ``method``, ``delta``); build it with
+            :meth:`make`.
+    """
+
+    kind: str
+    family: str = "delaunay"
+    far: Optional[str] = None
+    n: int = 500
+    seed: int = 0
+    config: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def make(
+        cls,
+        kind: str,
+        family: str = "delaunay",
+        far: Optional[str] = None,
+        n: int = 500,
+        seed: int = 0,
+        **config: Any,
+    ) -> "JobSpec":
+        """Build a spec with *config* canonically frozen and sorted."""
+        if kind not in _RUNNERS:
+            raise ValueError(
+                f"unknown job kind {kind!r}; registered: {job_kinds()}"
+            )
+        return cls(
+            kind=kind,
+            family=family,
+            far=far,
+            n=n,
+            seed=seed,
+            config=_freeze(config),
+        )
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """The config as a plain dict."""
+        return {k: v for k, v in self.config}
+
+    @property
+    def graph_label(self) -> str:
+        """Human label for the generated graph."""
+        if self.far:
+            return f"far:{self.far}"
+        return f"planar:{self.family}"
+
+    def canonical(self) -> str:
+        """A canonical JSON encoding (the basis of the config digest)."""
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "family": self.family,
+                "far": self.far,
+                "n": self.n,
+                "seed": self.seed,
+                "config": [[k, repr(v)] for k, v in self.config],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def build_graph(self) -> nx.Graph:
+        """Generate the spec's input graph (deterministic in the spec)."""
+        if self.far:
+            graph, _farness = make_far(self.far, self.n, seed=self.seed)
+            return graph
+        return make_planar(self.family, self.n, seed=self.seed)
+
+
+def run_job(spec: JobSpec, graph: Optional[nx.Graph] = None) -> Record:
+    """Execute *spec* and return its flat record.
+
+    Module-level (and therefore picklable) so process-pool workers can
+    receive specs directly.  *graph* lets callers that already built the
+    input (e.g. the cache layer, which fingerprints it) avoid a second
+    generation.
+    """
+    try:
+        runner = _RUNNERS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown job kind {spec.kind!r}; registered: {job_kinds()}"
+        ) from None
+    if graph is None:
+        graph = spec.build_graph()
+    record: Record = {
+        "kind": spec.kind,
+        "graph": spec.graph_label,
+        "family": spec.far or spec.family,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "seed": spec.seed,
+    }
+    record.update(runner(spec, graph))
+    return record
+
+
+# -- builtin runners ---------------------------------------------------------
+
+
+def _run_test_planarity(spec: JobSpec, graph: nx.Graph) -> Record:
+    from ..testers.planarity import PlanarityTestConfig, test_planarity
+
+    params = spec.params
+    config = PlanarityTestConfig(
+        epsilon=params.get("epsilon", 0.1),
+        alpha=params.get("alpha", 3),
+        sample_constant=params.get("sample_constant", 2.0),
+        early_stop=params.get("early_stop", True),
+        charge_full_budget=params.get("charge_full_budget", True),
+        max_phases=params.get("max_phases"),
+        reject_on_embedding_failure=params.get(
+            "reject_on_embedding_failure", False
+        ),
+        collect_exact_violations=params.get("collect_exact_violations", False),
+    )
+    result = test_planarity(graph, seed=spec.seed, config=config)
+    return {
+        "epsilon": config.epsilon,
+        "accepted": result.accepted,
+        "rejected_stage": result.rejected_stage or "-",
+        "rejecting_parts": len(result.rejecting_parts),
+        "rounds": result.rounds,
+        "stage1_rounds": result.stage1_rounds,
+        "stage2_rounds": result.stage2_rounds,
+        "phases": len(result.stage1.phases),
+        "parts": result.stage1.partition.size,
+        "cut": result.stage1.partition.cut_size(),
+        "max_part_height": result.stage1.partition.max_height(),
+        "violating_exact": result.total_violating_exact,
+    }
+
+
+def _run_partition_stage1(spec: JobSpec, graph: nx.Graph) -> Record:
+    from ..partition.stage1 import partition_stage1
+
+    params = spec.params
+    result = partition_stage1(
+        graph,
+        epsilon=params.get("epsilon", 0.1),
+        alpha=params.get("alpha", 3),
+        target_cut=params.get("target_cut"),
+        max_phases=params.get("max_phases"),
+        early_stop=params.get("early_stop", True),
+        charge_full_budget=params.get("charge_full_budget", True),
+    )
+    return {
+        "epsilon": params.get("epsilon", 0.1),
+        "success": result.success,
+        "parts": result.partition.size,
+        "cut": result.partition.cut_size(),
+        "target_cut": result.target_cut,
+        "max_height": result.partition.max_height(),
+        "phases": len(result.phases),
+        "rounds": result.rounds,
+    }
+
+
+def _run_partition_randomized(spec: JobSpec, graph: nx.Graph) -> Record:
+    from ..partition.weighted_selection import partition_randomized
+
+    params = spec.params
+    result = partition_randomized(
+        graph,
+        epsilon=params.get("epsilon", 0.1),
+        delta=params.get("delta", 0.1),
+        alpha=params.get("alpha", 3),
+        target_cut=params.get("target_cut"),
+        trials=params.get("trials"),
+        max_phases=params.get("max_phases"),
+        early_stop=params.get("early_stop", True),
+        seed=spec.seed,
+        coloring=params.get("coloring", "cole-vishkin"),
+    )
+    return {
+        "epsilon": params.get("epsilon", 0.1),
+        "delta": result.delta,
+        "success": result.success,
+        "met_target": result.met_target,
+        "parts": result.partition.size,
+        "cut": result.partition.cut_size(),
+        "target_cut": result.target_cut,
+        "max_height": result.partition.max_height(),
+        "phases": len(result.phases),
+        "trials": result.trials,
+        "rounds": result.rounds,
+    }
+
+
+def _run_spanner(spec: JobSpec, graph: nx.Graph) -> Record:
+    from ..applications.spanner import build_spanner, measure_stretch
+
+    params = spec.params
+    result = build_spanner(
+        graph,
+        epsilon=params.get("epsilon", 0.1),
+        method=params.get("method", "deterministic"),
+        delta=params.get("delta", 0.1),
+        alpha=params.get("alpha", 3),
+        seed=spec.seed,
+    )
+    stretch = measure_stretch(
+        graph,
+        result.spanner,
+        sample_nodes=params.get("sample_nodes", 8),
+        seed=spec.seed,
+    )
+    n = graph.number_of_nodes()
+    return {
+        "epsilon": params.get("epsilon", 0.1),
+        "method": params.get("method", "deterministic"),
+        "spanner_edges": result.size,
+        "size_per_n": result.size / max(n, 1),
+        "tree_edges": result.tree_edges,
+        "connector_edges": result.connector_edges,
+        "measured_stretch": stretch,
+        "guaranteed_stretch": result.guaranteed_stretch,
+        "rounds": result.rounds,
+    }
+
+
+def _application_record(result, epsilon: float) -> Record:
+    return {
+        "epsilon": epsilon,
+        "accepted": result.accepted,
+        "rejecting_parts": len(result.rejecting_parts),
+        "partition_rounds": result.partition_rounds,
+        "verification_rounds": result.verification_rounds,
+        "rounds": result.rounds,
+    }
+
+
+def _run_cycle_freeness(spec: JobSpec, graph: nx.Graph) -> Record:
+    from ..testers.applications import test_cycle_freeness
+
+    params = spec.params
+    epsilon = params.get("epsilon", 0.1)
+    result = test_cycle_freeness(
+        graph,
+        epsilon=epsilon,
+        alpha=params.get("alpha", 3),
+        method=params.get("method", "deterministic"),
+        delta=params.get("delta", 0.1),
+        seed=spec.seed,
+    )
+    return _application_record(result, epsilon)
+
+
+def _run_bipartiteness(spec: JobSpec, graph: nx.Graph) -> Record:
+    from ..testers.applications import test_bipartiteness
+
+    params = spec.params
+    epsilon = params.get("epsilon", 0.1)
+    result = test_bipartiteness(
+        graph,
+        epsilon=epsilon,
+        alpha=params.get("alpha", 3),
+        method=params.get("method", "deterministic"),
+        delta=params.get("delta", 0.1),
+        seed=spec.seed,
+    )
+    return _application_record(result, epsilon)
+
+
+register_kind("test_planarity", _run_test_planarity)
+register_kind("partition_stage1", _run_partition_stage1)
+register_kind("partition_randomized", _run_partition_randomized)
+register_kind("spanner", _run_spanner)
+register_kind("cycle_freeness", _run_cycle_freeness)
+register_kind("bipartiteness", _run_bipartiteness)

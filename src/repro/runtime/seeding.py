@@ -1,0 +1,75 @@
+"""Deterministic seed derivation shared by the simulator and the runtime.
+
+Historically per-node RNGs were seeded with ad-hoc tuple reprs such as
+``(self.seed, repr(node)).__repr__()``, which ties reproducibility to the
+exact formatting of :func:`repr` and to Python's string hashing.  The
+helpers here derive integer seeds through SHA-256 over a canonical,
+length-prefixed encoding of the seed components, so
+
+* the same components always yield the same seed, on every Python
+  version and platform, and
+* distinct component tuples yield independent streams (no accidental
+  collisions such as ``("a", "bc")`` vs ``("ab", "c")``).
+
+Used by :meth:`repro.congest.network.CongestNetwork._node_rng`,
+:func:`repro.testers.planarity.stage2_over_partition`, and the
+:mod:`repro.runtime` executor's per-job seeding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any
+
+_SEED_BITS = 64
+
+
+def _canonical_token(part: Any) -> bytes:
+    """A type-tagged byte encoding of one seed component.
+
+    Primitives get explicit tags so that e.g. ``1``, ``1.0``, ``True``
+    and ``"1"`` all produce distinct tokens; everything else falls back
+    to its :func:`repr`, which must therefore be stable for the caller's
+    own types (node ids in this repo are ints, strs, or tuples of those).
+    """
+    if part is None:
+        return b"none:"
+    if isinstance(part, bool):
+        return b"bool:" + (b"1" if part else b"0")
+    if isinstance(part, int):
+        return b"int:" + str(part).encode("ascii")
+    if isinstance(part, float):
+        return b"float:" + part.hex().encode("ascii")
+    if isinstance(part, str):
+        return b"str:" + part.encode("utf-8")
+    if isinstance(part, bytes):
+        return b"bytes:" + part
+    if isinstance(part, (tuple, list)):
+        inner = b"".join(
+            len(tok).to_bytes(4, "big") + tok
+            for tok in (_canonical_token(p) for p in part)
+        )
+        return b"seq:" + inner
+    return b"repr:" + repr(part).encode("utf-8")
+
+
+def derive_seed(*parts: Any) -> int:
+    """Derive a 64-bit integer seed from *parts* via SHA-256.
+
+    >>> derive_seed(0, "stage2") == derive_seed(0, "stage2")
+    True
+    >>> derive_seed(0, "stage2") != derive_seed(1, "stage2")
+    True
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        token = _canonical_token(part)
+        digest.update(len(token).to_bytes(4, "big"))
+        digest.update(token)
+    return int.from_bytes(digest.digest()[: _SEED_BITS // 8], "big")
+
+
+def derive_rng(*parts: Any) -> random.Random:
+    """A :class:`random.Random` seeded with :func:`derive_seed`."""
+    return random.Random(derive_seed(*parts))

@@ -1,0 +1,184 @@
+"""Parameter-grid sweeps over the batch runtime.
+
+A :class:`SweepSpec` is a cartesian grid: one job *kind*, plus lists of
+graph coordinates (families or far families, sizes, seeds) and
+kind-specific parameters (epsilons, methods, ...).  ``expand()`` unrolls
+the grid into :class:`~repro.runtime.jobs.JobSpec` objects in a
+deterministic order; :func:`run_sweep` executes them on any backend and
+wraps the records in a :class:`SweepResult` that renders
+:class:`~repro.analysis.tables.Table` views and summary statistics.
+
+This is the layer the benchmarks (E01/E03/E04) and the CLI's ``sweep``
+subcommand sit on; anything that used to hand-roll nested ``for`` loops
+over ``make_planar`` + ``test_planarity`` goes through here instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import Table
+from .cache import ResultCache
+from .executor import BatchResult, run_jobs
+from .jobs import JobSpec, Record
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A cartesian parameter grid for one job kind.
+
+    Attributes:
+        kind: registered job kind.
+        families: planar families to sweep (ignored for far jobs when
+            *fars* is non-empty).
+        fars: far-from-planar families to sweep; when non-empty these
+            are swept *instead of* ``families``.
+        ns: graph sizes.
+        seeds: master seeds.
+        params: mapping from config knob to the list of values to sweep
+            (e.g. ``{"epsilon": [0.5, 0.1]}``); scalars are promoted to
+            one-element lists.
+    """
+
+    kind: str
+    families: Tuple[str, ...] = ("delaunay",)
+    fars: Tuple[str, ...] = ()
+    ns: Tuple[int, ...] = (500,)
+    seeds: Tuple[int, ...] = (0,)
+    params: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        kind: str,
+        families: Sequence[str] = ("delaunay",),
+        fars: Sequence[str] = (),
+        ns: Sequence[int] = (500,),
+        seeds: Sequence[int] = (0,),
+        **params: Any,
+    ) -> "SweepSpec":
+        """Build a spec; scalar *params* values become singleton axes."""
+        axes = tuple(
+            (key, tuple(value) if isinstance(value, (list, tuple)) else (value,))
+            for key, value in sorted(params.items())
+        )
+        return cls(
+            kind=kind,
+            families=tuple(families),
+            fars=tuple(fars),
+            ns=tuple(int(n) for n in ns),
+            seeds=tuple(int(s) for s in seeds),
+            params=axes,
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of jobs the grid expands to."""
+        graphs = len(self.fars) or len(self.families)
+        total = graphs * len(self.ns) * len(self.seeds)
+        for _key, values in self.params:
+            total *= len(values)
+        return total
+
+    def expand(self) -> List[JobSpec]:
+        """Unroll the grid into job specs (deterministic order).
+
+        Axis order is graphs (outermost), then n, then each param axis
+        in sorted-key order, then seeds (innermost) -- so repeated-trial
+        seeds for one configuration are adjacent, which keeps chunked
+        process-pool dispatch cache-friendly.
+        """
+        graph_axis: List[Tuple[Optional[str], Optional[str]]]
+        if self.fars:
+            graph_axis = [(None, far) for far in self.fars]
+        else:
+            graph_axis = [(family, None) for family in self.families]
+        param_keys = [key for key, _values in self.params]
+        param_values = [values for _key, values in self.params]
+        specs: List[JobSpec] = []
+        for (family, far), n in itertools.product(graph_axis, self.ns):
+            for combo in itertools.product(*param_values):
+                config = dict(zip(param_keys, combo))
+                for seed in self.seeds:
+                    specs.append(
+                        JobSpec.make(
+                            self.kind,
+                            family=family or "delaunay",
+                            far=far,
+                            n=n,
+                            seed=seed,
+                            **config,
+                        )
+                    )
+        return specs
+
+
+@dataclass
+class SweepResult:
+    """Records of one executed sweep plus aggregation helpers."""
+
+    spec: SweepSpec
+    batch: BatchResult
+    records: List[Record] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.records:
+            self.records = list(self.batch.records)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one record field, in record order."""
+        return [record.get(name) for record in self.records]
+
+    def to_table(
+        self,
+        title: str,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Table:
+        """Render the records as an :class:`analysis.tables.Table`.
+
+        Args:
+            title: table title.
+            columns: record fields to show; defaults to the union of the
+                record keys in first-seen order.
+        """
+        if columns is None:
+            columns = []
+            for record in self.records:
+                for key in record:
+                    if key not in columns:
+                        columns.append(key)
+        table = Table(title, list(columns))
+        for record in self.records:
+            table.add_row(*(record.get(col, "-") for col in columns))
+        return table
+
+    def summary(self) -> Dict[str, Any]:
+        """Batch-level summary: counts, acceptance, round aggregates."""
+        rounds = [r for r in self.column("rounds") if isinstance(r, (int, float))]
+        accepted = [a for a in self.column("accepted") if isinstance(a, bool)]
+        summary: Dict[str, Any] = {
+            "jobs": len(self.records),
+            "executed": self.batch.executed,
+            "cache_hits": self.batch.cache_stats.hits,
+            "cache_hit_rate": self.batch.cache_stats.hit_rate,
+            "backend": self.batch.backend,
+        }
+        if rounds:
+            summary["rounds_min"] = min(rounds)
+            summary["rounds_max"] = max(rounds)
+            summary["rounds_mean"] = sum(rounds) / len(rounds)
+        if accepted:
+            summary["accept_rate"] = sum(accepted) / len(accepted)
+        return summary
+
+
+def run_sweep(
+    spec: SweepSpec,
+    backend=None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
+    """Expand *spec* and execute it via :func:`repro.runtime.run_jobs`."""
+    batch = run_jobs(spec.expand(), backend=backend, cache=cache)
+    return SweepResult(spec=spec, batch=batch)

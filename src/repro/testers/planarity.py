@@ -18,7 +18,6 @@ edges).  Guarantees reproduced:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -27,6 +26,7 @@ import networkx as nx
 from ..congest.ledger import RoundLedger, TreeCostModel
 from ..graphs.utils import require_simple
 from ..partition.stage1 import partition_stage1
+from ..runtime.seeding import derive_rng
 from .results import PlanarityTestResult
 from .stage2 import Stage2Config, test_part
 
@@ -89,7 +89,7 @@ def stage2_over_partition(
     max_part_rounds = 0
     for pid in sorted(partition.parts, key=repr):
         part = partition.parts[pid]
-        rng = random.Random(repr((seed, repr(pid), "stage2")))
+        rng = derive_rng(seed, repr(pid), "stage2")
         verdict = test_part(
             graph,
             part,

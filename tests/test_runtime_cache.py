@@ -1,0 +1,94 @@
+"""Content-addressed result cache (repro.runtime.cache)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.runtime import JobSpec, ResultCache, graph_fingerprint
+from repro.runtime.cache import KeyDeriver, cache_key, config_digest
+
+
+def test_fingerprint_ignores_edge_orientation_and_order():
+    a = nx.Graph([(0, 1), (1, 2), (2, 3)])
+    b = nx.Graph([(3, 2), (2, 1), (1, 0)])
+    assert graph_fingerprint(a) == graph_fingerprint(b)
+
+
+def test_fingerprint_sees_structure():
+    path = nx.path_graph(4)
+    cycle = nx.cycle_graph(4)
+    assert graph_fingerprint(path) != graph_fingerprint(cycle)
+    isolated = nx.Graph([(0, 1), (1, 2), (2, 3)])
+    isolated.add_node(99)
+    assert graph_fingerprint(path) != graph_fingerprint(isolated)
+
+
+def test_cache_hit_miss_semantics():
+    cache = ResultCache()
+    assert cache.lookup("k") is None
+    assert cache.stats.misses == 1
+    cache.store("k", {"rounds": 3})
+    assert cache.lookup("k") == {"rounds": 3}
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_config_change_invalidates_key():
+    deriver = KeyDeriver()
+    a = deriver.key_for(JobSpec.make("test_planarity", family="grid", n=36,
+                                     epsilon=0.5))
+    b = deriver.key_for(JobSpec.make("test_planarity", family="grid", n=36,
+                                     epsilon=0.25))
+    c = deriver.key_for(JobSpec.make("partition_stage1", family="grid", n=36,
+                                     epsilon=0.5))
+    assert len({a, b, c}) == 3
+
+
+def test_same_graph_different_phrasing_shares_fingerprint():
+    spec = JobSpec.make("test_planarity", family="grid", n=36, epsilon=0.5)
+    fingerprint = graph_fingerprint(spec.build_graph())
+    # The key is the same however the graph was obtained, as long as the
+    # structure and the non-graph config agree.
+    assert cache_key(spec, fingerprint) == cache_key(spec, fingerprint)
+    assert config_digest(spec) == config_digest(
+        JobSpec.make("test_planarity", family="tri-grid", n=100, epsilon=0.5)
+    )
+
+
+def test_lru_eviction():
+    cache = ResultCache(max_entries=2)
+    cache.store("a", {"v": 1})
+    cache.store("b", {"v": 2})
+    cache.store("c", {"v": 3})
+    assert cache.stats.evictions == 1
+    assert cache.lookup("a") is None  # oldest evicted
+    assert cache.lookup("b") == {"v": 2}
+    assert cache.lookup("c") == {"v": 3}
+    # The lookups above touched "b" then "c", so "b" is now the LRU
+    # entry and the next insert evicts it.
+    cache.store("d", {"v": 4})
+    assert cache.lookup("b") is None
+    assert cache.lookup("c") == {"v": 3}
+
+
+def test_disk_store_round_trip(tmp_path):
+    first = ResultCache(disk_dir=tmp_path / "store")
+    first.store("key1", {"rounds": 7, "accepted": True})
+    # A brand-new cache instance (fresh process in real life) re-reads
+    # the JSON store.
+    second = ResultCache(disk_dir=tmp_path / "store")
+    assert second.lookup("key1") == {"rounds": 7, "accepted": True}
+    assert second.stats.disk_hits == 1
+    # Corrupt files degrade to a miss, not a crash.
+    (tmp_path / "store" / "bad.json").write_text("{not json")
+    assert second.lookup("bad") is None
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path / "store")
+    cache.store("k", {"v": 1})
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.lookup("k") == {"v": 1}  # still on disk
+    cache.clear(disk=True)
+    assert cache.lookup("k") is None

@@ -1,0 +1,110 @@
+"""Execution backends and run_jobs (repro.runtime.executor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    JobSpec,
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    make_backend,
+    run_jobs,
+)
+
+SMALL_SPECS = [
+    JobSpec.make("test_planarity", family="grid", n=36, seed=seed,
+                 epsilon=epsilon)
+    for seed in (0, 1)
+    for epsilon in (0.5, 0.25)
+]
+
+
+def test_make_backend_registry():
+    assert isinstance(make_backend("serial"), SerialBackend)
+    assert isinstance(make_backend("process", max_workers=2), ProcessPoolBackend)
+    with pytest.raises(ValueError, match="unknown backend"):
+        make_backend("quantum")
+
+
+def test_run_jobs_preserves_order():
+    batch = run_jobs(SMALL_SPECS, backend=SerialBackend())
+    assert len(batch) == len(SMALL_SPECS)
+    for spec, record in zip(SMALL_SPECS, batch):
+        assert record["seed"] == spec.seed
+        assert record["epsilon"] == spec.params["epsilon"]
+
+
+def test_serial_and_process_results_identical():
+    serial = run_jobs(SMALL_SPECS, backend=SerialBackend())
+    pooled = run_jobs(SMALL_SPECS, backend=ProcessPoolBackend(max_workers=2))
+    assert serial.records == pooled.records
+
+
+def test_cache_repeat_hit_rate():
+    cache = ResultCache()
+    first = run_jobs(SMALL_SPECS, cache=cache)
+    assert first.cache_stats.hit_rate == 0.0
+    assert first.executed == len(SMALL_SPECS)
+    second = run_jobs(SMALL_SPECS, cache=cache)
+    assert second.cache_stats.hit_rate >= 0.9  # acceptance criterion
+    assert second.executed == 0
+    assert second.records == first.records
+
+
+def test_duplicate_specs_execute_once():
+    cache = ResultCache()
+    specs = [SMALL_SPECS[0]] * 5
+    batch = run_jobs(specs, cache=cache)
+    assert batch.executed == 1
+    assert len(batch) == 5
+    assert all(record == batch.records[0] for record in batch.records)
+
+
+def test_duplicates_deduplicated_without_cache():
+    specs = [SMALL_SPECS[0]] * 3 + [SMALL_SPECS[1]]
+    batch = run_jobs(specs)
+    assert batch.executed == 2
+    assert len(batch) == 4
+
+
+def test_disk_cache_survives_new_run(tmp_path):
+    specs = SMALL_SPECS[:2]
+    run_jobs(specs, cache=ResultCache(disk_dir=tmp_path / "c"))
+    rerun = run_jobs(specs, cache=ResultCache(disk_dir=tmp_path / "c"))
+    assert rerun.executed == 0
+    assert rerun.cache_stats.hit_rate == 1.0
+
+
+def test_pool_falls_back_to_serial_for_one_worker():
+    batch = run_jobs(SMALL_SPECS[:1], backend=ProcessPoolBackend(max_workers=1))
+    assert len(batch) == 1
+
+
+def test_cached_serial_path_builds_each_graph_once(monkeypatch):
+    # Fingerprinting builds the graph; the serial backend must reuse it
+    # rather than regenerating per miss.
+    import repro.runtime.jobs as jobs_mod
+
+    calls = {"count": 0}
+    real_make_planar = jobs_mod.make_planar
+
+    def counting(*args, **kwargs):
+        calls["count"] += 1
+        return real_make_planar(*args, **kwargs)
+
+    monkeypatch.setattr(jobs_mod, "make_planar", counting)
+    specs = [
+        JobSpec.make("test_planarity", family="grid", n=36, epsilon=epsilon)
+        for epsilon in (0.5, 0.25, 0.1)
+    ]
+    batch = run_jobs(specs, backend=SerialBackend(), cache=ResultCache())
+    assert batch.executed == 3
+    assert calls["count"] == 1  # one shared graph, built exactly once
+
+
+def test_empty_batch():
+    batch = run_jobs([], backend=ProcessPoolBackend())
+    assert batch.records == []
+    assert batch.executed == 0

@@ -1,0 +1,95 @@
+"""Job specs and runners (repro.runtime.jobs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import JobSpec, job_kinds, run_job
+from repro.runtime.cache import config_digest
+
+
+def test_spec_hashing_is_stable():
+    a = JobSpec.make("test_planarity", family="grid", n=64, epsilon=0.5)
+    b = JobSpec.make("test_planarity", family="grid", n=64, epsilon=0.5)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a.canonical() == b.canonical()
+
+
+def test_config_kwarg_order_is_irrelevant():
+    a = JobSpec.make("test_planarity", n=64, epsilon=0.5, alpha=3)
+    b = JobSpec.make("test_planarity", n=64, alpha=3, epsilon=0.5)
+    assert a == b
+    assert config_digest(a) == config_digest(b)
+
+
+def test_config_changes_change_identity():
+    base = JobSpec.make("test_planarity", n=64, epsilon=0.5)
+    assert base != JobSpec.make("test_planarity", n=64, epsilon=0.25)
+    assert base != JobSpec.make("test_planarity", n=64, epsilon=0.5, seed=1)
+    assert config_digest(base) != config_digest(
+        JobSpec.make("test_planarity", n=64, epsilon=0.25)
+    )
+
+
+def test_builtin_kinds_registered():
+    kinds = job_kinds()
+    for kind in (
+        "test_planarity",
+        "partition_stage1",
+        "partition_randomized",
+        "spanner",
+        "cycle_freeness",
+        "bipartiteness",
+    ):
+        assert kind in kinds
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown job kind"):
+        JobSpec.make("nope")
+    with pytest.raises(ValueError, match="unknown job kind"):
+        run_job(JobSpec(kind="nope"))
+
+
+def test_run_job_planarity_record():
+    spec = JobSpec.make("test_planarity", family="grid", n=36, epsilon=0.5)
+    record = run_job(spec)
+    assert record["kind"] == "test_planarity"
+    assert record["accepted"] is True
+    assert record["n"] == 36
+    assert record["rounds"] == record["stage1_rounds"] + record["stage2_rounds"]
+    # Records must be flat JSON-serializable primitives.
+    import json
+
+    assert json.loads(json.dumps(record)) == record
+
+
+def test_run_job_is_deterministic():
+    spec = JobSpec.make("partition_randomized", family="grid", n=36,
+                        epsilon=0.5, delta=0.2, seed=3)
+    assert run_job(spec) == run_job(spec)
+
+
+def test_run_job_far_family():
+    spec = JobSpec.make("test_planarity", far="planted-k5", n=80,
+                        epsilon=0.1, collect_exact_violations=True)
+    record = run_job(spec)
+    assert record["graph"] == "far:planted-k5"
+    assert record["family"] == "planted-k5"
+
+
+def test_run_job_spanner_record():
+    spec = JobSpec.make("spanner", family="grid", n=36, epsilon=0.5)
+    record = run_job(spec)
+    assert record["spanner_edges"] >= record["n"] - 1
+    assert record["measured_stretch"] >= 1.0
+
+
+def test_run_job_applications():
+    cycle = run_job(JobSpec.make("cycle_freeness", family="tree", n=40,
+                                 epsilon=0.5))
+    assert cycle["accepted"] is True
+    bip = run_job(JobSpec.make("bipartiteness", family="grid", n=36,
+                               epsilon=0.5))
+    assert bip["accepted"] is True

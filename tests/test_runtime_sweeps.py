@@ -1,0 +1,98 @@
+"""Grid sweeps and table aggregation (repro.runtime.sweeps)."""
+
+from __future__ import annotations
+
+from repro.runtime import (
+    ProcessPoolBackend,
+    ResultCache,
+    SerialBackend,
+    SweepSpec,
+    run_sweep,
+)
+
+
+def test_cli_axis_parsing_strips_whitespace():
+    from repro.cli import _parse_axis
+
+    assert _parse_axis("grid, delaunay", str) == ["grid", "delaunay"]
+    assert _parse_axis(" 64,128 ,256", int) == [64, 128, 256]
+    assert _parse_axis("0.5, 0.1", float) == [0.5, 0.1]
+
+
+def _small_sweep() -> SweepSpec:
+    return SweepSpec.make(
+        "test_planarity",
+        families=["grid", "tree"],
+        ns=[36],
+        seeds=[0, 1],
+        epsilon=[0.5, 0.25],
+    )
+
+
+def test_expand_size_and_order():
+    sweep = _small_sweep()
+    specs = sweep.expand()
+    assert len(specs) == sweep.size == 2 * 1 * 2 * 2
+    # graphs outermost, seeds innermost
+    assert [s.family for s in specs[:4]] == ["grid"] * 4
+    assert [s.seed for s in specs[:4]] == [0, 1, 0, 1]
+    assert specs[0].params["epsilon"] == 0.5
+    assert specs[2].params["epsilon"] == 0.25
+
+
+def test_scalar_params_promoted():
+    sweep = SweepSpec.make("test_planarity", ns=[36], epsilon=0.5)
+    assert sweep.size == 1
+    assert sweep.expand()[0].params["epsilon"] == 0.5
+
+
+def test_far_axis_overrides_families():
+    sweep = SweepSpec.make(
+        "test_planarity", families=["grid"], fars=["planted-k5"],
+        ns=[80], epsilon=0.1,
+    )
+    specs = sweep.expand()
+    assert len(specs) == 1
+    assert specs[0].far == "planted-k5"
+
+
+def test_sweep_tables_identical_across_backends():
+    sweep = _small_sweep()
+    serial = run_sweep(sweep, backend=SerialBackend())
+    pooled = run_sweep(sweep, backend=ProcessPoolBackend(max_workers=2))
+    title = "backend equivalence"
+    assert (
+        serial.to_table(title).render() == pooled.to_table(title).render()
+    )
+    assert (
+        serial.to_table(title).to_markdown()
+        == pooled.to_table(title).to_markdown()
+    )
+
+
+def test_sweep_summary_and_cache():
+    cache = ResultCache()
+    sweep = _small_sweep()
+    first = run_sweep(sweep, cache=cache)
+    summary = first.summary()
+    assert summary["jobs"] == sweep.size
+    assert summary["executed"] == sweep.size
+    assert summary["accept_rate"] == 1.0
+    assert summary["rounds_min"] <= summary["rounds_mean"] <= summary["rounds_max"]
+    second = run_sweep(sweep, cache=cache)
+    assert second.summary()["cache_hit_rate"] >= 0.9
+    assert second.summary()["executed"] == 0
+
+
+def test_to_table_column_selection():
+    result = run_sweep(
+        SweepSpec.make("test_planarity", families=["grid"], ns=[36],
+                       epsilon=0.5)
+    )
+    table = result.to_table("cols", columns=["family", "n", "rounds"])
+    assert table.headers == ["family", "n", "rounds"]
+    assert len(table.rows) == 1
+    # default columns: union of record keys in first-seen order
+    auto = result.to_table("auto")
+    assert auto.headers[0] == "kind"
+    assert "rounds" in auto.headers
