@@ -3,16 +3,22 @@
 Claim reproduced: "the algorithm runs in O(poly(1/eps) log n) rounds, the
 diameter of each part is poly(1/eps), and if G is minor-free, then the
 total number of edges between parts is at most eps*n".
+
+The family x epsilon grid executes as a :class:`SweepSpec` on the
+:mod:`repro.runtime` engine (``REPRO_BENCH_BACKEND=process``
+parallelizes it); the ``target_cut="eps*n"`` knob lets each job resolve
+its cut target against the *actual* generated size, which family
+generators may round.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import quick_mode, save_table
-from repro.analysis.tables import Table
+from _harness import bench_backend, bench_cache, quick_mode, save_table
 from repro.graphs import make_planar
 from repro.partition import partition_stage1
+from repro.runtime import SweepSpec, run_sweep
 
 FAMILIES = ("grid", "tri-grid", "apollonian", "delaunay", "outerplanar")
 EPSILONS = (0.4, 0.2, 0.1)
@@ -21,34 +27,42 @@ N = 300 if quick_mode() else 600
 
 @pytest.fixture(scope="module")
 def partition_table():
-    table = Table(
-        f"E5: Theorem 3 partition quality (n={N}, target = eps*n)",
-        ["family", "epsilon", "parts", "cut", "target eps*n",
-         "max diameter", "max height", "phases", "rounds"],
+    sweep = SweepSpec.make(
+        "partition_stage1",
+        families=FAMILIES,
+        ns=(N,),
+        seeds=(0,),
+        epsilon=list(EPSILONS),
+        target_cut="eps*n",
     )
+    result = run_sweep(sweep, backend=bench_backend(), cache=bench_cache())
+
     rows = []
-    for family in FAMILIES:
-        graph = make_planar(family, N, seed=0)
-        n = graph.number_of_nodes()
-        for epsilon in EPSILONS:
-            result = partition_stage1(
-                graph, epsilon=epsilon, target_cut=epsilon * n
+    for record in result.records:
+        assert record["success"], record["family"]
+        rows.append(
+            (
+                record["family"],
+                record["epsilon"],
+                record["cut"],
+                record["target_cut"],
+                record["max_diameter"],
             )
-            assert result.success, family
-            cut = result.partition.cut_size()
-            diam = result.partition.max_diameter()
-            rows.append((family, epsilon, cut, epsilon * n, diam))
-            table.add_row(
-                family,
-                epsilon,
-                result.partition.size,
-                cut,
-                epsilon * n,
-                diam,
-                result.partition.max_height(),
-                len(result.phases),
-                result.rounds,
-            )
+        )
+    table = result.to_table(
+        f"E5: Theorem 3 partition quality (n={N}, target = eps*n)",
+        columns=[
+            "family",
+            "epsilon",
+            "parts",
+            "cut",
+            "target_cut",
+            "max_diameter",
+            "max_height",
+            "phases",
+            "rounds",
+        ],
+    )
     save_table(table, "e05_partition.md")
     return rows
 

@@ -67,7 +67,7 @@ def substrate_table():
     families = ("grid", "delaunay", "apollonian", "tri-grid")
     for family in families:
         graph = make_planar(family, 150, seed=1)
-        sim = run_forest_decomposition_simulated(graph, alpha=3)
+        sim = run_forest_decomposition_simulated(graph, alpha=3, seed=0)
         emu = forest_decomposition_emulated(
             AuxiliaryGraph(Partition.singletons(graph)), alpha=3
         )
@@ -81,7 +81,7 @@ def substrate_table():
     # simulated vs emulated Cole-Vishkin
     graph = nx.path_graph(120)
     parents = {i: i - 1 if i > 0 else None for i in graph.nodes()}
-    sim_colors, sim_rounds = cole_vishkin_coloring(graph, parents)
+    sim_colors, sim_rounds = cole_vishkin_coloring(graph, parents, seed=0)
     emu_colors, emu_super = cole_vishkin_emulated(parents)
     cv_same = sim_colors == emu_colors
     table.add_row("CV simulated == emulated", 1, int(cv_same),
@@ -89,7 +89,7 @@ def substrate_table():
 
     # bandwidth audit of the BFS protocol
     graph = make_planar("delaunay", 200, seed=2)
-    network = CongestNetwork(graph)
+    network = CongestNetwork(graph, seed=0)
     result = network.run(
         BFSTreeProgram,
         max_rounds=graph.number_of_nodes(),

@@ -1,0 +1,143 @@
+"""E15 -- simulator throughput: compiled topologies + instrumentation profiles.
+
+Claim reproduced (engineering, not paper): the two-tier simulator core
+makes the CONGEST delivery loop fast enough that instrumentation, not
+the scheduler, is the knob.  On dense graphs (n >= 500) the ``fast``
+profile -- elided validation, memoized bit accounting, O(1) broadcast
+charging -- must beat the ``faithful`` profile by >= 3x while producing
+byte-identical outputs, rounds, and message/bit totals.
+
+The sweep half of the table runs the same workload through the
+:mod:`repro.runtime` engine and asserts the topology-reuse path: all
+trials of one graph share a single compiled topology.
+"""
+
+from __future__ import annotations
+
+import time
+
+import networkx as nx
+
+from _harness import quick_mode, save_table
+from repro.analysis.tables import Table
+from repro.congest import (
+    CongestNetwork,
+    compile_topology,
+    reset_topology_stats,
+    topology_stats,
+)
+from repro.congest.programs import BroadcastStormProgram
+from repro.runtime import JobSpec, ResultCache, SerialBackend, run_jobs
+import pytest
+
+N = 500
+EDGE_PROB = 0.08  # ~20k directed deliveries per round at n=500
+STORM_ROUNDS = 6 if quick_mode() else 12
+REPEATS = 2 if quick_mode() else 3
+
+
+def _storm(network: CongestNetwork, profile: str):
+    return network.run(
+        BroadcastStormProgram,
+        max_rounds=STORM_ROUNDS + 2,
+        config={"storm_rounds": STORM_ROUNDS},
+        profile=profile,
+    )
+
+
+def _time_profile(network: CongestNetwork, profile: str):
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = _storm(network, profile)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def throughput_table():
+    graph = nx.gnp_random_graph(N, EDGE_PROB, seed=0)
+    compile_topology(graph)  # pre-compile so timings cover delivery only
+    network = CongestNetwork(graph, seed=0)
+
+    faithful_time, faithful = _time_profile(network, "faithful")
+    fast_time, fast = _time_profile(network, "fast")
+    speedup = faithful_time / fast_time
+
+    table = Table(
+        f"E15: simulator throughput on G(n={N}, p={EDGE_PROB}), "
+        f"{STORM_ROUNDS} storm rounds",
+        ["profile", "rounds", "messages", "Mbit", "wall s", "msgs/s", "speedup"],
+    )
+    for name, seconds, result in (
+        ("faithful", faithful_time, faithful),
+        ("fast", fast_time, fast),
+    ):
+        table.add_row(
+            name,
+            result.rounds,
+            result.total_messages,
+            round(result.total_bits / 1e6, 2),
+            round(seconds, 4),
+            int(result.total_messages / seconds),
+            round(faithful_time / seconds, 2),
+        )
+
+    # Topology-reuse half: replay trials through the runtime engine and
+    # count compilations.
+    reset_topology_stats()
+    specs = [
+        JobSpec.make(
+            "simulate_program",
+            family="delaunay",
+            n=256,
+            seed=0,
+            program="storm",
+            profile="fast",
+            storm_rounds=STORM_ROUNDS,
+            trial=trial,
+        )
+        for trial in range(4)
+    ]
+    batch = run_jobs(specs, backend=SerialBackend(), cache=ResultCache())
+    compiled = topology_stats().compiled
+    table.add_row(
+        "sweep (4 trials)",
+        batch.records[0]["rounds"],
+        sum(r["messages"] for r in batch.records),
+        round(sum(r["bits"] for r in batch.records) / 1e6, 2),
+        "-",
+        "-",
+        f"{compiled} topology compile",
+    )
+
+    save_table(table, "e15_simulator_throughput.md")
+    return speedup, faithful, fast, compiled, batch
+
+
+def test_fast_profile_at_least_3x(throughput_table):
+    speedup, _faithful, _fast, _compiled, _batch = throughput_table
+    assert speedup >= 3.0, f"fast profile speedup only {speedup:.2f}x"
+
+
+def test_profiles_agree_exactly(throughput_table):
+    _speedup, faithful, fast, _compiled, _batch = throughput_table
+    assert faithful.outputs == fast.outputs
+    assert faithful.rounds == fast.rounds
+    assert faithful.halted == fast.halted
+    assert faithful.total_messages == fast.total_messages
+    assert faithful.total_bits == fast.total_bits
+
+
+def test_sweep_compiles_topology_once(throughput_table):
+    _speedup, _faithful, _fast, compiled, batch = throughput_table
+    assert compiled == 1
+    assert batch.executed == 4
+
+
+def test_benchmark_fast_profile_storm(benchmark, throughput_table):
+    graph = nx.gnp_random_graph(N, EDGE_PROB, seed=0)
+    network = CongestNetwork(graph, seed=0)
+    result = benchmark(lambda: _storm(network, "fast"))
+    assert result.halted

@@ -2,13 +2,17 @@
 
 Shows the substrate directly: running genuinely distributed protocols
 (BFS, Barenboim-Elkin forest decomposition, Cole-Vishkin 3-coloring) as
-per-node programs with O(log n)-bit messages, and reading the bandwidth
-accounting the simulator enforces.
+per-node programs with O(log n)-bit messages, reading the bandwidth
+accounting the simulator enforces, and selecting an instrumentation
+profile -- ``faithful`` for full diagnostics, ``fast`` for throughput
+with identical results.
 
 Run:  python examples/congest_playground.py
 """
 
 from __future__ import annotations
+
+import time
 
 import networkx as nx
 
@@ -27,7 +31,10 @@ def main() -> None:
     n = graph.number_of_nodes()
 
     # --- BFS as a node program ---------------------------------------------------
-    network = CongestNetwork(graph)
+    # Networks over the same graph object share one CompiledTopology
+    # (adjacency arrays, neighbor sets, bandwidth budget) -- the second
+    # construction below compiles nothing.
+    network = CongestNetwork(graph, seed=0)
     result = network.run(
         BFSTreeProgram,
         max_rounds=n,
@@ -49,8 +56,36 @@ def main() -> None:
     )
     table.print()
 
+    # --- instrumentation profiles ------------------------------------------------
+    # profile="faithful" (default) validates and sizes every message and
+    # keeps per-round stats; profile="fast" memoizes sizes and elides
+    # validation after a first check.  Outputs, rounds, and totals are
+    # identical -- only wall-clock and diagnostic depth change.  (The
+    # REPRO_SIM_PROFILE env var and `repro-planarity sweep --profile`
+    # select the same knob without touching code.)
+    timings = {}
+    for profile in ("faithful", "fast"):
+        start = time.perf_counter()
+        run = network.run(
+            BFSTreeProgram,
+            max_rounds=n,
+            config={"root": 0},
+            strict_bandwidth=True,
+            profile=profile,
+        )
+        timings[profile] = time.perf_counter() - start
+        assert run.outputs == result.outputs
+        assert run.rounds == result.rounds
+    print(
+        f"Profiles agree on outputs and rounds; faithful "
+        f"{timings['faithful'] * 1e3:.1f} ms vs fast "
+        f"{timings['fast'] * 1e3:.1f} ms on this BFS "
+        f"(round stats kept by faithful only: "
+        f"{len(result.round_stats)} rounds recorded)."
+    )
+
     # --- Barenboim-Elkin forest decomposition -----------------------------------
-    fd = run_forest_decomposition_simulated(graph, alpha=3)
+    fd = run_forest_decomposition_simulated(graph, alpha=3, seed=0)
     out_degrees = [len(o) for o in fd.out_neighbors.values()]
     print(
         f"Forest decomposition: success={fd.success} in {fd.rounds} rounds; "
@@ -60,7 +95,7 @@ def main() -> None:
 
     # planar graphs never produce evidence; a clique does:
     clique = nx.complete_graph(16)
-    fd_bad = run_forest_decomposition_simulated(clique, alpha=1)
+    fd_bad = run_forest_decomposition_simulated(clique, alpha=1, seed=0)
     print(
         f"K16 with alpha=1: success={fd_bad.success}, "
         f"{len(fd_bad.rejecting_nodes)} nodes hold rejection evidence."
@@ -69,7 +104,7 @@ def main() -> None:
     # --- Cole-Vishkin 3-coloring ---------------------------------------------------
     path = nx.path_graph(300)
     parents = {i: i - 1 if i > 0 else None for i in path.nodes()}
-    colors, rounds = cole_vishkin_coloring(path, parents)
+    colors, rounds = cole_vishkin_coloring(path, parents, seed=0)
     assert all(colors[u] != colors[v] for u, v in path.edges())
     print(
         f"Cole-Vishkin 3-colored a 300-node path in {rounds} rounds "

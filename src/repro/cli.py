@@ -15,6 +15,10 @@ Subcommands:
 The ``sweep`` subcommand takes comma-separated axis lists and executes
 their cartesian product; repeated invocations with ``--cache-dir`` are
 served from the on-disk cache instead of re-running the simulator.
+``--kind simulate`` sweeps raw CONGEST protocols (``--programs``) on
+the simulator, and ``--profile faithful|fast`` selects the simulator's
+instrumentation profile (exported as ``REPRO_SIM_PROFILE`` so
+process-pool workers follow along).
 
 Examples::
 
@@ -24,16 +28,20 @@ Examples::
     repro-planarity sweep --kind test --families grid,delaunay \\
         --ns 128,256,512 --epsilons 0.5,0.1 --seeds 0,1 \\
         --backend process --cache-dir /tmp/repro-cache
+    repro-planarity sweep --kind simulate --programs bfs,storm \\
+        --families delaunay --ns 256 --profile fast
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .analysis.tables import Table
 from .applications.spanner import build_spanner, measure_stretch
+from .congest.instrumentation import PROFILE_ENV_VAR, PROFILES
 from .graphs.far_from_planar import FAR_FAMILIES, make_far
 from .graphs.generators import PLANAR_FAMILIES, make_planar
 from .graphs.lower_bound import lower_bound_instance
@@ -50,6 +58,7 @@ SWEEP_KINDS = {
     "spanner": "spanner",
     "cycle-freeness": "cycle_freeness",
     "bipartiteness": "bipartiteness",
+    "simulate": "simulate_program",
 }
 
 
@@ -200,11 +209,26 @@ def _parse_axis(raw: str, convert):
 
 def _cmd_sweep(args) -> int:
     kind = SWEEP_KINDS[args.kind]
-    params = {"epsilon": _parse_axis(args.epsilons, float)}
+    if kind == "simulate_program":
+        # Simulator sweeps iterate over protocols, not epsilons.
+        params = {"program": _parse_axis(args.programs, str)}
+    else:
+        params = {"epsilon": _parse_axis(args.epsilons, float)}
     if args.deltas:
         params["delta"] = _parse_axis(args.deltas, float)
     if args.methods:
         params["method"] = _parse_axis(args.methods, str)
+    if args.profile:
+        # The env knob reaches every CongestNetwork.run in this process
+        # *and* in process-pool workers (they inherit the environment).
+        os.environ[PROFILE_ENV_VAR] = args.profile
+    if kind == "simulate_program":
+        # Simulator jobs carry the *effective* profile (flag, else env,
+        # else default) in their config so fast/faithful results occupy
+        # distinct cache entries even when selected via REPRO_SIM_PROFILE.
+        params["profile"] = [
+            args.profile or os.environ.get(PROFILE_ENV_VAR) or "faithful"
+        ]
     fars = _parse_axis(args.far_families, str) if args.far_families else ()
     sweep = SweepSpec.make(
         kind,
@@ -345,6 +369,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--methods", default=None, help="comma-separated methods (spanner/apps)"
+    )
+    p_sweep.add_argument(
+        "--programs",
+        default="bfs",
+        help="comma-separated simulator programs (simulate kind): "
+        "bfs,flood,forest,storm",
+    )
+    p_sweep.add_argument(
+        "--profile",
+        default=None,
+        choices=sorted(PROFILES),
+        help="simulator instrumentation profile (sets REPRO_SIM_PROFILE "
+        "for this run, including process-pool workers)",
     )
     p_sweep.add_argument(
         "--backend",

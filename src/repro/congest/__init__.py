@@ -1,19 +1,43 @@
 """CONGEST model substrate: simulator, cost ledger, and node programs."""
 
+from .instrumentation import (
+    PROFILES,
+    FaithfulProfile,
+    FastProfile,
+    InstrumentationProfile,
+    register_profile,
+    resolve_profile,
+)
 from .ledger import ChargeRecord, RoundLedger, TreeCostModel
 from .message import bit_size, default_bandwidth_bits
 from .network import CongestNetwork, SimulationResult
 from .node import BROADCAST, NodeContext, NodeProgram
+from .topology import (
+    CompiledTopology,
+    compile_topology,
+    reset_topology_stats,
+    topology_stats,
+)
 
 __all__ = [
     "BROADCAST",
     "ChargeRecord",
+    "CompiledTopology",
     "CongestNetwork",
+    "FaithfulProfile",
+    "FastProfile",
+    "InstrumentationProfile",
     "NodeContext",
     "NodeProgram",
+    "PROFILES",
     "RoundLedger",
     "SimulationResult",
     "TreeCostModel",
     "bit_size",
+    "compile_topology",
     "default_bandwidth_bits",
+    "register_profile",
+    "reset_topology_stats",
+    "resolve_profile",
+    "topology_stats",
 ]

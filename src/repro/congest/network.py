@@ -5,31 +5,42 @@ per node of an undirected simple graph in synchronous rounds, delivering
 messages along edges and enforcing the CONGEST bandwidth constraint
 (``O(log n)`` bits per edge per round).
 
-The simulator is deliberately faithful rather than fast; it is used to run
-the primitive algorithms (BFS, forest decomposition, Cole-Vishkin, local
-checks) that validate the emulated layer.  Graphs up to a few thousand
-nodes simulate comfortably.
+The simulator is a two-tier core:
+
+* a :class:`~repro.congest.topology.CompiledTopology` holds the
+  pre-derived adjacency structure (dense indices, CSR arrays, neighbor
+  tuples/sets, degree table, default bandwidth budget) -- compiled once
+  per graph and shared by every network/run over it;
+* an :class:`~repro.congest.instrumentation.InstrumentationProfile`
+  owns the delivery loop's validation + accounting, selectable per run
+  (``"faithful"`` keeps full diagnostics, ``"fast"`` trades them for
+  throughput without changing outputs, rounds, or halting).
+
+The scheduler itself uses an *active set*: only unhalted programs are
+stepped, and the set shrinks as programs halt, so late rounds of a
+protocol in which most nodes finished early cost O(active) rather than
+O(n).  Inboxes are allocated lazily on first delivery -- silent rounds
+allocate nothing.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 import networkx as nx
 
-from ..errors import (
-    BandwidthExceededError,
-    GraphInputError,
-    ProtocolError,
-    SimulationLimitError,
-)
-from .message import bit_size, default_bandwidth_bits
-from .node import BROADCAST, NodeContext, NodeProgram
+from ..errors import GraphInputError, ProtocolError, SimulationLimitError
+from .instrumentation import InstrumentationProfile, resolve_profile
+from .node import NodeContext, NodeProgram
+from .topology import CompiledTopology, compile_topology
 from ..runtime.seeding import derive_seed
 
 ProgramFactory = Callable[[NodeContext], NodeProgram]
+
+_EMPTY_INBOX: Mapping[Any, Any] = MappingProxyType({})
 
 
 @dataclass
@@ -47,6 +58,10 @@ class SimulationResult:
         bandwidth_bits: per-edge per-round budget used for accounting.
         over_budget_messages: messages that exceeded the budget (only
             non-zero when ``strict_bandwidth`` was False).
+        profile: name of the instrumentation profile that ran the
+            delivery loop.
+        round_stats: per-round ``(messages, bits)`` tuples; populated by
+            the faithful profile, empty under counters-only profiles.
     """
 
     rounds: int
@@ -57,6 +72,8 @@ class SimulationResult:
     max_message_bits: int = 0
     bandwidth_bits: int = 0
     over_budget_messages: int = 0
+    profile: str = "faithful"
+    round_stats: Tuple[Tuple[int, int], ...] = ()
     programs: Dict[Any, NodeProgram] = field(default_factory=dict, repr=False)
 
 
@@ -65,41 +82,48 @@ class CongestNetwork:
 
     def __init__(
         self,
-        graph: nx.Graph,
+        graph: Optional[nx.Graph] = None,
         bandwidth_bits: Optional[int] = None,
         seed: Optional[int] = None,
+        topology: Optional[CompiledTopology] = None,
     ):
-        """Build a network over *graph*.
+        """Build a network over *graph* (or a pre-compiled *topology*).
 
         Args:
             graph: a simple undirected :class:`networkx.Graph`.  Node ids
-                must be hashable and sortable (ints are typical).
-            bandwidth_bits: per-edge per-round budget; defaults to
+                must be hashable and sortable (ints are typical).  Its
+                adjacency is compiled via
+                :func:`~repro.congest.topology.compile_topology`, so
+                repeated networks over the same graph object share one
+                :class:`CompiledTopology`.
+            bandwidth_bits: per-edge per-round budget; defaults to the
+                topology's precomputed
                 :func:`repro.congest.message.default_bandwidth_bits`.
             seed: master seed from which per-node RNGs are derived.
+            topology: an already-compiled topology to use directly
+                (skips compilation and graph validation entirely).  When
+                both *graph* and *topology* are given they must refer to
+                the same graph object.
         """
-        if graph.is_directed() or graph.is_multigraph():
-            raise GraphInputError("CongestNetwork requires a simple undirected graph")
-        if any(u == v for u, v in graph.edges()):
-            raise GraphInputError("CongestNetwork does not support self-loops")
-        if graph.number_of_nodes() == 0:
-            raise GraphInputError("CongestNetwork requires at least one node")
-        self.graph = graph
-        self.n = graph.number_of_nodes()
+        if topology is None:
+            if graph is None:
+                raise GraphInputError(
+                    "CongestNetwork requires a graph or a compiled topology"
+                )
+            topology = compile_topology(graph)
+        elif graph is not None and topology.graph is not graph:
+            raise GraphInputError(
+                "topology was compiled for a different graph object"
+            )
+        self.topology = topology
+        self.graph = topology.graph
+        self.n = topology.n
         self.bandwidth_bits = (
-            bandwidth_bits
-            if bandwidth_bits is not None
-            else default_bandwidth_bits(self.n)
+            bandwidth_bits if bandwidth_bits is not None else topology.bandwidth_bits
         )
         self.seed = seed
-        self._neighbors: Dict[Any, tuple] = {
-            v: tuple(sorted(graph.neighbors(v))) for v in graph.nodes()
-        }
-        # Frozen membership sets for the delivery hot loop; rebuilding a
-        # set per delivered message dominated run() on dense graphs.
-        self._neighbor_sets: Dict[Any, frozenset] = {
-            v: frozenset(nbrs) for v, nbrs in self._neighbors.items()
-        }
+        self._neighbors = topology.neighbors
+        self._neighbor_sets = topology.neighbor_sets
 
     # -- helpers -------------------------------------------------------------
 
@@ -115,7 +139,7 @@ class CongestNetwork:
         """Instantiate one program per node."""
         config = dict(config or {})
         programs: Dict[Any, NodeProgram] = {}
-        for node in sorted(self.graph.nodes()):
+        for node in self.topology.nodes:
             ctx = NodeContext(
                 node=node,
                 neighbors=self._neighbors[node],
@@ -135,6 +159,7 @@ class CongestNetwork:
         config: Optional[Mapping[str, Any]] = None,
         strict_bandwidth: bool = False,
         raise_on_limit: bool = False,
+        profile: Union[None, str, InstrumentationProfile] = None,
     ) -> SimulationResult:
         """Run the protocol until all programs halt or *max_rounds* elapse.
 
@@ -146,82 +171,60 @@ class CongestNetwork:
                 of merely counting over-budget messages.
             raise_on_limit: raise :class:`SimulationLimitError` when the
                 round limit is reached with unhalted programs.
+            profile: instrumentation profile for the delivery loop -- a
+                registered name (``"faithful"``, ``"fast"``), a profile
+                instance, or ``None`` to consult ``REPRO_SIM_PROFILE``
+                and fall back to faithful.  Profiles never change
+                outputs, rounds, or halting; they trade diagnostic
+                depth for throughput.
         """
+        prof = resolve_profile(profile)
+        prof.bind(self.topology, self.bandwidth_bits, strict_bandwidth)
         programs = self.make_programs(factory, config)
-        inboxes: Dict[Any, Dict[Any, Any]] = {v: {} for v in programs}
-        total_messages = 0
-        total_bits = 0
-        max_message_bits = 0
-        over_budget = 0
+        # Active set: only unhalted programs are stepped; the list
+        # shrinks as programs halt (replacing the old twice-per-round
+        # all(p.halted) scans over every program).
+        active = [item for item in programs.items() if not item[1].halted]
+        inboxes: Dict[Any, Dict[Any, Any]] = {}
         rounds_executed = 0
 
+        deliver = prof.deliver
         for round_index in range(max_rounds):
-            if all(p.halted for p in programs.values()):
+            if not active:
                 break
             rounds_executed += 1
-            next_inboxes: Dict[Any, Dict[Any, Any]] = {v: {} for v in programs}
-            any_activity = False
-            for node, program in programs.items():
-                if program.halted:
-                    continue
-                any_activity = True
-                outbox = program.step(round_index, inboxes[node])
+            prof.begin_round(round_index)
+            next_inboxes: Dict[Any, Dict[Any, Any]] = {}
+            get_inbox = inboxes.get
+            for node, program in active:
+                outbox = program.step(round_index, get_inbox(node, _EMPTY_INBOX))
                 if outbox is None:
                     continue
                 if not isinstance(outbox, Mapping):
                     raise ProtocolError(
                         f"node {node!r} returned a non-mapping outbox: {outbox!r}"
                     )
-                outbox = self._expand_broadcast(node, outbox)
-                for target, payload in outbox.items():
-                    if target not in self._neighbor_sets[node]:
-                        raise ProtocolError(
-                            f"node {node!r} attempted to message non-neighbor "
-                            f"{target!r}"
-                        )
-                    bits = bit_size(payload)
-                    total_messages += 1
-                    total_bits += bits
-                    max_message_bits = max(max_message_bits, bits)
-                    if bits > self.bandwidth_bits:
-                        if strict_bandwidth:
-                            raise BandwidthExceededError(
-                                node, target, bits, self.bandwidth_bits
-                            )
-                        over_budget += 1
-                    next_inboxes[target][node] = payload
+                if outbox:
+                    deliver(node, outbox, next_inboxes)
             inboxes = next_inboxes
-            if not any_activity:
-                rounds_executed -= 1
-                break
+            active = [item for item in active if not item[1].halted]
 
-        halted = all(p.halted for p in programs.values())
+        halted = not active
         if not halted and raise_on_limit:
             raise SimulationLimitError(
-                f"{sum(not p.halted for p in programs.values())} programs still "
+                f"{len(active)} programs still "
                 f"running after {max_rounds} rounds"
             )
         return SimulationResult(
             rounds=rounds_executed,
             outputs={v: p.output for v, p in programs.items()},
             halted=halted,
-            total_messages=total_messages,
-            total_bits=total_bits,
-            max_message_bits=max_message_bits,
+            total_messages=prof.total_messages,
+            total_bits=prof.total_bits,
+            max_message_bits=prof.max_message_bits,
             bandwidth_bits=self.bandwidth_bits,
-            over_budget_messages=over_budget,
+            over_budget_messages=prof.over_budget,
+            profile=prof.name,
+            round_stats=prof.round_stats(),
             programs=programs,
         )
-
-    def _expand_broadcast(self, node: Any, outbox: Mapping[Any, Any]) -> Dict[Any, Any]:
-        """Expand the BROADCAST sentinel into per-neighbor entries."""
-        if BROADCAST not in outbox:
-            return dict(outbox)
-        expanded: Dict[Any, Any] = {}
-        broadcast_payload = outbox[BROADCAST]
-        for neighbor in self._neighbors[node]:
-            expanded[neighbor] = broadcast_payload
-        for target, payload in outbox.items():
-            if target != BROADCAST:
-                expanded[target] = payload
-        return expanded

@@ -24,11 +24,13 @@ from .part_checks import (
     run_bipartite_check_simulated,
     run_cycle_check_simulated,
 )
+from .storm import BroadcastStormProgram
 
 __all__ = [
     "BFSTreeProgram",
     "BarenboimElkinProgram",
     "BipartiteCheckProgram",
+    "BroadcastStormProgram",
     "ColeVishkinProgram",
     "CycleCheckProgram",
     "FloodProgram",

@@ -57,18 +57,26 @@ def bfs_tree(
     graph: nx.Graph,
     root: Any,
     bandwidth_bits: Optional[int] = None,
+    seed: Optional[int] = None,
+    topology=None,
+    profile=None,
 ) -> Tuple[Dict[Any, Any], Dict[Any, int], int]:
     """Run :class:`BFSTreeProgram`; return (parents, depths, rounds).
 
     ``parents`` maps each reached non-root node to its BFS parent;
-    ``depths`` maps each reached node to its BFS depth.
+    ``depths`` maps each reached node to its BFS depth.  *topology* and
+    *profile* pass through to :class:`CongestNetwork` (the protocol is
+    deterministic, so *seed* only pins the per-node RNG streams).
     """
-    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits)
+    network = CongestNetwork(
+        graph, bandwidth_bits=bandwidth_bits, seed=seed, topology=topology
+    )
     result = network.run(
         BFSTreeProgram,
-        max_rounds=graph.number_of_nodes() + 2,
+        max_rounds=network.n + 2,
         config={"root": root},
         strict_bandwidth=True,
+        profile=profile,
     )
     parents: Dict[Any, Any] = {}
     depths: Dict[Any, int] = {}

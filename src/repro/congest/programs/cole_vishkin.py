@@ -120,6 +120,9 @@ def cole_vishkin_coloring(
     graph: nx.Graph,
     parents: Dict[int, Optional[int]],
     bandwidth_bits: Optional[int] = None,
+    seed: Optional[int] = None,
+    topology=None,
+    profile=None,
 ) -> Tuple[Dict[int, int], int]:
     """Run the CV protocol; return (colors, rounds).
 
@@ -132,11 +135,14 @@ def cole_vishkin_coloring(
             raise ValueError(f"parent edge ({child}, {parent}) missing from graph")
     max_id = max((v for v in graph.nodes()), default=1)
     schedule = cv_schedule(max_id)
-    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits)
+    network = CongestNetwork(
+        graph, bandwidth_bits=bandwidth_bits, seed=seed, topology=topology
+    )
     result = network.run(
         ColeVishkinProgram,
         max_rounds=len(schedule) + 3,
         config={"parents": parents, "schedule": schedule},
         strict_bandwidth=True,
+        profile=profile,
     )
     return dict(result.outputs), result.rounds

@@ -51,17 +51,23 @@ def flood_eccentricity(
     graph: nx.Graph,
     root: Any,
     bandwidth_bits: Optional[int] = None,
+    seed: Optional[int] = None,
+    topology=None,
+    profile=None,
 ) -> Tuple[int, dict]:
     """Run :class:`FloodProgram` and return (eccentricity, distances).
 
     Only meaningful for graphs where every node is reachable from *root*.
     """
-    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits)
+    network = CongestNetwork(
+        graph, bandwidth_bits=bandwidth_bits, seed=seed, topology=topology
+    )
     result = network.run(
         FloodProgram,
-        max_rounds=graph.number_of_nodes() + 2,
+        max_rounds=network.n + 2,
         config={"root": root},
         strict_bandwidth=True,
+        profile=profile,
     )
     distances = {v: d for v, d in result.outputs.items() if d is not None}
     eccentricity = max(distances.values())

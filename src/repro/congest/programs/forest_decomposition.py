@@ -132,16 +132,22 @@ def run_forest_decomposition_simulated(
     alpha: int = 3,
     budget: Optional[int] = None,
     bandwidth_bits: Optional[int] = None,
+    seed: Optional[int] = None,
+    topology=None,
+    profile=None,
 ) -> SimulatedForestDecomposition:
     """Run :class:`BarenboimElkinProgram` on *graph*."""
     n = graph.number_of_nodes()
     budget = budget if budget is not None else barenboim_elkin_round_budget(n)
-    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits)
+    network = CongestNetwork(
+        graph, bandwidth_bits=bandwidth_bits, seed=seed, topology=topology
+    )
     result = network.run(
         BarenboimElkinProgram,
         max_rounds=budget + 3,
         config={"alpha": alpha, "budget": budget},
         strict_bandwidth=True,
+        profile=profile,
     )
     inactive_round = {}
     out_neighbors = {}

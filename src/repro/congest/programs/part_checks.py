@@ -89,16 +89,22 @@ def _run_check(
     root: Any,
     program_cls,
     bandwidth_bits: Optional[int] = None,
+    seed: Optional[int] = None,
+    profile=None,
 ) -> PartCheckResult:
-    parents, depths, bfs_rounds = bfs_tree(graph, root, bandwidth_bits)
+    parents, depths, bfs_rounds = bfs_tree(
+        graph, root, bandwidth_bits, seed=seed, profile=profile
+    )
     if len(depths) != graph.number_of_nodes():
         raise ValueError("graph must be connected for per-part checks")
-    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits)
+    # Both phases share one compiled topology (memoized per graph).
+    network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits, seed=seed)
     result = network.run(
         program_cls,
         max_rounds=4,
         config={"parents": parents, "depths": depths},
         strict_bandwidth=True,
+        profile=profile,
     )
     rejecting = tuple(
         sorted(v for v, verdict in result.outputs.items() if verdict == "reject")
@@ -112,14 +118,22 @@ def _run_check(
 
 
 def run_cycle_check_simulated(
-    graph: nx.Graph, root: Any, bandwidth_bits: Optional[int] = None
+    graph: nx.Graph,
+    root: Any,
+    bandwidth_bits: Optional[int] = None,
+    seed: Optional[int] = None,
+    profile=None,
 ) -> PartCheckResult:
     """BFS + cycle check on a connected graph; accept iff it is a tree."""
-    return _run_check(graph, root, CycleCheckProgram, bandwidth_bits)
+    return _run_check(graph, root, CycleCheckProgram, bandwidth_bits, seed, profile)
 
 
 def run_bipartite_check_simulated(
-    graph: nx.Graph, root: Any, bandwidth_bits: Optional[int] = None
+    graph: nx.Graph,
+    root: Any,
+    bandwidth_bits: Optional[int] = None,
+    seed: Optional[int] = None,
+    profile=None,
 ) -> PartCheckResult:
     """BFS + odd-cycle check on a connected graph; accept iff bipartite."""
-    return _run_check(graph, root, BipartiteCheckProgram, bandwidth_bits)
+    return _run_check(graph, root, BipartiteCheckProgram, bandwidth_bits, seed, profile)

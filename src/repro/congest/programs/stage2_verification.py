@@ -336,6 +336,7 @@ def run_stage2_verification_simulated(
     sample_constant: float = 2.0,
     seed: Optional[int] = None,
     bandwidth_bits: Optional[int] = None,
+    profile=None,
 ) -> SimulatedStage2Result:
     """Run the distributed Stage II pipeline on a connected part.
 
@@ -343,13 +344,17 @@ def run_stage2_verification_simulated(
     :func:`repro.planarity.check_planarity`'s embedding ``to_dict()``, or
     the identity fallback for non-planar parts).
     """
-    parents, depths, bfs_rounds = bfs_tree(graph, root, bandwidth_bits)
+    parents, depths, bfs_rounds = bfs_tree(
+        graph, root, bandwidth_bits, seed=seed, profile=profile
+    )
     parents_full: Dict[Any, Optional[Any]] = {root: None, **parents}
     n = graph.number_of_nodes()
     n_total = n_total if n_total is not None else n
     sample_target = max(
         1, int(math.ceil(sample_constant * math.log2(max(n_total, 2)) / epsilon))
     )
+    # The BFS phase above already compiled this graph's topology; the
+    # memo hands the verification network the same CompiledTopology.
     network = CongestNetwork(graph, bandwidth_bits=bandwidth_bits, seed=seed)
     m_nt = graph.number_of_edges() - (n - 1)
     limit = 8 * n + 20 * (sample_target + m_nt) + 50
@@ -366,6 +371,7 @@ def run_stage2_verification_simulated(
         },
         strict_bandwidth=True,
         raise_on_limit=True,
+        profile=profile,
     )
     rejecting = tuple(
         sorted(

@@ -1,0 +1,49 @@
+"""Broadcast storm: a synthetic workload that saturates the delivery loop.
+
+Every node broadcasts a CONGEST-sized payload (a tag, its own id, and a
+round counter folded into a small window so payloads repeat) for a fixed
+number of rounds, then halts.  On a dense graph this makes the
+simulator's delivery loop -- validation, bit accounting, inbox writes --
+the overwhelming cost, which is exactly what the E15 throughput
+benchmark needs to compare instrumentation profiles: the program's own
+``step`` work is negligible, so wall-clock differences are attributable
+to the delivery path.
+
+The payload cycles through a small window of distinct values per node
+(rather than being constant) so the fast profile's bit-size memo is
+exercised realistically: hits dominate, but new entries keep appearing
+early in the run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .tags import MSG_STORM
+from ..node import Inbox, NodeContext, NodeProgram, Outbox
+
+PAYLOAD_WINDOW = 4
+"""Distinct payloads each node cycles through (memo realism knob)."""
+
+
+class BroadcastStormProgram(NodeProgram):
+    """Broadcast every round for ``config['storm_rounds']`` rounds.
+
+    Output per node: the number of messages it received in total (a
+    deterministic digest of the delivery schedule, so differential
+    tests can compare profiles on it).
+    """
+
+    def __init__(self, ctx: NodeContext):  # noqa: D107
+        super().__init__(ctx)
+        self._rounds = int(ctx.config["storm_rounds"])
+        self._received = 0
+
+    def step(self, round_index: int, inbox: Inbox) -> Optional[Outbox]:
+        self._received += len(inbox)
+        if round_index >= self._rounds:
+            self.halt(self._received)
+            return self.silence()
+        return self.broadcast(
+            (MSG_STORM, self.ctx.node, round_index % PAYLOAD_WINDOW)
+        )

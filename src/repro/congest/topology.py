@@ -1,0 +1,193 @@
+"""Compiled graph topology shared across simulator runs.
+
+:class:`CongestNetwork` historically re-derived its adjacency structure
+from the :mod:`networkx` graph on every construction: per-node sorted
+neighbor tuples, frozen membership sets, and the bandwidth budget.  For
+a sweep that replays hundreds of trials on the same topology this work
+was repeated per run even though the graph never changed.
+
+A :class:`CompiledTopology` does that derivation exactly once per graph:
+
+* node ids are normalized to **dense indices** ``0..n-1`` (sorted id
+  order) with a CSR-style adjacency encoding (``indptr``/``indices``
+  arrays over dense indices);
+* per-node neighbor tuples (original ids, sorted), frozen neighbor
+  sets for O(1) membership checks in the delivery loop, and frozen
+  neighbor *index* sets over the dense indices;
+* a dense degree table and the default per-edge bandwidth budget.
+
+:func:`compile_topology` memoizes compilations per graph *object* (a
+``WeakKeyDictionary``, so retired graphs do not leak), which is the hook
+the runtime layer relies on: :func:`repro.runtime.run_jobs` hands the
+same graph object to every trial of a sweep via its ``graphs`` hint, so
+the topology is compiled exactly once per process no matter how many
+jobs replay it.  :func:`topology_stats` exposes compile/reuse counters
+so tests (and benchmarks) can assert that reuse actually happens.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import networkx as nx
+
+from ..errors import GraphInputError
+from .message import default_bandwidth_bits
+
+
+class CompiledTopology:
+    """Immutable, pre-derived adjacency structure of one simple graph.
+
+    Attributes:
+        graph: the source :class:`networkx.Graph`.
+        n: number of nodes.
+        m: number of edges.
+        nodes: node ids in sorted order; position = dense index.
+        index: mapping from node id to dense index.
+        indptr: CSR row pointers (length ``n + 1``); the neighbors of
+            dense index ``i`` are ``indices[indptr[i]:indptr[i + 1]]``.
+        indices: CSR column indices (dense neighbor indices, sorted by
+            the neighbor's node id within each row).
+        degrees: dense degree table (``degrees[i]`` = degree of node
+            ``nodes[i]``).
+        neighbors: node id -> sorted tuple of neighbor ids (the shape
+            :class:`~repro.congest.node.NodeContext` consumes).
+        neighbor_sets: node id -> frozenset of neighbor ids (delivery
+            loop membership checks).
+        neighbor_index_sets: dense index -> frozenset of dense neighbor
+            indices.
+        bandwidth_bits: the default CONGEST budget for this ``n`` (see
+            :func:`repro.congest.message.default_bandwidth_bits`).
+    """
+
+    __slots__ = (
+        "graph",
+        "n",
+        "m",
+        "nodes",
+        "index",
+        "indptr",
+        "indices",
+        "degrees",
+        "neighbors",
+        "neighbor_sets",
+        "neighbor_index_sets",
+        "bandwidth_bits",
+        "__weakref__",
+    )
+
+    def __init__(self, graph: nx.Graph):
+        if graph.is_directed() or graph.is_multigraph():
+            raise GraphInputError("CongestNetwork requires a simple undirected graph")
+        if any(u == v for u, v in graph.edges()):
+            raise GraphInputError("CongestNetwork does not support self-loops")
+        if graph.number_of_nodes() == 0:
+            raise GraphInputError("CongestNetwork requires at least one node")
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self.m = graph.number_of_edges()
+        nodes: Tuple[Any, ...] = tuple(sorted(graph.nodes()))
+        self.nodes = nodes
+        index: Dict[Any, int] = {v: i for i, v in enumerate(nodes)}
+        self.index = index
+
+        indptr = array("q", [0])
+        indices = array("q")
+        degrees = array("q")
+        neighbors: Dict[Any, Tuple[Any, ...]] = {}
+        neighbor_sets: Dict[Any, frozenset] = {}
+        neighbor_index_sets = []
+        for v in nodes:
+            nbrs = tuple(sorted(graph.neighbors(v)))
+            neighbors[v] = nbrs
+            neighbor_sets[v] = frozenset(nbrs)
+            row = [index[w] for w in nbrs]
+            indices.extend(row)
+            indptr.append(len(indices))
+            degrees.append(len(nbrs))
+            neighbor_index_sets.append(frozenset(row))
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = degrees
+        self.neighbors = neighbors
+        self.neighbor_sets = neighbor_sets
+        self.neighbor_index_sets = tuple(neighbor_index_sets)
+        self.bandwidth_bits = default_bandwidth_bits(self.n)
+
+    # -- dense-index accessors ------------------------------------------------
+
+    def neighbor_indices(self, i: int):
+        """Dense neighbor indices of dense index *i* (CSR row slice)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def degree(self, node: Any) -> int:
+        """Degree of *node* (by id)."""
+        return self.degrees[self.index[node]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledTopology(n={self.n}, m={self.m})"
+
+
+@dataclass
+class TopologyStats:
+    """Process-wide compile/reuse counters for :func:`compile_topology`."""
+
+    compiled: int = 0
+    reused: int = 0
+
+
+_stats = TopologyStats()
+_lock = threading.Lock()
+_memo: "weakref.WeakKeyDictionary[nx.Graph, CompiledTopology]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_topology(graph: nx.Graph, reuse: bool = True) -> CompiledTopology:
+    """Compile (or fetch the memoized compilation of) *graph*.
+
+    The memo is keyed by graph object identity -- networkx graphs hash
+    by identity and are never mutated by the simulator, so two networks
+    built over the *same* graph object share one compilation, while a
+    structurally equal copy compiles separately.  Pass ``reuse=False``
+    to force a fresh compilation (it is still stored for later reuse).
+
+    Callers who mutate a graph between runs should recompile; as a
+    guard, a memo hit whose node/edge counts no longer match the graph
+    is discarded and recompiled (same-count rewires are not detected).
+    """
+    if reuse:
+        with _lock:
+            cached = _memo.get(graph)
+        if cached is not None:
+            if (
+                cached.n == graph.number_of_nodes()
+                and cached.m == graph.number_of_edges()
+            ):
+                with _lock:
+                    _stats.reused += 1
+                return cached
+            # Stale hit (graph mutated since compilation): fall through
+            # and recompile; the fresh topology overwrites the memo.
+    topology = CompiledTopology(graph)
+    with _lock:
+        _memo[graph] = topology
+        _stats.compiled += 1
+    return topology
+
+
+def topology_stats() -> TopologyStats:
+    """A snapshot of the process-wide compile/reuse counters."""
+    with _lock:
+        return TopologyStats(compiled=_stats.compiled, reused=_stats.reused)
+
+
+def reset_topology_stats() -> None:
+    """Zero the compile/reuse counters (test isolation helper)."""
+    with _lock:
+        _stats.compiled = 0
+        _stats.reused = 0

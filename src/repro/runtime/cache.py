@@ -201,7 +201,7 @@ class KeyDeriver:
         self._graphs: Dict[Any, nx.Graph] = {}
 
     def _graph_id(self, spec: JobSpec) -> Any:
-        return (spec.far or f"planar/{spec.family}", spec.n, spec.seed)
+        return spec.graph_coordinates
 
     def key_for(self, spec: JobSpec) -> str:
         graph_id = self._graph_id(spec)

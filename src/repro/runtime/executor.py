@@ -35,6 +35,10 @@ class SerialBackend:
     """Runs every job in the calling process, one at a time."""
 
     name = "serial"
+    # In-process execution profits from prebuilt graph objects: every
+    # job on the same graph then shares one instance -- and therefore
+    # one compiled simulator topology (see repro.congest.topology).
+    wants_graph_hints = True
 
     def run(
         self,
@@ -59,6 +63,9 @@ class ProcessPoolBackend:
     """
 
     name = "process"
+    # Workers regenerate graphs from specs; prebuilding in the parent
+    # would be wasted work, so run_jobs skips the hint for this backend.
+    wants_graph_hints = False
 
     def __init__(
         self,
@@ -111,6 +118,26 @@ def make_backend(name: str, **kwargs):
             f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
         ) from None
     return factory(**kwargs)
+
+
+def _graph_hints(specs: Sequence[JobSpec]) -> List:
+    """Build each distinct input graph once and map it onto *specs*.
+
+    Mirrors the cache layer's per-batch graph memo for cache-less runs:
+    specs that share graph coordinates (family/far, n, effective graph
+    seed) receive the *same* graph object, so downstream consumers --
+    most importantly the simulator's per-graph compiled-topology memo --
+    only pay the derivation once per distinct topology.
+    """
+    built: Dict = {}
+    hints = []
+    for spec in specs:
+        key = spec.graph_coordinates
+        graph = built.get(key)
+        if graph is None:
+            graph = built[key] = spec.build_graph()
+        hints.append(graph)
+    return hints
 
 
 @dataclass
@@ -169,7 +196,10 @@ def run_jobs(
         for index, spec in enumerate(specs):
             unique.setdefault(spec, []).append(index)
         ordered = list(unique)
-        fresh = backend.run(ordered)
+        if getattr(backend, "wants_graph_hints", False):
+            fresh = backend.run(ordered, graphs=_graph_hints(ordered))
+        else:
+            fresh = backend.run(ordered)
         for spec, record in zip(ordered, fresh):
             for index in unique[spec]:
                 records[index] = dict(record)

@@ -66,6 +66,10 @@ class JobSpec:
         far: far-from-planar family name, or ``None``.
         n: requested graph size (generators may round).
         seed: master seed for graph generation and algorithm randomness.
+        graph_seed: when set, the graph is generated from this seed
+            instead of ``seed`` -- so repeated trials (varying ``seed``)
+            can replay the *same* graph, sharing its fingerprint, its
+            built instance, and its compiled simulator topology.
         config: frozen ``(key, value)`` tuple of kind-specific knobs
             (e.g. ``epsilon``, ``method``, ``delta``); build it with
             :meth:`make`.
@@ -77,6 +81,7 @@ class JobSpec:
     n: int = 500
     seed: int = 0
     config: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    graph_seed: Optional[int] = None
 
     @classmethod
     def make(
@@ -86,6 +91,7 @@ class JobSpec:
         far: Optional[str] = None,
         n: int = 500,
         seed: int = 0,
+        graph_seed: Optional[int] = None,
         **config: Any,
     ) -> "JobSpec":
         """Build a spec with *config* canonically frozen and sorted."""
@@ -99,6 +105,7 @@ class JobSpec:
             far=far,
             n=n,
             seed=seed,
+            graph_seed=graph_seed,
             config=_freeze(config),
         )
 
@@ -114,27 +121,50 @@ class JobSpec:
             return f"far:{self.far}"
         return f"planar:{self.family}"
 
+    @property
+    def effective_graph_seed(self) -> int:
+        """The seed that actually drives graph generation."""
+        return self.seed if self.graph_seed is None else self.graph_seed
+
+    @property
+    def graph_coordinates(self) -> Tuple[str, int, int]:
+        """The triple that identifies this spec's input graph.
+
+        Shared by the cache layer's per-batch graph memo and the
+        executor's cache-less graph hints, so both paths agree on which
+        specs replay the same graph (and therefore share one built
+        instance and one compiled simulator topology).
+        """
+        return (
+            self.far or f"planar/{self.family}",
+            self.n,
+            self.effective_graph_seed,
+        )
+
     def canonical(self) -> str:
         """A canonical JSON encoding (the basis of the config digest)."""
-        return json.dumps(
-            {
-                "kind": self.kind,
-                "family": self.family,
-                "far": self.far,
-                "n": self.n,
-                "seed": self.seed,
-                "config": [[k, repr(v)] for k, v in self.config],
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        payload = {
+            "kind": self.kind,
+            "family": self.family,
+            "far": self.far,
+            "n": self.n,
+            "seed": self.seed,
+            "config": [[k, repr(v)] for k, v in self.config],
+        }
+        if self.graph_seed is not None:
+            # Only emitted when set, so pre-existing specs keep their
+            # canonical encoding (and their cache keys) byte-identical.
+            payload["graph_seed"] = self.graph_seed
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def build_graph(self) -> nx.Graph:
         """Generate the spec's input graph (deterministic in the spec)."""
         if self.far:
-            graph, _farness = make_far(self.far, self.n, seed=self.seed)
+            graph, _farness = make_far(
+                self.far, self.n, seed=self.effective_graph_seed
+            )
             return graph
-        return make_planar(self.family, self.n, seed=self.seed)
+        return make_planar(self.family, self.n, seed=self.effective_graph_seed)
 
 
 def run_job(spec: JobSpec, graph: Optional[nx.Graph] = None) -> Record:
@@ -205,22 +235,29 @@ def _run_partition_stage1(spec: JobSpec, graph: nx.Graph) -> Record:
     from ..partition.stage1 import partition_stage1
 
     params = spec.params
+    epsilon = params.get("epsilon", 0.1)
+    target_cut = params.get("target_cut")
+    if target_cut == "eps*n":
+        # Resolved against the *actual* generated size (families round),
+        # which a sweep cannot know at spec-construction time.
+        target_cut = epsilon * graph.number_of_nodes()
     result = partition_stage1(
         graph,
-        epsilon=params.get("epsilon", 0.1),
+        epsilon=epsilon,
         alpha=params.get("alpha", 3),
-        target_cut=params.get("target_cut"),
+        target_cut=target_cut,
         max_phases=params.get("max_phases"),
         early_stop=params.get("early_stop", True),
         charge_full_budget=params.get("charge_full_budget", True),
     )
     return {
-        "epsilon": params.get("epsilon", 0.1),
+        "epsilon": epsilon,
         "success": result.success,
         "parts": result.partition.size,
         "cut": result.partition.cut_size(),
         "target_cut": result.target_cut,
         "max_height": result.partition.max_height(),
+        "max_diameter": result.partition.max_diameter(),
         "phases": len(result.phases),
         "rounds": result.rounds,
     }
@@ -332,9 +369,87 @@ def _run_bipartiteness(spec: JobSpec, graph: nx.Graph) -> Record:
     return _application_record(result, epsilon)
 
 
+def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
+    """Run one bundled CONGEST protocol on the simulator.
+
+    This is the runtime's door into the simulator layer: the graph the
+    executor hands over (the same object for every trial of a sweep,
+    thanks to the ``graphs`` hint) reaches ``CongestNetwork`` directly,
+    so its :class:`~repro.congest.topology.CompiledTopology` is compiled
+    exactly once per process and reused across all trials.
+
+    Config knobs: ``program`` (``bfs`` | ``flood`` | ``forest`` |
+    ``storm``), ``profile`` (instrumentation profile name; defaults to
+    the ``REPRO_SIM_PROFILE`` environment knob), plus per-program
+    parameters (``alpha`` for forest, ``storm_rounds`` for storm).
+    """
+    from ..congest import CongestNetwork
+    from ..congest.programs import (
+        BFSTreeProgram,
+        BarenboimElkinProgram,
+        BroadcastStormProgram,
+        FloodProgram,
+    )
+    from ..congest.programs.forest_decomposition import (
+        barenboim_elkin_round_budget,
+    )
+
+    params = spec.params
+    program = params.get("program", "bfs")
+    profile = params.get("profile")
+    network = CongestNetwork(graph, seed=spec.seed)
+    root = min(graph.nodes())
+    if program == "bfs":
+        result = network.run(
+            BFSTreeProgram,
+            max_rounds=network.n + 2,
+            config={"root": root},
+            strict_bandwidth=True,
+            profile=profile,
+        )
+    elif program == "flood":
+        result = network.run(
+            FloodProgram,
+            max_rounds=network.n + 2,
+            config={"root": root},
+            strict_bandwidth=True,
+            profile=profile,
+        )
+    elif program == "forest":
+        budget = barenboim_elkin_round_budget(network.n)
+        result = network.run(
+            BarenboimElkinProgram,
+            max_rounds=budget + 3,
+            config={"alpha": params.get("alpha", 3), "budget": budget},
+            strict_bandwidth=True,
+            profile=profile,
+        )
+    elif program == "storm":
+        rounds = int(params.get("storm_rounds", 8))
+        result = network.run(
+            BroadcastStormProgram,
+            max_rounds=rounds + 2,
+            config={"storm_rounds": rounds},
+            profile=profile,
+        )
+    else:
+        raise ValueError(f"unknown simulator program {program!r}")
+    return {
+        "program": program,
+        "profile": result.profile,
+        "rounds": result.rounds,
+        "halted": result.halted,
+        "messages": result.total_messages,
+        "bits": result.total_bits,
+        "max_message_bits": result.max_message_bits,
+        "over_budget": result.over_budget_messages,
+    }
+
+
 register_kind("test_planarity", _run_test_planarity)
 register_kind("partition_stage1", _run_partition_stage1)
 register_kind("partition_randomized", _run_partition_randomized)
 register_kind("spanner", _run_spanner)
 register_kind("cycle_freeness", _run_cycle_freeness)
 register_kind("bipartiteness", _run_bipartiteness)
+register_kind("simulate_program", _run_simulate_program)

@@ -155,3 +155,38 @@ class TestCLI:
         out = capsys.readouterr().out
         assert code in (0, 1)
         assert "Planarity test" in out
+
+
+class TestSweepCLI:
+    def test_sweep_simulate_with_profile(self, capsys, monkeypatch):
+        from repro.congest.instrumentation import PROFILE_ENV_VAR
+
+        # setenv (not delenv) so monkeypatch restores the pre-test state
+        # even though main() overwrites the variable in-process.
+        monkeypatch.setenv(PROFILE_ENV_VAR, "faithful")
+        code = main(
+            ["sweep", "--kind", "simulate", "--programs", "bfs,storm",
+             "--families", "grid", "--ns", "36", "--profile", "fast"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "storm" in out and "fast" in out
+        # The flag exports the env knob so pool workers inherit it.
+        import os
+
+        assert os.environ[PROFILE_ENV_VAR] == "fast"
+
+    def test_sweep_test_kind_still_works(self, capsys):
+        code = main(
+            ["sweep", "--kind", "test", "--families", "grid", "--ns", "36",
+             "--epsilons", "0.5", "--seeds", "0"]
+        )
+        assert code == 0
+        assert "jobs=1" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_profile(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["sweep", "--kind", "simulate", "--families", "grid",
+                 "--ns", "36", "--profile", "warp"]
+            )

@@ -1,0 +1,221 @@
+"""Differential tests: instrumentation profiles must not change results.
+
+The hard requirement of the two-tier simulator core: the ``fast``
+profile may elide validation and memoize accounting, but outputs,
+rounds, halting behavior -- and, for the bundled protocols, the
+message/bit totals -- must be identical to the ``faithful`` profile on
+every bundled program.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    BROADCAST,
+    CongestNetwork,
+    FaithfulProfile,
+    FastProfile,
+    NodeProgram,
+    resolve_profile,
+)
+from repro.congest.instrumentation import PROFILE_ENV_VAR
+from repro.congest.programs import (
+    BFSTreeProgram,
+    BroadcastStormProgram,
+    cole_vishkin_coloring,
+    flood_eccentricity,
+    run_bipartite_check_simulated,
+    run_cycle_check_simulated,
+    run_forest_decomposition_simulated,
+    run_stage2_verification_simulated,
+)
+from repro.errors import BandwidthExceededError, ProtocolError
+from repro.graphs import make_planar
+from repro.planarity import check_planarity
+
+SEEDS = (0, 1, 2)
+
+
+def _identical(faithful, fast):
+    """Assert the profile-independent parts of two results agree."""
+    assert faithful.outputs == fast.outputs
+    assert faithful.rounds == fast.rounds
+    assert faithful.halted == fast.halted
+    assert faithful.total_messages == fast.total_messages
+    assert faithful.total_bits == fast.total_bits
+    assert faithful.max_message_bits == fast.max_message_bits
+    assert faithful.over_budget_messages == fast.over_budget_messages
+
+
+def _run_both(graph, program, max_rounds, config, seed=0, strict=True):
+    results = []
+    for profile in ("faithful", "fast"):
+        results.append(
+            CongestNetwork(graph, seed=seed).run(
+                program,
+                max_rounds=max_rounds,
+                config=config,
+                strict_bandwidth=strict,
+                profile=profile,
+            )
+        )
+    return results
+
+
+class TestDifferentialPrograms:
+    def test_bfs(self):
+        for seed in SEEDS:
+            graph = make_planar("delaunay", 80, seed=seed)
+            faithful, fast = _run_both(
+                graph, BFSTreeProgram, graph.number_of_nodes() + 2, {"root": 0}
+            )
+            _identical(faithful, fast)
+
+    def test_flood(self):
+        for seed in SEEDS:
+            graph = make_planar("grid", 64, seed=seed)
+            f_ecc, f_dist = flood_eccentricity(graph, 0, profile="faithful")
+            q_ecc, q_dist = flood_eccentricity(graph, 0, profile="fast")
+            assert f_ecc == q_ecc
+            assert f_dist == q_dist
+
+    def test_cole_vishkin(self):
+        path = nx.path_graph(90)
+        parents = {i: i - 1 if i > 0 else None for i in path.nodes()}
+        f_colors, f_rounds = cole_vishkin_coloring(path, parents, profile="faithful")
+        q_colors, q_rounds = cole_vishkin_coloring(path, parents, profile="fast")
+        assert f_colors == q_colors
+        assert f_rounds == q_rounds
+
+    def test_forest_decomposition(self):
+        for graph in (make_planar("tri-grid", 100, seed=1), nx.complete_graph(12)):
+            faithful = run_forest_decomposition_simulated(
+                graph, alpha=3, profile="faithful"
+            )
+            fast = run_forest_decomposition_simulated(graph, alpha=3, profile="fast")
+            assert faithful.inactive_round == fast.inactive_round
+            assert faithful.out_neighbors == fast.out_neighbors
+            assert faithful.rejecting_nodes == fast.rejecting_nodes
+            assert faithful.rounds == fast.rounds
+
+    def test_stage2_verification(self):
+        graph = make_planar("delaunay", 60, seed=3)
+        rotation = check_planarity(graph).embedding.to_dict()
+        for seed in SEEDS:
+            faithful = run_stage2_verification_simulated(
+                graph, 0, rotation, epsilon=0.2, seed=seed, profile="faithful"
+            )
+            fast = run_stage2_verification_simulated(
+                graph, 0, rotation, epsilon=0.2, seed=seed, profile="fast"
+            )
+            assert faithful.accepted == fast.accepted
+            assert faithful.rejecting_nodes == fast.rejecting_nodes
+            assert faithful.positions == fast.positions
+            assert faithful.bfs_rounds == fast.bfs_rounds
+            assert faithful.verification_rounds == fast.verification_rounds
+
+    def test_part_checks(self):
+        tree = nx.random_labeled_tree(40, seed=2) if hasattr(
+            nx, "random_labeled_tree"
+        ) else nx.random_tree(40, seed=2)
+        cycle = nx.cycle_graph(17)
+        for graph in (tree, cycle):
+            f_cycle = run_cycle_check_simulated(graph, 0, profile="faithful")
+            q_cycle = run_cycle_check_simulated(graph, 0, profile="fast")
+            assert f_cycle.accepted == q_cycle.accepted
+            assert f_cycle.rejecting_nodes == q_cycle.rejecting_nodes
+            assert f_cycle.rounds == q_cycle.rounds
+            f_bip = run_bipartite_check_simulated(graph, 0, profile="faithful")
+            q_bip = run_bipartite_check_simulated(graph, 0, profile="fast")
+            assert f_bip.accepted == q_bip.accepted
+            assert f_bip.rejecting_nodes == q_bip.rejecting_nodes
+
+    def test_broadcast_storm(self):
+        graph = nx.gnp_random_graph(70, 0.15, seed=4)
+        faithful, fast = _run_both(
+            graph,
+            BroadcastStormProgram,
+            12,
+            {"storm_rounds": 10},
+            strict=False,
+        )
+        _identical(faithful, fast)
+
+
+class TestProfileSemantics:
+    def test_result_records_profile_name(self):
+        graph = nx.path_graph(4)
+        result = CongestNetwork(graph).run(
+            BFSTreeProgram, max_rounds=8, config={"root": 0}, profile="fast"
+        )
+        assert result.profile == "fast"
+
+    def test_faithful_round_stats_sum_to_totals(self):
+        graph = nx.cycle_graph(9)
+        result = CongestNetwork(graph).run(
+            BFSTreeProgram, max_rounds=20, config={"root": 0}, profile="faithful"
+        )
+        assert len(result.round_stats) == result.rounds
+        assert sum(m for m, _ in result.round_stats) == result.total_messages
+        assert sum(b for _, b in result.round_stats) == result.total_bits
+
+    def test_fast_profile_keeps_counters_only(self):
+        graph = nx.cycle_graph(9)
+        result = CongestNetwork(graph).run(
+            BFSTreeProgram, max_rounds=20, config={"root": 0}, profile="fast"
+        )
+        assert result.round_stats == ()
+        assert result.total_messages > 0
+
+    def test_env_knob_selects_profile(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV_VAR, "fast")
+        graph = nx.path_graph(4)
+        result = CongestNetwork(graph).run(
+            BFSTreeProgram, max_rounds=8, config={"root": 0}
+        )
+        assert result.profile == "fast"
+
+    def test_resolve_profile_accepts_instance_and_class(self):
+        assert resolve_profile(FastProfile).name == "fast"
+        instance = FaithfulProfile()
+        assert resolve_profile(instance) is instance
+        with pytest.raises(ValueError, match="unknown instrumentation profile"):
+            resolve_profile("warp")
+
+    def test_fast_validates_first_explicit_outbox(self):
+        class BadSender(NodeProgram):
+            def step(self, round_index, inbox):
+                target = (self.ctx.node + 2) % self.ctx.n
+                return {target: ("oops",)}
+
+        graph = nx.path_graph(4)
+        with pytest.raises(ProtocolError):
+            CongestNetwork(graph).run(BadSender, max_rounds=2, profile="fast")
+
+    def test_fast_strict_bandwidth_still_raises(self):
+        class HugeSender(NodeProgram):
+            def step(self, round_index, inbox):
+                return self.broadcast(("x" * 10_000,))
+
+        graph = nx.path_graph(3)
+        with pytest.raises(BandwidthExceededError):
+            CongestNetwork(graph).run(
+                HugeSender, max_rounds=3, strict_bandwidth=True, profile="fast"
+            )
+
+    def test_fast_broadcast_with_override(self):
+        class Mixed(NodeProgram):
+            def step(self, round_index, inbox):
+                if round_index == 0 and self.ctx.node == 0:
+                    return {BROADCAST: ("b",), self.ctx.neighbors[0]: ("direct",)}
+                if round_index == 1:
+                    self.halt(dict(inbox))
+                return self.silence()
+
+        graph = nx.path_graph(3)
+        faithful = CongestNetwork(graph).run(Mixed, max_rounds=4, profile="faithful")
+        fast = CongestNetwork(graph).run(Mixed, max_rounds=4, profile="fast")
+        assert faithful.outputs == fast.outputs
+        assert fast.outputs[1][0] == ("direct",)
