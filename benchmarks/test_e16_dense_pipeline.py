@@ -1,0 +1,132 @@
+"""E16 -- dense-index pipeline: CSR-native partition + Stage II throughput.
+
+Claim reproduced (engineering, not paper): porting the emulated
+partition/stage2 layer onto the compiled topology's CSR arrays removes
+the networkx-view and dict-churn constant factors without changing a
+single output.  Gated (and run in CI's bench-smoke job):
+
+* the dense partition engine is >= 3x the legacy dict engine on the
+  n=2000 Delaunay partition;
+* the end-to-end planarity tester (dense Stage I + native Stage II) is
+  >= 1.5x the seed path;
+* both engines produce identical partitions, phase stats, ledgers, and
+  per-part verdicts (the full differential suite lives in
+  ``tests/test_partition_dense.py`` / ``tests/test_stage2_native.py``).
+
+The gate sizes are fixed at n=2000 regardless of ``REPRO_BENCH_QUICK``
+-- the speedup claim is specifically about that scale; quick mode only
+trims the repeat count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _harness import quick_mode, save_table
+from repro.analysis.tables import Table
+from repro.congest.topology import compile_topology
+from repro.graphs import make_planar
+from repro.partition import partition_stage1
+from repro.testers.planarity import PlanarityTestConfig
+from repro.testers.planarity import test_planarity as run_planarity
+
+N = 2000
+EPSILON = 0.1
+REPEATS = 2 if quick_mode() else 4
+
+PARTITION_GATE = 3.0
+TESTER_GATE = 1.5
+
+
+def _best(fn):
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def pipeline_table():
+    graph = make_planar("delaunay", N, seed=0)
+    compile_topology(graph).edge_arrays()  # timings cover the sweeps only
+
+    legacy_time, legacy = _best(
+        lambda: partition_stage1(graph, epsilon=EPSILON, engine="legacy")
+    )
+    dense_time, dense = _best(
+        lambda: partition_stage1(graph, epsilon=EPSILON, engine="dense")
+    )
+    seed_config = PlanarityTestConfig(
+        epsilon=EPSILON, engine="legacy", native=False
+    )
+    native_config = PlanarityTestConfig(epsilon=EPSILON)
+    seed_tester_time, seed_result = _best(
+        lambda: run_planarity(graph, seed=0, config=seed_config)
+    )
+    native_tester_time, native_result = _best(
+        lambda: run_planarity(graph, seed=0, config=native_config)
+    )
+
+    assert dense.partition.size == legacy.partition.size
+    assert dense.partition.cut_size() == legacy.partition.cut_size()
+    assert dense.rounds == legacy.rounds
+    assert [vars(s) for s in dense.phases] == [vars(s) for s in legacy.phases]
+    assert native_result.accepted == seed_result.accepted
+    assert native_result.rounds == seed_result.rounds
+
+    partition_speedup = legacy_time / dense_time
+    tester_speedup = seed_tester_time / native_tester_time
+
+    table = Table(
+        f"E16: dense-index pipeline on delaunay n={N}, eps={EPSILON}",
+        ["workload", "engine", "wall s", "speedup", "gate", "identical"],
+    )
+    table.add_row("partition", "legacy (seed)", round(legacy_time, 4), 1.0, "-", "-")
+    table.add_row(
+        "partition",
+        "dense (CSR)",
+        round(dense_time, 4),
+        round(partition_speedup, 2),
+        f">={PARTITION_GATE}x",
+        "yes",
+    )
+    table.add_row(
+        "tester e2e", "legacy (seed)", round(seed_tester_time, 4), 1.0, "-", "-"
+    )
+    table.add_row(
+        "tester e2e",
+        "dense+native",
+        round(native_tester_time, 4),
+        round(tester_speedup, 2),
+        f">={TESTER_GATE}x",
+        "yes",
+    )
+    save_table(table, "e16_dense_pipeline.md")
+    return partition_speedup, tester_speedup
+
+
+def test_partition_speedup_gate(pipeline_table):
+    partition_speedup, _tester = pipeline_table
+    assert partition_speedup >= PARTITION_GATE, (
+        f"dense partition speedup only {partition_speedup:.2f}x"
+    )
+
+
+def test_tester_speedup_gate(pipeline_table):
+    _partition, tester_speedup = pipeline_table
+    assert tester_speedup >= TESTER_GATE, (
+        f"end-to-end tester speedup only {tester_speedup:.2f}x"
+    )
+
+
+def test_benchmark_dense_partition(benchmark, pipeline_table):
+    graph = make_planar("delaunay", N, seed=0)
+    result = benchmark(
+        lambda: partition_stage1(graph, epsilon=EPSILON, engine="dense")
+    )
+    assert result.success

@@ -45,7 +45,7 @@ from .congest.instrumentation import PROFILE_ENV_VAR, PROFILES
 from .graphs.far_from_planar import FAR_FAMILIES, make_far
 from .graphs.generators import PLANAR_FAMILIES, make_planar
 from .graphs.lower_bound import lower_bound_instance
-from .partition.stage1 import partition_stage1
+from .partition.stage1 import ENGINES, ENGINE_ENV_VAR, partition_stage1
 from .partition.weighted_selection import partition_randomized
 from .runtime import ResultCache, SweepSpec, make_backend, run_sweep
 from .testers.applications import test_bipartiteness, test_cycle_freeness
@@ -73,7 +73,9 @@ def _build_graph(args):
 def _cmd_test(args) -> int:
     graph, label = _build_graph(args)
     config = PlanarityTestConfig(
-        epsilon=args.epsilon, collect_exact_violations=args.analyze
+        epsilon=args.epsilon,
+        collect_exact_violations=args.analyze,
+        engine=args.engine,
     )
     result = test_planarity(graph, seed=args.seed, config=config)
     table = Table(
@@ -104,10 +106,15 @@ def _cmd_partition(args) -> int:
             graph,
             epsilon=args.epsilon,
             target_cut=args.epsilon * graph.number_of_nodes(),
+            engine=args.engine,
         )
     else:
         result = partition_randomized(
-            graph, epsilon=args.epsilon, delta=args.delta, seed=args.seed
+            graph,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            seed=args.seed,
+            engine=args.engine,
         )
     table = Table(
         f"{args.method} partition of {label}",
@@ -222,6 +229,10 @@ def _cmd_sweep(args) -> int:
         # The env knob reaches every CongestNetwork.run in this process
         # *and* in process-pool workers (they inherit the environment).
         os.environ[PROFILE_ENV_VAR] = args.profile
+    if args.engine:
+        # Same trick for the partition engine: the env knob reaches every
+        # partition_stage1/partition_randomized call in workers too.
+        os.environ[ENGINE_ENV_VAR] = args.engine
     if kind == "simulate_program":
         # Simulator jobs carry the *effective* profile (flag, else env,
         # else default) in their config so fast/faithful results occupy
@@ -302,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_test.add_argument(
         "--analyze", action="store_true", help="collect exact violating counts"
     )
+    p_test.add_argument(
+        "--engine",
+        default=None,
+        choices=ENGINES,
+        help="partition engine (auto = CSR-native dense when supported)",
+    )
     p_test.set_defaults(func=_cmd_test)
 
     p_part = sub.add_parser("partition", help="run the Theorem 3/4 partition")
@@ -312,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("deterministic", "randomized"),
     )
     p_part.add_argument("--delta", type=float, default=0.1)
+    p_part.add_argument(
+        "--engine",
+        default=None,
+        choices=ENGINES,
+        help="partition engine (auto = CSR-native dense when supported)",
+    )
     p_part.set_defaults(func=_cmd_partition)
 
     p_span = sub.add_parser("spanner", help="build the Corollary 17 spanner")
@@ -382,6 +405,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROFILES),
         help="simulator instrumentation profile (sets REPRO_SIM_PROFILE "
         "for this run, including process-pool workers)",
+    )
+    p_sweep.add_argument(
+        "--engine",
+        default=None,
+        choices=ENGINES,
+        help="partition engine for partition/test kinds (sets "
+        "REPRO_PARTITION_ENGINE for this run, including workers)",
     )
     p_sweep.add_argument(
         "--backend",

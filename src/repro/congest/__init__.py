@@ -10,8 +10,9 @@ from .instrumentation import (
 )
 from .ledger import ChargeRecord, RoundLedger, TreeCostModel
 from .message import bit_size, default_bandwidth_bits
-from .network import CongestNetwork, SimulationResult
+from .network import CongestNetwork, SimulationResult, resolve_plane
 from .node import BROADCAST, NodeContext, NodeProgram
+from .plane import PLANE_ENV_VAR, PLANES, DenseMessagePlane, SlotInbox
 from .topology import (
     CompiledTopology,
     compile_topology,
@@ -24,15 +25,20 @@ __all__ = [
     "ChargeRecord",
     "CompiledTopology",
     "CongestNetwork",
+    "DenseMessagePlane",
     "FaithfulProfile",
     "FastProfile",
     "InstrumentationProfile",
     "NodeContext",
     "NodeProgram",
+    "PLANES",
+    "PLANE_ENV_VAR",
     "PROFILES",
     "RoundLedger",
     "SimulationResult",
+    "SlotInbox",
     "TreeCostModel",
+    "resolve_plane",
     "bit_size",
     "compile_topology",
     "default_bandwidth_bits",

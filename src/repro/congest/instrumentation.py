@@ -66,6 +66,11 @@ class InstrumentationProfile:
 
     name = "abstract"
 
+    #: Whether the dense plane should materialize real inbox dicts for
+    #: this profile (bit-identical to the seed) or hand programs a
+    #: zero-copy :class:`~repro.congest.plane.SlotInbox` view.
+    materialize_inboxes = True
+
     def bind(self, topology, bandwidth_bits: int, strict_bandwidth: bool) -> None:
         """Attach to *topology* and reset all counters for a fresh run."""
         self._neighbors = topology.neighbors
@@ -81,7 +86,18 @@ class InstrumentationProfile:
         """Hook invoked at the start of every executed round."""
 
     def deliver(self, node: Any, outbox: Mapping[Any, Any], inboxes: Inboxes) -> None:
-        """Validate, account, and deliver one node's outbox."""
+        """Validate, account, and deliver one node's outbox (dict plane)."""
+        raise NotImplementedError
+
+    def deliver_dense(
+        self, idx: int, node: Any, outbox: Mapping[Any, Any], plane, token: int
+    ) -> None:
+        """Validate, account, and file one node's outbox into edge slots.
+
+        *idx* is the sender's dense index, *plane* the run's
+        :class:`~repro.congest.plane.DenseMessagePlane`, and *token* the
+        stamp under which next-round readers will scan.
+        """
         raise NotImplementedError
 
     def round_stats(self) -> Tuple[Tuple[int, int], ...]:
@@ -150,6 +166,44 @@ class FaithfulProfile(InstrumentationProfile):
                 box = inboxes[target] = {}
             box[node] = payload
 
+    def deliver_dense(self, idx, node, outbox, plane, token):
+        if BROADCAST in outbox:
+            outbox = self._expand_broadcast(node, outbox)
+        slots = plane.send_slot[idx]
+        owner = plane.row_owner
+        data = plane.next_data
+        stamp = plane.next_stamp
+        mark = plane.next_mark
+        count = plane.next_count
+        bandwidth = self._bandwidth
+        this_round = self._rounds[-1]
+        for target, payload in outbox.items():
+            slot = slots.get(target)
+            if slot is None:
+                raise ProtocolError(
+                    f"node {node!r} attempted to message non-neighbor "
+                    f"{target!r}"
+                )
+            bits = bit_size(payload)
+            self.total_messages += 1
+            self.total_bits += bits
+            this_round[0] += 1
+            this_round[1] += bits
+            if bits > self.max_message_bits:
+                self.max_message_bits = bits
+            if bits > bandwidth:
+                if self._strict:
+                    raise BandwidthExceededError(node, target, bits, bandwidth)
+                self.over_budget += 1
+            data[slot] = payload
+            stamp[slot] = token
+            receiver = owner[slot]
+            if mark[receiver] == token:
+                count[receiver] += 1
+            else:
+                mark[receiver] = token
+                count[receiver] = 1
+
 
 class FastProfile(InstrumentationProfile):
     """Throughput-oriented accounting: memoized sizes, elided validation.
@@ -168,6 +222,7 @@ class FastProfile(InstrumentationProfile):
     """
 
     name = "fast"
+    materialize_inboxes = False
 
     def bind(self, topology, bandwidth_bits: int, strict_bandwidth: bool) -> None:
         super().bind(topology, bandwidth_bits, strict_bandwidth)
@@ -235,6 +290,74 @@ class FastProfile(InstrumentationProfile):
             if box is None:
                 box = inboxes[target] = {}
             box[node] = payload
+
+    # -- dense plane ----------------------------------------------------------
+
+    def deliver_dense(self, idx, node, outbox, plane, token):
+        if BROADCAST in outbox:
+            if len(outbox) == 1:
+                self._broadcast_dense(idx, node, outbox[BROADCAST], plane, token)
+                return
+            outbox = self._expand_broadcast(node, outbox)
+        slots = plane.send_slot[idx]
+        owner = plane.row_owner
+        data = plane.next_data
+        stamp = plane.next_stamp
+        mark = plane.next_mark
+        count = plane.next_count
+        bandwidth = self._bandwidth
+        for target, payload in outbox.items():
+            slot = slots.get(target)
+            if slot is None:
+                # The slot lookup doubles as the neighbor check, so the
+                # dense plane validates every explicit target for free
+                # (the dict plane only checked each node's first outbox).
+                raise ProtocolError(
+                    f"node {node!r} attempted to message non-neighbor "
+                    f"{target!r}"
+                )
+            bits = self._bits(payload)
+            self.total_messages += 1
+            self.total_bits += bits
+            if bits > bandwidth:
+                if self._strict:
+                    raise BandwidthExceededError(node, target, bits, bandwidth)
+                self.over_budget += 1
+            data[slot] = payload
+            stamp[slot] = token
+            receiver = owner[slot]
+            if mark[receiver] == token:
+                count[receiver] += 1
+            else:
+                mark[receiver] = token
+                count[receiver] = 1
+
+    def _broadcast_dense(self, idx, node, payload, plane, token):
+        row_slots = plane.broadcast_slots[idx]
+        degree = len(row_slots)
+        if degree == 0:
+            return
+        bits = self._bits(payload)
+        self.total_messages += degree
+        self.total_bits += bits * degree
+        if bits > self._bandwidth:
+            if self._strict:
+                raise BandwidthExceededError(
+                    node, self._neighbors[node][0], bits, self._bandwidth
+                )
+            self.over_budget += degree
+        data = plane.next_data
+        stamp = plane.next_stamp
+        mark = plane.next_mark
+        count = plane.next_count
+        for slot, receiver in zip(row_slots, plane.broadcast_targets[idx]):
+            data[slot] = payload
+            stamp[slot] = token
+            if mark[receiver] == token:
+                count[receiver] += 1
+            else:
+                mark[receiver] = token
+                count[receiver] = 1
 
 
 PROFILES: Dict[str, Type[InstrumentationProfile]] = {

@@ -73,8 +73,11 @@ class RoundLedger:
 
         Distinct parts of a partition occupy disjoint node/edge sets, so
         their per-part protocols run concurrently; the network-level round
-        cost is the maximum over parts, not the sum.
+        cost is the maximum over parts, not the sum.  *others* may be any
+        iterable (it is materialized once) and may be empty -- an empty
+        collection charges nothing and returns 0.
         """
+        others = list(others)
         cost = max((o.total for o in others), default=0)
         self.charge(cost, category, f"max over {len(others)} parallel components")
         return cost

@@ -32,15 +32,29 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 import networkx as nx
 
+import os
+
 from ..errors import GraphInputError, ProtocolError, SimulationLimitError
 from .instrumentation import InstrumentationProfile, resolve_profile
 from .node import NodeContext, NodeProgram
+from .plane import PLANE_ENV_VAR, PLANES, DenseMessagePlane
 from .topology import CompiledTopology, compile_topology
 from ..runtime.seeding import derive_seed
 
 ProgramFactory = Callable[[NodeContext], NodeProgram]
 
 _EMPTY_INBOX: Mapping[Any, Any] = MappingProxyType({})
+
+
+def resolve_plane(plane: Optional[str]) -> str:
+    """Resolve the message-plane selection (arg, env var, dense default)."""
+    if plane is None:
+        plane = os.environ.get(PLANE_ENV_VAR) or "dense"
+    if plane not in PLANES:
+        raise ValueError(
+            f"unknown message plane {plane!r}; choose from {PLANES}"
+        )
+    return plane
 
 
 @dataclass
@@ -160,6 +174,7 @@ class CongestNetwork:
         strict_bandwidth: bool = False,
         raise_on_limit: bool = False,
         profile: Union[None, str, InstrumentationProfile] = None,
+        plane: Optional[str] = None,
     ) -> SimulationResult:
         """Run the protocol until all programs halt or *max_rounds* elapse.
 
@@ -177,10 +192,55 @@ class CongestNetwork:
                 and fall back to faithful.  Profiles never change
                 outputs, rounds, or halting; they trade diagnostic
                 depth for throughput.
+            plane: message-plane implementation -- ``"dense"`` (flat
+                per-round edge-slot buffers, the default), ``"dict"``
+                (the seed's per-node dict inboxes, retained as the
+                differential-testing reference), or ``None`` to consult
+                ``REPRO_SIM_PLANE``.  Planes never change results.
         """
         prof = resolve_profile(profile)
         prof.bind(self.topology, self.bandwidth_bits, strict_bandwidth)
         programs = self.make_programs(factory, config)
+        # Custom profiles written against the dict-plane API (overriding
+        # deliver() only) keep working: they are routed to the dict loop.
+        dense_capable = (
+            type(prof).deliver_dense is not InstrumentationProfile.deliver_dense
+        )
+        if resolve_plane(plane) == "dict" or not dense_capable:
+            rounds_executed, active = self._run_dict_plane(
+                programs, prof, max_rounds
+            )
+        else:
+            rounds_executed, active = self._run_dense_plane(
+                programs, prof, max_rounds
+            )
+
+        halted = not active
+        if not halted and raise_on_limit:
+            raise SimulationLimitError(
+                f"{len(active)} programs still "
+                f"running after {max_rounds} rounds"
+            )
+        return SimulationResult(
+            rounds=rounds_executed,
+            outputs={v: p.output for v, p in programs.items()},
+            halted=halted,
+            total_messages=prof.total_messages,
+            total_bits=prof.total_bits,
+            max_message_bits=prof.max_message_bits,
+            bandwidth_bits=self.bandwidth_bits,
+            over_budget_messages=prof.over_budget,
+            profile=prof.name,
+            round_stats=prof.round_stats(),
+            programs=programs,
+        )
+
+    def _run_dict_plane(self, programs, prof, max_rounds):
+        """The seed delivery loop: per-node dict inboxes rebuilt per round.
+
+        Kept verbatim as the reference implementation the dense plane is
+        differentially tested against.
+        """
         # Active set: only unhalted programs are stepped; the list
         # shrinks as programs halt (replacing the old twice-per-round
         # all(p.halted) scans over every program).
@@ -208,23 +268,49 @@ class CongestNetwork:
                     deliver(node, outbox, next_inboxes)
             inboxes = next_inboxes
             active = [item for item in active if not item[1].halted]
+        return rounds_executed, active
 
-        halted = not active
-        if not halted and raise_on_limit:
-            raise SimulationLimitError(
-                f"{len(active)} programs still "
-                f"running after {max_rounds} rounds"
-            )
-        return SimulationResult(
-            rounds=rounds_executed,
-            outputs={v: p.output for v, p in programs.items()},
-            halted=halted,
-            total_messages=prof.total_messages,
-            total_bits=prof.total_bits,
-            max_message_bits=prof.max_message_bits,
-            bandwidth_bits=self.bandwidth_bits,
-            over_budget_messages=prof.over_budget,
-            profile=prof.name,
-            round_stats=prof.round_stats(),
-            programs=programs,
+    def _run_dense_plane(self, programs, prof, max_rounds):
+        """Dense delivery loop: flat edge-slot buffers, CSR row scans.
+
+        Payloads move through a
+        :class:`~repro.congest.plane.DenseMessagePlane`; the profile
+        files each outbox into mirror slots and receivers scan their own
+        contiguous row slice.  Round tokens are 1-based so the zeroed
+        stamp buffers read as empty in round 0.
+        """
+        index = self.topology.index
+        active = [
+            (index[node], node, program)
+            for node, program in programs.items()
+            if not program.halted
+        ]
+        plane = DenseMessagePlane(self.topology)
+        rounds_executed = 0
+
+        deliver = prof.deliver_dense
+        inbox_of = (
+            plane.inbox_dict if prof.materialize_inboxes else plane.inbox_view
         )
+        for round_index in range(max_rounds):
+            if not active:
+                break
+            rounds_executed += 1
+            prof.begin_round(round_index)
+            token = round_index + 1
+            for idx, node, program in active:
+                inbox = inbox_of(idx, round_index)
+                outbox = program.step(
+                    round_index, _EMPTY_INBOX if inbox is None else inbox
+                )
+                if outbox is None:
+                    continue
+                if not isinstance(outbox, Mapping):
+                    raise ProtocolError(
+                        f"node {node!r} returned a non-mapping outbox: {outbox!r}"
+                    )
+                if outbox:
+                    deliver(idx, node, outbox, plane, token)
+            plane.swap()
+            active = [item for item in active if not item[2].halted]
+        return rounds_executed, active

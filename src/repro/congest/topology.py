@@ -77,6 +77,8 @@ class CompiledTopology:
         "neighbor_sets",
         "neighbor_index_sets",
         "bandwidth_bits",
+        "_plane_arrays",
+        "_edge_arrays",
         "__weakref__",
     )
 
@@ -117,8 +119,53 @@ class CompiledTopology:
         self.neighbor_sets = neighbor_sets
         self.neighbor_index_sets = tuple(neighbor_index_sets)
         self.bandwidth_bits = default_bandwidth_bits(self.n)
+        self._plane_arrays = None
+        self._edge_arrays = None
 
     # -- dense-index accessors ------------------------------------------------
+
+    def plane_arrays(self) -> "PlaneArrays":
+        """Edge-slot arrays backing the dense message plane (lazy, cached).
+
+        Every directed edge ``(u, v)`` owns one *slot*: the position of
+        ``v`` in ``u``'s CSR row addresses the half-edge ``u -> v``, and
+        messages travelling ``u -> v`` land in the **mirror** slot (the
+        position of ``u`` in ``v``'s row), so a receiver's mail for one
+        round is exactly the stamped entries of its own row slice.  The
+        arrays are derived once per topology and shared by every run.
+        """
+        arrays = self._plane_arrays
+        if arrays is None:
+            arrays = self._plane_arrays = PlaneArrays(self)
+        return arrays
+
+    def edge_arrays(self):
+        """Undirected edges as numpy index arrays ``(eu, ev)``, ``eu < ev``.
+
+        One row per edge, endpoints as dense indices, ordered by
+        ``(eu, row position)`` -- the contiguous representation the
+        CSR-native partition pipeline sweeps instead of networkx edge
+        views.  Lazily built and cached; raises :class:`ImportError`
+        when numpy is unavailable (callers fall back to the dict layer).
+        """
+        arrays = self._edge_arrays
+        if arrays is None:
+            import numpy as np
+
+            eu = []
+            ev = []
+            indptr, indices = self.indptr, self.indices
+            for u in range(self.n):
+                for j in range(indptr[u], indptr[u + 1]):
+                    v = indices[j]
+                    if u < v:
+                        eu.append(u)
+                        ev.append(v)
+            arrays = self._edge_arrays = (
+                np.asarray(eu, dtype=np.int64),
+                np.asarray(ev, dtype=np.int64),
+            )
+        return arrays
 
     def neighbor_indices(self, i: int):
         """Dense neighbor indices of dense index *i* (CSR row slice)."""
@@ -130,6 +177,71 @@ class CompiledTopology:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledTopology(n={self.n}, m={self.m})"
+
+
+class PlaneArrays:
+    """Flat edge-slot lookup tables for the dense message plane.
+
+    Attributes:
+        csr_ids: per-slot original node id of the row entry
+            (``csr_ids[s] = nodes[indices[s]]``) -- the *sender* id seen
+            by the receiver owning slot ``s``.
+        mirror: per-slot index of the reversed half-edge: for slot ``j``
+            encoding ``u -> v`` in u's row, ``mirror[j]`` is the slot of
+            ``v -> u`` in v's row.  Writing a payload for ``v`` into
+            ``mirror[j]`` files it exactly where v's row scan finds it.
+        row_owner: per-slot dense index of the row's owner (receiver).
+        send_slot: per sender dense index, mapping from a *target's
+            original id* to the slot (in the target's row) that delivers
+            to it -- one dict ``get`` both validates neighborship and
+            addresses the write.
+        broadcast_slots / broadcast_targets: per sender dense index, the
+            mirror-slot list and receiver-index list of its whole row --
+            a pure broadcast zips the two and never touches the CSR.
+
+    All tables are plain Python lists of pre-boxed ints (not ``array``
+    typecodes): the delivery loop indexes them millions of times per
+    run, and list reads return shared int objects instead of boxing a
+    fresh ``PyLong`` per access.
+    """
+
+    __slots__ = (
+        "csr_ids",
+        "mirror",
+        "row_owner",
+        "send_slot",
+        "broadcast_slots",
+        "broadcast_targets",
+    )
+
+    def __init__(self, topology: "CompiledTopology"):
+        indptr = topology.indptr
+        indices = list(topology.indices)
+        nodes = topology.nodes
+        n = topology.n
+        csr_ids = [nodes[i] for i in indices]
+        position: Dict[Tuple[int, int], int] = {}
+        row_owner = [0] * len(indices)
+        for u in range(n):
+            for j in range(indptr[u], indptr[u + 1]):
+                position[(u, indices[j])] = j
+                row_owner[j] = u
+        mirror = [position[(v, u)] for (u, v) in position]
+        send_slot = []
+        broadcast_slots = []
+        broadcast_targets = []
+        for u in range(n):
+            lo, hi = indptr[u], indptr[u + 1]
+            row_mirror = mirror[lo:hi]
+            send_slot.append(dict(zip(csr_ids[lo:hi], row_mirror)))
+            broadcast_slots.append(row_mirror)
+            broadcast_targets.append(indices[lo:hi])
+        self.csr_ids = csr_ids
+        self.mirror = mirror
+        self.row_owner = row_owner
+        self.send_slot = tuple(send_slot)
+        self.broadcast_slots = tuple(broadcast_slots)
+        self.broadcast_targets = tuple(broadcast_targets)
 
 
 @dataclass

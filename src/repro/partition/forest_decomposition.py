@@ -54,11 +54,15 @@ def forest_decomposition_emulated(
     ledger: Optional[RoundLedger] = None,
     cost_model: Optional[TreeCostModel] = None,
     charge_full_budget: bool = True,
+    n_graph: Optional[int] = None,
+    height: Optional[int] = None,
 ) -> ForestDecompositionResult:
     """Run the deactivation process on *aux*; orient its edges.
 
     Args:
-        aux: the auxiliary graph G_i.
+        aux: the auxiliary graph G_i (any object exposing the
+            :class:`AuxiliaryGraph` query interface, e.g. the CSR-native
+            :class:`~repro.partition.dense.DenseAuxiliaryGraph`).
         alpha: arboricity bound (3 for planar graphs).
         budget: number of super-rounds; defaults to the certified
             ``O(log n)`` bound for the *underlying* node count, matching
@@ -68,8 +72,14 @@ def forest_decomposition_emulated(
         charge_full_budget: charge all budgeted super-rounds (paper
             behavior: the schedule length is fixed a priori).  When False,
             only executed super-rounds are charged.
+        n_graph: underlying node count; defaults to
+            ``aux.partition.graph.number_of_nodes()`` (dense callers pass
+            it explicitly -- their aux carries no partition object).
+        height: current maximum part height for the ledger charge;
+            defaults to ``aux.partition.max_height()``.
     """
-    n_graph = aux.partition.graph.number_of_nodes()
+    if n_graph is None:
+        n_graph = aux.partition.graph.number_of_nodes()
     if budget is None:
         budget = barenboim_elkin_round_budget(n_graph)
     threshold = 3 * alpha
@@ -101,7 +111,8 @@ def forest_decomposition_emulated(
 
     if ledger is not None:
         model = cost_model or TreeCostModel()
-        height = aux.partition.max_height()
+        if height is None:
+            height = aux.partition.max_height()
         per_super_round = model.super_round(height, alpha)
         charged_rounds = budget if charge_full_budget else executed
         ledger.charge(
@@ -130,8 +141,7 @@ def _orient(
     (the process rejected anyway).
     """
     out: Dict[Any, List[Any]] = {pid: [] for pid in aux.nodes()}
-    for edge in aux.edges():
-        pa, pb = edge.parts
+    for pa, pb in aux.edge_parts():
         ra, rb = inactive_round[pa], inactive_round[pb]
         if ra is None and rb is None:
             continue

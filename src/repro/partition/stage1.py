@@ -22,6 +22,7 @@ run the a-priori phase cap; we report both).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -35,6 +36,37 @@ from .coloring import cole_vishkin_emulated
 from .forest_decomposition import forest_decomposition_emulated
 from .marking import MarkingResult, mark_and_choose
 from .parts import Partition, build_part
+
+ENGINE_ENV_VAR = "REPRO_PARTITION_ENGINE"
+
+ENGINES = ("auto", "dense", "legacy")
+"""Partition engines selectable via ``engine=`` or the environment."""
+
+
+def resolve_engine(engine: Optional[str], graph: nx.Graph) -> str:
+    """Resolve the partition engine for *graph*.
+
+    ``None`` consults ``REPRO_PARTITION_ENGINE`` and defaults to
+    ``"auto"``; auto picks the CSR-native dense engine whenever
+    :func:`~repro.partition.dense.dense_supported` certifies exact
+    equivalence (numpy present, non-negative int labels) and the legacy
+    dict engine otherwise.  Requesting ``"dense"`` on an unsupported
+    input raises.
+    """
+    from .dense import dense_supported
+
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV_VAR) or "auto"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown partition engine {engine!r}; choose from {ENGINES}")
+    if engine == "auto":
+        return "dense" if dense_supported(graph) else "legacy"
+    if engine == "dense" and not dense_supported(graph):
+        raise ValueError(
+            "dense partition engine requires numpy and non-negative "
+            "integer node labels"
+        )
+    return engine
 
 
 @dataclass
@@ -220,6 +252,7 @@ def partition_stage1(
     ledger: Optional[RoundLedger] = None,
     cost_model: Optional[TreeCostModel] = None,
     charge_full_budget: bool = True,
+    engine: Optional[str] = None,
 ) -> Stage1Result:
     """Run Stage I on *graph*.
 
@@ -236,6 +269,9 @@ def partition_stage1(
         cost_model: emulation cost formulas.
         charge_full_budget: charge the full O(log n) forest-decomposition
             schedule per phase (paper behavior).
+        engine: ``"auto"`` (default; CSR-native when supported),
+            ``"dense"``, or ``"legacy"`` -- see :func:`resolve_engine`.
+            Engines produce identical results; only wall-clock differs.
     """
     if not 0 < epsilon <= 1:
         raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
@@ -247,6 +283,19 @@ def partition_stage1(
     cap = theoretical_phase_cap(m, target_cut, alpha)
     if max_phases is None:
         max_phases = cap
+
+    if resolve_engine(engine, graph) == "dense":
+        return _partition_stage1_dense(
+            graph,
+            alpha=alpha,
+            target_cut=target_cut,
+            max_phases=max_phases,
+            early_stop=early_stop,
+            ledger=ledger,
+            model=model,
+            charge_full_budget=charge_full_budget,
+            cap=cap,
+        )
 
     partition = Partition.singletons(graph)
     phases: List[PhaseStats] = []
@@ -311,6 +360,133 @@ def partition_stage1(
 
     return Stage1Result(
         partition=partition,
+        success=True,
+        rejecting_parts=(),
+        phases=phases,
+        ledger=ledger,
+        target_cut=target_cut,
+        theoretical_phase_cap=cap,
+    )
+
+
+def _partition_stage1_dense(
+    graph: nx.Graph,
+    alpha: int,
+    target_cut: float,
+    max_phases: int,
+    early_stop: bool,
+    ledger: RoundLedger,
+    model: TreeCostModel,
+    charge_full_budget: bool,
+    cap: int,
+) -> Stage1Result:
+    """The Stage I phase loop on the CSR-native dense state.
+
+    Same control flow and decision layer as the legacy loop above; the
+    per-phase O(m) sweeps (auxiliary build, cut counting, merges) run on
+    the compiled topology's flat arrays.  Part ids are dense indices
+    internally; Cole-Vishkin seeds from the original ids so colorings --
+    and therefore every contraction -- match the legacy engine bit for
+    bit (asserted by the differential suite).
+    """
+    import numpy as _np
+
+    from ..congest.topology import compile_topology
+    from .dense import (
+        DensePartitionState,
+        cole_vishkin_dense,
+        forest_decomposition_dense,
+        mark_and_choose_dense,
+        orient_and_select_dense,
+    )
+
+    topology = compile_topology(graph)
+    ids = topology.nodes
+    state = DensePartitionState(topology)
+    n = topology.n
+    m = graph.number_of_edges()
+    phases: List[PhaseStats] = []
+    cut = m
+
+    for phase_index in range(1, max_phases + 1):
+        if cut == 0 or (early_stop and cut <= target_cut):
+            break
+        aux = state.build_aux()
+        height = state.max_height()
+        pids = aux.pids
+
+        success, active, inactive_round, fd_super_rounds = (
+            forest_decomposition_dense(
+                aux,
+                alpha,
+                n_graph=n,
+                height=height,
+                ledger=ledger,
+                cost_model=model,
+                charge_full_budget=charge_full_budget,
+            )
+        )
+        if not success:
+            rejecting = tuple(
+                sorted(ids[pids[c]] for c in _np.nonzero(active)[0].tolist())
+            )
+            return Stage1Result(
+                partition=state.to_partition(graph),
+                success=False,
+                rejecting_parts=rejecting,
+                phases=phases,
+                ledger=ledger,
+                target_cut=target_cut,
+                theoretical_phase_cap=cap,
+            )
+
+        # Sub-steps 1-4 on compact arrays: heaviest-out-edge selection,
+        # vectorized Cole-Vishkin, CHW marking, star contraction.
+        parent_c, weight_c = orient_and_select_dense(aux, inactive_round)
+        init_colors = _np.fromiter(
+            (ids[pid] for pid in pids), dtype=_np.int64, count=len(pids)
+        )
+        colors, cv_rounds = cole_vishkin_dense(
+            parent_c,
+            init_colors,
+            ledger=ledger,
+            cost_model=model,
+            height=height,
+        )
+        marking = mark_and_choose_dense(parent_c, weight_c, colors)
+        _charge_merging_overhead(ledger, model, height, marking)
+
+        parts_before = state.size
+        state.merge(
+            [(pids[c], pids[p]) for c, p in marking.contract_edges], aux
+        )
+        new_cut = state.cut_size()
+        phases.append(
+            PhaseStats(
+                phase=phase_index,
+                parts_before=parts_before,
+                parts_after=state.size,
+                cut_before=cut,
+                cut_after=new_cut,
+                max_height_before=height,
+                max_height_after=state.max_height(),
+                fd_super_rounds=fd_super_rounds,
+                cv_super_rounds=cv_rounds,
+                max_marked_tree_height=max(
+                    marking.tree_heights.values(), default=0
+                ),
+                marked_weight=marking.marked_weight,
+                contracted_weight=marking.contracted_weight,
+            )
+        )
+        if new_cut >= cut and cut > 0:
+            raise PartitionError(
+                f"phase {phase_index} made no progress (cut {cut} -> {new_cut})"
+            )
+        cut = new_cut
+
+    return Stage1Result(
+        partition=state.to_partition(graph),
         success=True,
         rejecting_parts=(),
         phases=phases,

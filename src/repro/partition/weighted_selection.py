@@ -38,6 +38,7 @@ from .stage1 import (
     Stage1Result,
     _charge_merging_overhead,
     merge_parts,
+    resolve_engine,
 )
 
 
@@ -135,6 +136,7 @@ def partition_randomized(
     cost_model: Optional[TreeCostModel] = None,
     coloring: str = "cole-vishkin",
     coloring_rounds: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> RandomizedPartitionResult:
     """Theorem 4 partition: ``O(poly(1/eps)(log 1/delta + log* n))`` rounds.
 
@@ -156,6 +158,10 @@ def partition_randomized(
             small) abstention fraction slowing the decay.
         coloring_rounds: budget for the randomized coloring; defaults to
             ``ceil(log2(phases/delta)) + 2``.
+        engine: partition engine (``"auto"``/``"dense"``/``"legacy"``;
+            see :func:`repro.partition.stage1.resolve_engine`).  Engines
+            consume the RNG stream in the same order and produce
+            identical results.
         max_phases / early_stop / seed / ledger / cost_model: as Stage I.
     """
     if not 0 < epsilon <= 1:
@@ -175,6 +181,23 @@ def partition_randomized(
     ledger = ledger if ledger is not None else RoundLedger()
     model = cost_model or TreeCostModel()
 
+    if resolve_engine(engine, graph) == "dense":
+        return _partition_randomized_dense(
+            graph,
+            delta=delta,
+            alpha=alpha,
+            target_cut=target_cut,
+            trials=trials,
+            max_phases=max_phases,
+            early_stop=early_stop,
+            rng=rng,
+            ledger=ledger,
+            model=model,
+            coloring=coloring,
+            coloring_rounds=coloring_rounds,
+            cap=cap,
+        )
+
     partition = Partition.singletons(graph)
     phases: List[PhaseStats] = []
     cut = m
@@ -193,31 +216,17 @@ def partition_randomized(
             "randomized.selection",
             f"{trials} weighted draws over trees of height {height}",
         )
-        if coloring == "cole-vishkin":
-            colors, cv_rounds = cole_vishkin_emulated(
-                out_edge,
-                ledger=ledger,
-                cost_model=model,
-                height=height,
-                category="randomized.coloring",
-            )
-        elif coloring == "randomized":
-            budget = coloring_rounds
-            if budget is None:
-                budget = (
-                    int(math.ceil(math.log2(max(2.0, (cap or 1) / delta)))) + 2
-                )
-            colors, _abstaining = randomized_coloring_emulated(
-                out_edge,
-                rounds=budget,
-                rng=rng,
-                ledger=ledger,
-                cost_model=model,
-                height=height,
-            )
-            cv_rounds = budget
-        else:
-            raise ValueError(f"unknown coloring {coloring!r}")
+        colors, cv_rounds = _color_pseudoforest(
+            out_edge,
+            coloring,
+            coloring_rounds,
+            cap,
+            delta,
+            rng,
+            ledger,
+            model,
+            height,
+        )
         marking = mark_and_choose(out_edge, weights, colors)
         _charge_merging_overhead(ledger, model, height, marking)
 
@@ -273,6 +282,166 @@ def partition_randomized(
 
     return RandomizedPartitionResult(
         partition=partition,
+        success=True,
+        rejecting_parts=(),
+        phases=phases,
+        ledger=ledger,
+        target_cut=target_cut,
+        theoretical_phase_cap=cap,
+        trials=trials,
+        delta=delta,
+    )
+
+
+def _color_pseudoforest(
+    out_edge,
+    coloring: str,
+    coloring_rounds: Optional[int],
+    cap: int,
+    delta: float,
+    rng: random.Random,
+    ledger: RoundLedger,
+    model: TreeCostModel,
+    height: int,
+    initial_colors=None,
+):
+    """Sub-step 2a for both engines: CV or randomized coloring of F_i."""
+    if coloring == "cole-vishkin":
+        return cole_vishkin_emulated(
+            out_edge,
+            initial_colors=initial_colors,
+            ledger=ledger,
+            cost_model=model,
+            height=height,
+            category="randomized.coloring",
+        )
+    if coloring == "randomized":
+        budget = coloring_rounds
+        if budget is None:
+            budget = int(math.ceil(math.log2(max(2.0, (cap or 1) / delta)))) + 2
+        colors, _abstaining = randomized_coloring_emulated(
+            out_edge,
+            rounds=budget,
+            rng=rng,
+            ledger=ledger,
+            cost_model=model,
+            height=height,
+        )
+        return colors, budget
+    raise ValueError(f"unknown coloring {coloring!r}")
+
+
+def _partition_randomized_dense(
+    graph: nx.Graph,
+    delta: float,
+    alpha: int,
+    target_cut: float,
+    trials: int,
+    max_phases: int,
+    early_stop: bool,
+    rng: random.Random,
+    ledger: RoundLedger,
+    model: TreeCostModel,
+    coloring: str,
+    coloring_rounds: Optional[int],
+    cap: int,
+) -> RandomizedPartitionResult:
+    """The Theorem 4 phase loop on the CSR-native dense state.
+
+    The weighted selection iterates parts in sorted-root order and the
+    randomized coloring consumes conflicts in out-edge insertion order;
+    both orders are preserved under the dense-index relabeling (dense
+    indices sort like the original non-negative int ids), so the RNG
+    stream -- and therefore every draw -- matches the legacy engine.
+    """
+    from ..congest.topology import compile_topology
+    from .dense import DensePartitionState
+
+    topology = compile_topology(graph)
+    ids = topology.nodes
+    state = DensePartitionState(topology)
+    phases: List[PhaseStats] = []
+    cut = graph.number_of_edges()
+
+    for phase_index in range(1, max_phases + 1):
+        if cut == 0 or (early_stop and cut <= target_cut):
+            break
+        aux = state.build_aux()
+        height = state.max_height()
+
+        out_edge, weights = weighted_edge_selection(aux, trials, rng)
+        ledger.charge(
+            trials * (model.convergecast(height) + 1) + 1,
+            "randomized.selection",
+            f"{trials} weighted draws over trees of height {height}",
+        )
+        colors, cv_rounds = _color_pseudoforest(
+            out_edge,
+            coloring,
+            coloring_rounds,
+            cap,
+            delta,
+            rng,
+            ledger,
+            model,
+            height,
+            initial_colors=(
+                {i: ids[i] for i in out_edge}
+                if coloring == "cole-vishkin"
+                else None
+            ),
+        )
+        marking = mark_and_choose(out_edge, weights, colors)
+        _charge_merging_overhead(ledger, model, height, marking)
+
+        parts_before = state.size
+        if not marking.contract_edges:
+            phases.append(
+                PhaseStats(
+                    phase=phase_index,
+                    parts_before=parts_before,
+                    parts_after=parts_before,
+                    cut_before=cut,
+                    cut_after=cut,
+                    max_height_before=height,
+                    max_height_after=height,
+                    fd_super_rounds=0,
+                    cv_super_rounds=cv_rounds,
+                    max_marked_tree_height=0,
+                    marked_weight=marking.marked_weight,
+                    contracted_weight=0,
+                )
+            )
+            continue
+
+        state.merge(marking.contract_edges, aux)
+        new_cut = state.cut_size()
+        phases.append(
+            PhaseStats(
+                phase=phase_index,
+                parts_before=parts_before,
+                parts_after=state.size,
+                cut_before=cut,
+                cut_after=new_cut,
+                max_height_before=height,
+                max_height_after=state.max_height(),
+                fd_super_rounds=0,
+                cv_super_rounds=cv_rounds,
+                max_marked_tree_height=max(
+                    marking.tree_heights.values(), default=0
+                ),
+                marked_weight=marking.marked_weight,
+                contracted_weight=marking.contracted_weight,
+            )
+        )
+        if new_cut >= cut:
+            raise PartitionError(
+                f"phase {phase_index} made no progress (cut {cut} -> {new_cut})"
+            )
+        cut = new_cut
+
+    return RandomizedPartitionResult(
+        partition=state.to_partition(graph),
         success=True,
         rejecting_parts=(),
         phases=phases,

@@ -32,10 +32,13 @@ Grid sweeps (the benchmark/CLI entry point) layer on top::
 """
 
 from .cache import (
+    COORD_KEYS_ENV_VAR,
     CacheStats,
     ResultCache,
     cache_key,
     config_digest,
+    coord_keys_enabled,
+    coordinate_fingerprint,
     graph_fingerprint,
 )
 from .executor import (
@@ -54,6 +57,9 @@ __all__ = [
     "BACKENDS",
     "BatchResult",
     "CacheStats",
+    "COORD_KEYS_ENV_VAR",
+    "coord_keys_enabled",
+    "coordinate_fingerprint",
     "JobSpec",
     "ProcessPoolBackend",
     "Record",

@@ -30,6 +30,37 @@ import networkx as nx
 
 from .jobs import JobSpec, Record
 
+COORD_KEYS_ENV_VAR = "REPRO_CACHE_COORD_KEYS"
+
+
+def coord_keys_enabled() -> bool:
+    """Whether ``REPRO_CACHE_COORD_KEYS=1`` selects coordinate keys."""
+    return os.environ.get(COORD_KEYS_ENV_VAR, "0") == "1"
+
+
+def coordinate_fingerprint(spec: JobSpec) -> str:
+    """Graph fingerprint derived from generator coordinates alone.
+
+    Hashes ``(family/far, n, effective graph seed)`` instead of the
+    generated edge list, so a cache hit skips graph generation entirely.
+    Sound because the bundled generators are deterministic in those
+    coordinates (the cross-check test regenerates and compares content
+    fingerprints).  The ``coord:`` prefix keeps this key space disjoint
+    from content-addressed fingerprints -- flipping the mode never
+    aliases entries, it only re-keys them.
+    """
+    payload = json.dumps(
+        {
+            "far": spec.far,
+            "family": spec.family,
+            "n": spec.n,
+            "graph_seed": spec.effective_graph_seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return "coord:" + hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
 
 def graph_fingerprint(graph: nx.Graph) -> str:
     """SHA-256 over the canonical node and edge lists of *graph*.
@@ -194,11 +225,20 @@ class KeyDeriver:
     Built graphs are retained (for the lifetime of the deriver, i.e. one
     batch) so in-process execution can reuse them instead of generating
     each input a second time after fingerprinting.
+
+    With coordinate keys (``coord_keys=True``, or the
+    ``REPRO_CACHE_COORD_KEYS=1`` environment default) the fingerprint
+    comes from :func:`coordinate_fingerprint` and **no graph is built**
+    while deriving keys -- a fully-cached batch then never touches the
+    generators; misses build their graph lazily in the backend.
     """
 
-    def __init__(self):
+    def __init__(self, coord_keys: Optional[bool] = None):
         self._fingerprints: Dict[Any, str] = {}
         self._graphs: Dict[Any, nx.Graph] = {}
+        self.coord_keys = (
+            coord_keys_enabled() if coord_keys is None else coord_keys
+        )
 
     def _graph_id(self, spec: JobSpec) -> Any:
         return spec.graph_coordinates
@@ -207,10 +247,13 @@ class KeyDeriver:
         graph_id = self._graph_id(spec)
         fingerprint = self._fingerprints.get(graph_id)
         if fingerprint is None:
-            graph = spec.build_graph()
-            fingerprint = graph_fingerprint(graph)
+            if self.coord_keys:
+                fingerprint = coordinate_fingerprint(spec)
+            else:
+                graph = spec.build_graph()
+                fingerprint = graph_fingerprint(graph)
+                self._graphs[graph_id] = graph
             self._fingerprints[graph_id] = fingerprint
-            self._graphs[graph_id] = graph
         return cache_key(spec, fingerprint)
 
     def graph_for(self, spec: JobSpec) -> Optional[nx.Graph]:

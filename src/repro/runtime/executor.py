@@ -230,9 +230,20 @@ def run_jobs(
             pending[key] = [index]
 
     miss_specs = [specs[i] for i in miss_indices]
-    fresh = backend.run(
-        miss_specs, graphs=[deriver.graph_for(spec) for spec in miss_specs]
-    )
+    miss_graphs = [deriver.graph_for(spec) for spec in miss_specs]
+    if getattr(backend, "wants_graph_hints", False):
+        # Coordinate-keyed derivers never build graphs; fill the gaps so
+        # in-process misses still share one instance (and one compiled
+        # topology) per distinct input.
+        built: Dict = {}
+        for position, (spec, graph) in enumerate(zip(miss_specs, miss_graphs)):
+            if graph is None:
+                key = spec.graph_coordinates
+                graph = built.get(key)
+                if graph is None:
+                    graph = built[key] = spec.build_graph()
+                miss_graphs[position] = graph
+    fresh = backend.run(miss_specs, graphs=miss_graphs)
     for index, record in zip(miss_indices, fresh):
         cache.store(keys[index], record)
         batch_stats.stores += 1

@@ -198,6 +198,24 @@ def run_job(spec: JobSpec, graph: Optional[nx.Graph] = None) -> Record:
 # -- builtin runners ---------------------------------------------------------
 
 
+def _decay_stats(phases) -> Record:
+    """Flat per-run summary of the per-phase cut-decay factors.
+
+    Zero-cut phases are clamped to 1e-6 (the convention benchmark E7
+    established for its geometric mean).
+    """
+    decays = [max(s.decay, 1e-6) for s in phases]
+    if not decays:
+        return {"decay_min": 1.0, "decay_geomean": 1.0, "decay_max": 1.0}
+    from ..analysis import geometric_mean
+
+    return {
+        "decay_min": min(decays),
+        "decay_geomean": geometric_mean(decays),
+        "decay_max": max(decays),
+    }
+
+
 def _run_test_planarity(spec: JobSpec, graph: nx.Graph) -> Record:
     from ..testers.planarity import PlanarityTestConfig, test_planarity
 
@@ -213,6 +231,8 @@ def _run_test_planarity(spec: JobSpec, graph: nx.Graph) -> Record:
             "reject_on_embedding_failure", False
         ),
         collect_exact_violations=params.get("collect_exact_violations", False),
+        engine=params.get("engine"),
+        native=params.get("native", True),
     )
     result = test_planarity(graph, seed=spec.seed, config=config)
     return {
@@ -249,8 +269,9 @@ def _run_partition_stage1(spec: JobSpec, graph: nx.Graph) -> Record:
         max_phases=params.get("max_phases"),
         early_stop=params.get("early_stop", True),
         charge_full_budget=params.get("charge_full_budget", True),
+        engine=params.get("engine"),
     )
-    return {
+    record = {
         "epsilon": epsilon,
         "success": result.success,
         "parts": result.partition.size,
@@ -261,6 +282,8 @@ def _run_partition_stage1(spec: JobSpec, graph: nx.Graph) -> Record:
         "phases": len(result.phases),
         "rounds": result.rounds,
     }
+    record.update(_decay_stats(result.phases))
+    return record
 
 
 def _run_partition_randomized(spec: JobSpec, graph: nx.Graph) -> Record:
@@ -278,8 +301,9 @@ def _run_partition_randomized(spec: JobSpec, graph: nx.Graph) -> Record:
         early_stop=params.get("early_stop", True),
         seed=spec.seed,
         coloring=params.get("coloring", "cole-vishkin"),
+        engine=params.get("engine"),
     )
-    return {
+    record = {
         "epsilon": params.get("epsilon", 0.1),
         "delta": result.delta,
         "success": result.success,
@@ -292,6 +316,8 @@ def _run_partition_randomized(spec: JobSpec, graph: nx.Graph) -> Record:
         "trials": result.trials,
         "rounds": result.rounds,
     }
+    record.update(_decay_stats(result.phases))
+    return record
 
 
 def _run_spanner(spec: JobSpec, graph: nx.Graph) -> Record:

@@ -28,7 +28,7 @@ from ..graphs.utils import require_simple
 from ..partition.stage1 import partition_stage1
 from ..runtime.seeding import derive_rng
 from .results import PlanarityTestResult
-from .stage2 import Stage2Config, test_part
+from .stage2 import Stage2Config, extract_part_subgraphs, test_part
 
 
 @dataclass
@@ -48,6 +48,11 @@ class PlanarityTestConfig:
         reject_on_embedding_failure: see :class:`Stage2Config`.
         collect_exact_violations: per-part exact violating-edge counts
             (analysis mode, used by benchmarks).
+        engine: Stage I partition engine (``"auto"``/``"dense"``/
+            ``"legacy"``; ``None`` consults ``REPRO_PARTITION_ENGINE``).
+        native: CSR-native Stage II pipeline (see
+            :class:`Stage2Config.native`).  Both knobs change wall-clock
+            only, never results.
     """
 
     epsilon: float = 0.1
@@ -58,6 +63,8 @@ class PlanarityTestConfig:
     max_phases: Optional[int] = None
     reject_on_embedding_failure: bool = False
     collect_exact_violations: bool = False
+    engine: Optional[str] = None
+    native: bool = True
 
     def stage2(self) -> Stage2Config:
         """The Stage II view of this configuration."""
@@ -66,6 +73,7 @@ class PlanarityTestConfig:
             sample_constant=self.sample_constant,
             reject_on_embedding_failure=self.reject_on_embedding_failure,
             collect_exact_violations=self.collect_exact_violations,
+            native=self.native,
         )
 
 
@@ -87,6 +95,11 @@ def stage2_over_partition(
     verdicts = []
     rejecting = []
     max_part_rounds = 0
+    subgraphs = (
+        extract_part_subgraphs(graph, partition)
+        if stage2_config.native
+        else {}
+    )
     for pid in sorted(partition.parts, key=repr):
         part = partition.parts[pid]
         rng = derive_rng(seed, repr(pid), "stage2")
@@ -97,6 +110,7 @@ def stage2_over_partition(
             rng=rng,
             config=stage2_config,
             cost_model=model,
+            subgraph=subgraphs.get(pid),
         )
         verdicts.append(verdict)
         max_part_rounds = max(max_part_rounds, verdict.rounds)
@@ -139,6 +153,7 @@ def test_planarity(
         max_phases=config.max_phases,
         early_stop=config.early_stop,
         charge_full_budget=config.charge_full_budget,
+        engine=config.engine,
     )
     if not stage1.success:
         return PlanarityTestResult(

@@ -44,7 +44,7 @@ from .labels import (
     non_tree_intervals,
 )
 from .results import PartVerdict
-from .violations import count_violating, sample_and_detect
+from .violations import sample_and_detect, violating_mask
 
 
 @dataclass
@@ -73,6 +73,14 @@ class Stage2Config:
             LR oracle's verdict (DESIGN.md substitution 1).
         collect_exact_violations: also compute the exact violating-edge
             count per part (analysis only; used by benchmark E13).
+        native: run the CSR-native Stage II pipeline -- parts are
+            extracted into concrete subgraphs in one pass over the
+            parent adjacency (preserving its iteration order, so the
+            embedding and every downstream label is unchanged) and
+            sampled interlacements resolve against the Fenwick sweep
+            instead of the ``O(s*k)`` pairwise scan.  ``False`` keeps
+            the seed path (networkx subgraph views) as the
+            differential-testing reference; verdicts are identical.
     """
 
     epsilon: float = 0.1
@@ -80,6 +88,45 @@ class Stage2Config:
     criterion: str = "corner"
     reject_on_embedding_failure: bool = False
     collect_exact_violations: bool = False
+    native: bool = True
+
+
+def extract_part_subgraphs(graph: nx.Graph, partition) -> dict:
+    """Concrete induced subgraphs of every part, in one pass over *graph*.
+
+    The seed examined each part through ``graph.subgraph(nodes)`` views,
+    paying a parent-dict filter on every adjacency access, node scan,
+    and edge count -- multiplied across BFS, the LR embedding's DFS
+    sweeps, the Euler tour, and interval enumeration.  This builds all
+    parts' subgraphs in a single O(n + m) sweep instead.
+
+    The copies share the parent's node/edge data dicts (exactly the
+    view's semantics) and preserve the *view's* node and per-row
+    adjacency iteration order -- each part is materialized by walking
+    its view exactly once (networkx filter atlases choose between
+    parent-order and filter-set-order iteration depending on relative
+    sizes, so only the view itself is an authoritative order source).
+    Every order-sensitive consumer -- most importantly the LR embedding,
+    whose rotation system drives the corner labels and therefore the
+    sampled intervals -- then sees the same sequence it would through
+    the view and produces identical output, while all subsequent passes
+    (BFS, DFS sweeps, Euler tour, edge counts) run on concrete dicts.
+
+    Returns a mapping ``pid -> networkx.Graph``.
+    """
+    node_data = graph._node
+    subs: dict = {}
+    for pid, part in partition.parts.items():
+        view = graph.subgraph(part.nodes)
+        sub = nx.Graph()
+        node_store = sub._node
+        adj_store = sub._adj
+        view_adj = view._adj
+        for u in view:
+            node_store[u] = node_data[u]
+            adj_store[u] = dict(view_adj[u])
+        subs[pid] = sub
+    return subs
 
 
 def sample_size(n_total: int, config: Stage2Config) -> int:
@@ -102,14 +149,19 @@ def test_part(
     config: Stage2Config,
     ledger: Optional[RoundLedger] = None,
     cost_model: Optional[TreeCostModel] = None,
+    subgraph: Optional[nx.Graph] = None,
 ) -> PartVerdict:
     """Run Stage II on one part; return its verdict.
 
     *graph* is the full graph; the part's induced subgraph is examined.
+    *subgraph* may supply a pre-extracted concrete copy of that induced
+    subgraph (same node/adjacency iteration order as the view -- see
+    :func:`extract_part_subgraphs`); the default view keeps every
+    adjacency access filtering through the parent graph.
     """
     model = cost_model or TreeCostModel()
     local = RoundLedger()
-    sub = graph.subgraph(part.nodes)
+    sub = graph.subgraph(part.nodes) if subgraph is None else subgraph
     n, m = sub.number_of_nodes(), sub.number_of_edges()
 
     # 1. BFS tree + counts (Section 2.2.1).
@@ -179,15 +231,24 @@ def test_part(
     )
     intervals = [(a, b) for (a, b, _u, _v) in intervals_full]
 
-    violating = (
-        count_violating(intervals, universe=universe)
+    mask = (
+        violating_mask(intervals, universe=universe)
         if config.collect_exact_violations
         else None
     )
+    violating = sum(mask) if mask is not None else None
 
-    # 5. Sampling-based detection.
+    # 5. Sampling-based detection (the native pipeline resolves sampled
+    # interlacements via the Fenwick sweep -- reusing the analysis
+    # mask when it was already computed; identical outcomes).
     s = sample_size(n_total, config)
-    outcome = sample_and_detect(intervals, s, rng)
+    outcome = sample_and_detect(
+        intervals,
+        s,
+        rng,
+        universe=universe if config.native else None,
+        mask=mask if config.native else None,
+    )
     label_cost = max(1, 2 * label_words)
     local.charge(
         model.convergecast(depth, max(1, outcome.sampled))

@@ -58,11 +58,53 @@ class TestRoundLedger:
         main = RoundLedger()
         assert main.merge_parallel([], "parallel") == 0
 
+    def test_merge_parallel_empty_leaves_no_record(self):
+        main = RoundLedger()
+        main.charge(4, "before")
+        main.merge_parallel([], "parallel")
+        assert main.total == 4
+        assert "parallel" not in main.by_category()
+
+    def test_merge_parallel_accepts_any_iterable(self):
+        main = RoundLedger()
+        others = [RoundLedger(), RoundLedger()]
+        others[0].charge(7, "p")
+        cost = main.merge_parallel((o for o in others), "parallel")
+        assert cost == 7
+        (record,) = main.records
+        assert record.note == "max over 2 parallel components"
+
+    def test_merge_parallel_all_zero_totals(self):
+        main = RoundLedger()
+        assert main.merge_parallel([RoundLedger(), RoundLedger()], "p") == 0
+        assert main.records == []
+
+    def test_by_prefix_without_dot_uses_whole_category(self):
+        ledger = RoundLedger()
+        ledger.charge(3, "standalone")
+        ledger.charge(2, "standalone.sub")
+        assert ledger.by_prefix() == {"standalone": 5}
+
+    def test_by_prefix_empty_ledger(self):
+        assert RoundLedger().by_prefix() == {}
+
     def test_summary_mentions_categories(self):
         ledger = RoundLedger()
         ledger.charge(2, "alpha")
         text = ledger.summary()
         assert "alpha" in text and "2" in text
+
+    def test_summary_empty_and_indented(self):
+        assert RoundLedger().summary() == "total rounds: 0"
+        ledger = RoundLedger()
+        ledger.charge(1, "beta.x")
+        ledger.charge(2, "alpha.y")
+        text = ledger.summary(indent="  ")
+        lines = text.splitlines()
+        assert lines[0] == "  total rounds: 3"
+        # Categories render sorted, each further indented.
+        assert lines[1].strip().startswith("alpha.y")
+        assert lines[2].strip().startswith("beta.x")
 
     def test_iteration(self):
         ledger = RoundLedger()

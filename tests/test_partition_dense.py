@@ -1,0 +1,143 @@
+"""Differential tests: the CSR-native partition engine vs the seed engine.
+
+The acceptance bar of the dense-index pipeline: on every bundled
+generator (planar and far families alike) the dense engine must produce
+bit-identical partitions -- same parts, roots, spanning-tree parents and
+heights -- plus identical phase statistics, ledger charges, round
+totals, rejection evidence, and (for the randomized variant) identical
+RNG-driven draws.  The legacy dict engine is retained exactly for this
+comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import make_far, make_planar
+from repro.graphs.far_from_planar import FAR_FAMILIES
+from repro.graphs.generators import PLANAR_FAMILIES
+from repro.partition import partition_randomized, partition_stage1
+from repro.partition.dense import dense_supported
+from repro.partition.stage1 import ENGINE_ENV_VAR, ENGINES, resolve_engine
+
+N = 150
+SEEDS = (0, 1)
+
+
+def _canonical(result):
+    """Everything a Stage1Result exposes, in an order-insensitive shape."""
+    parts = {
+        part.pid: (part.nodes, dict(part.parents), part.height)
+        for part in result.partition.parts.values()
+    }
+    return (
+        parts,
+        dict(result.partition.part_of),
+        result.success,
+        result.rejecting_parts,
+        [vars(stats) for stats in result.phases],
+        result.ledger.total,
+        result.ledger.by_category(),
+        [(r.rounds, r.category, r.note) for r in result.ledger.records],
+        result.target_cut,
+        result.theoretical_phase_cap,
+    )
+
+
+class TestStage1Differential:
+    @pytest.mark.parametrize("family", sorted(PLANAR_FAMILIES))
+    def test_planar_families_identical(self, family):
+        for seed in SEEDS:
+            graph = make_planar(family, N, seed=seed)
+            legacy = partition_stage1(graph, epsilon=0.1, engine="legacy")
+            dense = partition_stage1(graph, epsilon=0.1, engine="dense")
+            assert _canonical(legacy) == _canonical(dense), (family, seed)
+            dense.partition.validate()
+
+    @pytest.mark.parametrize("far", sorted(FAR_FAMILIES))
+    def test_far_families_identical(self, far):
+        graph, _farness = make_far(far, N, seed=0)
+        legacy = partition_stage1(graph, epsilon=0.1, engine="legacy")
+        dense = partition_stage1(graph, epsilon=0.1, engine="dense")
+        assert _canonical(legacy) == _canonical(dense), far
+        assert legacy.success == dense.success
+
+    def test_eps_n_target_identical(self):
+        graph = make_planar("delaunay", 200, seed=3)
+        n = graph.number_of_nodes()
+        legacy = partition_stage1(
+            graph, epsilon=0.2, target_cut=0.2 * n, engine="legacy"
+        )
+        dense = partition_stage1(
+            graph, epsilon=0.2, target_cut=0.2 * n, engine="dense"
+        )
+        assert _canonical(legacy) == _canonical(dense)
+
+    def test_no_early_stop_identical(self):
+        graph = make_planar("grid", 100, seed=0)
+        legacy = partition_stage1(
+            graph, epsilon=0.3, early_stop=False, max_phases=4, engine="legacy"
+        )
+        dense = partition_stage1(
+            graph, epsilon=0.3, early_stop=False, max_phases=4, engine="dense"
+        )
+        assert _canonical(legacy) == _canonical(dense)
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("family", ("delaunay", "apollonian", "grid"))
+    def test_same_rng_stream(self, family):
+        for seed in SEEDS:
+            graph = make_planar(family, N, seed=0)
+            legacy = partition_randomized(
+                graph, epsilon=0.2, delta=0.1, seed=seed, engine="legacy"
+            )
+            dense = partition_randomized(
+                graph, epsilon=0.2, delta=0.1, seed=seed, engine="dense"
+            )
+            assert _canonical(legacy) == _canonical(dense), (family, seed)
+            assert legacy.trials == dense.trials
+            assert legacy.met_target == dense.met_target
+
+    def test_randomized_coloring_variant_identical(self):
+        graph = make_planar("tri-grid", 120, seed=0)
+        legacy = partition_randomized(
+            graph, epsilon=0.2, delta=0.2, seed=5,
+            coloring="randomized", engine="legacy",
+        )
+        dense = partition_randomized(
+            graph, epsilon=0.2, delta=0.2, seed=5,
+            coloring="randomized", engine="dense",
+        )
+        assert _canonical(legacy) == _canonical(dense)
+
+
+class TestEngineResolution:
+    def test_auto_picks_dense_for_int_labels(self):
+        graph = make_planar("grid", 36, seed=0)
+        assert dense_supported(graph)
+        assert resolve_engine("auto", graph) == "dense"
+        assert resolve_engine(None, graph) == "dense"
+
+    def test_auto_falls_back_for_exotic_labels(self):
+        import networkx as nx
+
+        graph = nx.path_graph(["a", "b", "c"])
+        assert not dense_supported(graph)
+        assert resolve_engine("auto", graph) == "legacy"
+        with pytest.raises(ValueError, match="dense partition engine"):
+            resolve_engine("dense", graph)
+        # The legacy engine still runs such graphs.
+        result = partition_stage1(graph, epsilon=0.5)
+        assert result.success
+
+    def test_env_var_selects_engine(self, monkeypatch):
+        graph = make_planar("grid", 36, seed=0)
+        monkeypatch.setenv(ENGINE_ENV_VAR, "legacy")
+        assert resolve_engine(None, graph) == "legacy"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "warp")
+        with pytest.raises(ValueError, match="unknown partition engine"):
+            resolve_engine(None, graph)
+
+    def test_engine_registry(self):
+        assert set(ENGINES) == {"auto", "dense", "legacy"}

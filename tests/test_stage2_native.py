@@ -1,0 +1,155 @@
+"""Differential tests: the CSR-native Stage II pipeline vs the seed path.
+
+Covers the three native substitutions -- one-pass part-subgraph
+extraction, Fenwick-backed sampled-interlacement resolution, and the
+dense Stage I feeding the tester -- asserting identical per-part
+verdicts, reasons, sampled counts, and round charges against the seed
+configuration (subgraph views + pairwise scans + legacy partition) on
+planar and far generators alike.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import make_far, make_planar
+from repro.graphs.far_from_planar import FAR_FAMILIES
+from repro.graphs.generators import PLANAR_FAMILIES
+from repro.partition import partition_stage1
+from repro.testers.planarity import PlanarityTestConfig
+from repro.testers.planarity import test_planarity as run_planarity
+from repro.testers.stage2 import extract_part_subgraphs
+from repro.testers.violations import sample_and_detect
+
+SEED_CONFIG = dict(engine="legacy", native=False)
+
+
+def _canonical(result):
+    return (
+        result.accepted,
+        result.rejected_stage,
+        result.rejecting_parts,
+        result.stage1_rounds,
+        result.stage2_rounds,
+        [
+            (
+                verdict.pid,
+                verdict.accepted,
+                verdict.reason,
+                verdict.n,
+                verdict.m,
+                verdict.non_tree_edges,
+                verdict.bfs_depth,
+                verdict.embedding_planar,
+                verdict.sampled,
+                verdict.violating_exact,
+                verdict.rounds,
+            )
+            for verdict in (result.part_verdicts or [])
+        ],
+    )
+
+
+class TestTesterDifferential:
+    @pytest.mark.parametrize("family", sorted(PLANAR_FAMILIES))
+    def test_planar_families_identical(self, family):
+        graph = make_planar(family, 150, seed=0)
+        for seed in (0, 1):
+            native = run_planarity(
+                graph, seed=seed, config=PlanarityTestConfig(epsilon=0.1)
+            )
+            legacy = run_planarity(
+                graph,
+                seed=seed,
+                config=PlanarityTestConfig(epsilon=0.1, **SEED_CONFIG),
+            )
+            assert _canonical(native) == _canonical(legacy), (family, seed)
+
+    @pytest.mark.parametrize("far", sorted(FAR_FAMILIES))
+    def test_far_families_identical(self, far):
+        graph, certified = make_far(far, 150, seed=0)
+        epsilon = min(0.3, max(0.05, certified * 0.9))
+        for seed in (0, 1, 2):
+            native = run_planarity(
+                graph, seed=seed, config=PlanarityTestConfig(epsilon=epsilon)
+            )
+            legacy = run_planarity(
+                graph,
+                seed=seed,
+                config=PlanarityTestConfig(epsilon=epsilon, **SEED_CONFIG),
+            )
+            assert _canonical(native) == _canonical(legacy), (far, seed)
+
+    def test_exact_violation_analysis_identical(self):
+        graph, _ = make_far("planted-k5", 120, seed=0)
+        native = run_planarity(
+            graph,
+            seed=0,
+            config=PlanarityTestConfig(
+                epsilon=0.1, collect_exact_violations=True
+            ),
+        )
+        legacy = run_planarity(
+            graph,
+            seed=0,
+            config=PlanarityTestConfig(
+                epsilon=0.1, collect_exact_violations=True, **SEED_CONFIG
+            ),
+        )
+        assert native.total_violating_exact == legacy.total_violating_exact
+        assert _canonical(native) == _canonical(legacy)
+
+
+class TestExtraction:
+    def test_subgraphs_match_views_exactly(self):
+        graph = make_planar("delaunay", 200, seed=1)
+        stage1 = partition_stage1(graph, epsilon=0.2)
+        partition = stage1.partition
+        subs = extract_part_subgraphs(graph, partition)
+        assert set(subs) == set(partition.parts)
+        for pid, part in partition.parts.items():
+            view = graph.subgraph(part.nodes)
+            sub = subs[pid]
+            # Same node set and iteration order as the view.
+            assert list(sub.nodes()) == list(view.nodes())
+            assert sub.number_of_edges() == view.number_of_edges()
+            for node in view.nodes():
+                # Same per-row adjacency iteration order.
+                assert list(sub.adj[node]) == list(view.adj[node])
+
+    def test_extraction_shares_parent_data(self):
+        import networkx as nx
+
+        graph = nx.path_graph(4)
+        graph.nodes[1]["tag"] = "kept"
+        graph.edges[1, 2]["weight"] = 7
+        stage1 = partition_stage1(graph, epsilon=1.0, max_phases=0)
+        subs = extract_part_subgraphs(graph, stage1.partition)
+        merged = {
+            node: data
+            for sub in subs.values()
+            for node, data in sub.nodes(data=True)
+        }
+        assert merged[1] == {"tag": "kept"}
+
+
+class TestSamplingFastPath:
+    def test_mask_resolution_matches_scan(self):
+        rng_intervals = random.Random(7)
+        for _trial in range(50):
+            k = rng_intervals.randrange(0, 40)
+            universe = max(2 * k, 4)
+            intervals = []
+            for _ in range(k):
+                a, b = rng_intervals.sample(range(universe), 2)
+                intervals.append((min(a, b), max(a, b)))
+            for seed in range(3):
+                scan = sample_and_detect(
+                    intervals, 5, random.Random(seed)
+                )
+                fast = sample_and_detect(
+                    intervals, 5, random.Random(seed), universe=universe
+                )
+                assert scan == fast
