@@ -5,67 +5,80 @@ testers accept every property-satisfying graph, reject every certified
 epsilon-far graph, and run in O(poly(1/eps) log n) rounds; the randomized
 variants succeed with probability >= 1 - delta in
 O(poly(1/eps)(log 1/delta + log* n)) rounds.
+
+The workload x method grid executes as ``application_audit`` jobs on
+the :mod:`repro.runtime` engine; the runner measures each graph's
+certified farness and derives the tester epsilon from it, so the spec
+stays declarative (``REPRO_BENCH_BACKEND=process`` parallelizes the
+grid).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import quick_mode, save_table
+from _harness import bench_backend, bench_cache, quick_mode, save_table
 from repro.analysis.tables import Table
-from repro.graphs import (
-    bipartiteness_farness_bounds,
-    cycle_freeness_farness,
-    grid_graph,
-    make_planar,
-    random_tree,
-    triangulated_grid,
-)
-from repro.testers import test_bipartiteness as run_bipartiteness
+from repro.graphs import triangulated_grid
+from repro.runtime import JobSpec, run_jobs
 from repro.testers import test_cycle_freeness as run_cycle_freeness
 
 SIDE = 12 if quick_mode() else 18
+METHODS = ("deterministic", "randomized")
+
+# (name, family, property, expected verdict); the graphs are the family
+# generators at n = SIDE*SIDE with graph seed 0 (grids ignore the seed).
+WORKLOADS = (
+    ("tree", "tree", "cycle", True),
+    ("grid", "grid", "cycle", False),
+    ("tri-grid", "tri-grid", "cycle", False),
+    ("sparse planar", "planar-sparse", "cycle", None),
+    ("grid", "grid", "bipartite", True),
+    ("tree", "tree", "bipartite", True),
+    ("tri-grid", "tri-grid", "bipartite", False),
+)
 
 
 @pytest.fixture(scope="module")
 def applications_table():
-    tri = triangulated_grid(SIDE, SIDE)
-    grid = grid_graph(SIDE, SIDE)
-    tree = random_tree(SIDE * SIDE, seed=0)
-    sparse = make_planar("planar-sparse", SIDE * SIDE, seed=0)
-
-    workloads = [
-        # (name, graph, property, expected verdict, measured farness)
-        ("tree", tree, "cycle", True, cycle_freeness_farness(tree)),
-        ("grid", grid, "cycle", False, cycle_freeness_farness(grid)),
-        ("tri-grid", tri, "cycle", False, cycle_freeness_farness(tri)),
-        ("sparse planar", sparse, "cycle", None, cycle_freeness_farness(sparse)),
-        ("grid", grid, "bipartite", True, bipartiteness_farness_bounds(grid)[0]),
-        ("tree", tree, "bipartite", True, bipartiteness_farness_bounds(tree)[0]),
-        ("tri-grid", tri, "bipartite", False, bipartiteness_farness_bounds(tri)[0]),
+    specs = [
+        JobSpec.make(
+            "application_audit",
+            family=family,
+            n=SIDE * SIDE,
+            seed=3,
+            graph_seed=0,
+            property=prop,
+            method=method,
+        )
+        for _name, family, prop, _expected in WORKLOADS
+        for method in METHODS
     ]
+    batch = run_jobs(specs, backend=bench_backend(), cache=bench_cache())
+    records = list(batch)
+
     table = Table(
         "E9: Corollary 16 testers on minor-free graphs",
         ["graph", "property", "farness (lb)", "method", "verdict",
          "expected", "rounds"],
     )
     failures = 0
-    for name, graph, prop, expected, farness in workloads:
-        for method in ("deterministic", "randomized"):
-            runner = run_cycle_freeness if prop == "cycle" else run_bipartiteness
-            epsilon = max(0.05, min(0.4, farness * 0.8)) if farness > 0 else 0.3
-            result = runner(graph, epsilon=epsilon, method=method, seed=3)
-            verdict = result.accepted
+    index = 0
+    for name, _family, prop, expected in WORKLOADS:
+        for method in METHODS:
+            record = records[index]
+            index += 1
+            verdict = record["accepted"]
             ok = expected is None or verdict == expected
             failures += not ok
             table.add_row(
                 name,
                 prop,
-                farness,
+                record["farness"],
                 method,
                 "accept" if verdict else "REJECT",
                 "-" if expected is None else ("accept" if expected else "REJECT"),
-                result.rounds,
+                record["rounds"],
             )
     save_table(table, "e09_applications.md")
     return failures

@@ -5,17 +5,21 @@ edges and ``poly(1/eps)`` stretch, deterministically.  Baselines: the
 MPX/Elkin-Neiman cluster spanner (the paper's comparison point: its
 ultra-sparse regime needs ``k = omega(log n)`` rounds) and the greedy
 (2k-1)-spanner (sequential size yardstick).
+
+Each family's rows run as ``spanner`` (Corollary 17) and
+``spanner_baseline`` (MPX / greedy) jobs on the :mod:`repro.runtime`
+engine (``REPRO_BENCH_BACKEND=process`` parallelizes across cells).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import quick_mode, save_table
+from _harness import bench_backend, bench_cache, quick_mode, save_table
 from repro.analysis.tables import Table
-from repro.applications import build_spanner, measure_stretch
-from repro.baselines import cluster_spanner, greedy_spanner
+from repro.applications import build_spanner
 from repro.graphs import make_planar
+from repro.runtime import JobSpec, run_jobs
 
 FAMILIES = ("grid", "delaunay", "tri-grid")
 EPSILONS = (0.3, 0.1)
@@ -25,40 +29,77 @@ STRETCH_SAMPLES = 12
 
 @pytest.fixture(scope="module")
 def spanner_table():
+    specs = []
+    for family in FAMILIES:
+        for epsilon in EPSILONS:
+            specs.append(
+                JobSpec.make(
+                    "spanner",
+                    family=family,
+                    n=N,
+                    seed=0,
+                    epsilon=epsilon,
+                    sample_nodes=STRETCH_SAMPLES,
+                )
+            )
+        specs.append(
+            JobSpec.make(
+                "spanner_baseline",
+                family=family,
+                n=N,
+                seed=0,
+                method="mpx",
+                beta=0.3,
+                sample_nodes=STRETCH_SAMPLES,
+            )
+        )
+        specs.append(
+            JobSpec.make(
+                "spanner_baseline",
+                family=family,
+                n=N,
+                seed=0,
+                method="greedy",
+                stretch=5,
+                sample_nodes=STRETCH_SAMPLES,
+            )
+        )
+    batch = run_jobs(specs, backend=bench_backend(), cache=bench_cache())
+    records = list(batch)
+
     table = Table(
         f"E10: spanner size and stretch (n={N})",
         ["family", "algorithm", "epsilon/beta", "edges", "size/n",
          "measured stretch", "guarantee", "rounds"],
     )
     size_violations = 0
+    index = 0
     for family in FAMILIES:
-        graph = make_planar(family, N, seed=0)
-        n = graph.number_of_nodes()
         for epsilon in EPSILONS:
-            result = build_spanner(graph, epsilon=epsilon)
-            stretch = measure_stretch(
-                graph, result.spanner, sample_nodes=STRETCH_SAMPLES, seed=0
-            )
-            if result.size > (1 + 3 * epsilon) * n:
+            record = records[index]
+            index += 1
+            n = record["n"]
+            if record["spanner_edges"] > (1 + 3 * epsilon) * n:
                 size_violations += 1
             table.add_row(
-                family, "partition (Cor 17)", epsilon, result.size,
-                result.size / n, stretch, result.guaranteed_stretch,
-                result.rounds,
+                family, "partition (Cor 17)", epsilon,
+                record["spanner_edges"], record["spanner_edges"] / n,
+                record["measured_stretch"], record["guaranteed_stretch"],
+                record["rounds"],
             )
-        # baselines at beta = 0.3
-        spanner, mpx = cluster_spanner(graph, beta=0.3, seed=0)
-        stretch = measure_stretch(graph, spanner, sample_nodes=STRETCH_SAMPLES, seed=0)
+        mpx = records[index]
+        index += 1
         table.add_row(
-            family, "MPX cluster", 0.3, spanner.number_of_edges(),
-            spanner.number_of_edges() / n, stretch, "O(log n / beta)",
-            mpx.rounds,
+            family, "MPX cluster", 0.3, mpx["spanner_edges"],
+            mpx["size_per_n"], mpx["measured_stretch"],
+            mpx["guaranteed_stretch"], mpx["rounds"],
         )
-        greedy = greedy_spanner(graph, stretch=5)
-        stretch = measure_stretch(graph, greedy, sample_nodes=STRETCH_SAMPLES, seed=0)
+        greedy = records[index]
+        index += 1
         table.add_row(
-            family, "greedy (2k-1)=5", "-", greedy.number_of_edges(),
-            greedy.number_of_edges() / n, stretch, 5, "(sequential)",
+            family, "greedy (2k-1)=5", "-", greedy["spanner_edges"],
+            greedy["size_per_n"], greedy["measured_stretch"],
+            greedy["guaranteed_stretch"], greedy["rounds"],
         )
     save_table(table, "e10_spanner.md")
     return size_violations

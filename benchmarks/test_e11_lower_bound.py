@@ -6,6 +6,10 @@ Omega(log n), so every node's view within ``ceil(girth/2) - 1`` rounds is
 a tree.  A tree view also occurs in a forest -- a planar graph on which a
 one-sided tester must accept -- hence no one-sided tester running fewer
 rounds can reject these far graphs.  The girth series grows with log n.
+
+The size series runs as graphless ``lower_bound_audit`` jobs on the
+:mod:`repro.runtime` engine (the runner synthesizes the hard instance
+itself; ``REPRO_BENCH_BACKEND=process`` parallelizes across sizes).
 """
 
 from __future__ import annotations
@@ -14,16 +18,22 @@ import math
 
 import pytest
 
-from _harness import quick_mode, save_table
+from _harness import bench_backend, bench_cache, quick_mode, save_table
 from repro.analysis import linear_fit
 from repro.analysis.tables import Table
-from repro.graphs import all_views_are_trees, lower_bound_instance
+from repro.graphs import lower_bound_instance
+from repro.runtime import JobSpec, run_jobs
 
 SIZES = (256, 512, 1024) if quick_mode() else (256, 512, 1024, 2048, 4096)
 
 
 @pytest.fixture(scope="module")
 def lower_bound_table():
+    specs = [
+        JobSpec.make("lower_bound_audit", n=n, seed=0) for n in SIZES
+    ]
+    batch = run_jobs(specs, backend=bench_backend(), cache=bench_cache())
+
     table = Table(
         "E11: Theorem 2 hard instances -- girth grows with log n while the "
         "graph stays certified-far",
@@ -31,21 +41,22 @@ def lower_bound_table():
          "blind radius", "views are trees"],
     )
     rows = []
-    for n in SIZES:
-        inst = lower_bound_instance(n, seed=0)
-        radius = inst.indistinguishability_radius
-        trees = all_views_are_trees(inst.graph, radius)
-        m = inst.graph.number_of_edges()
-        rows.append((n, inst.girth, inst.farness_lower_bound, trees))
+    for record in batch:
+        n = record["n"]
+        m = record["m"]
+        rows.append(
+            (n, record["girth"], record["farness_lb"],
+             record["views_are_trees"])
+        )
         table.add_row(
             n,
             m,
-            inst.girth,
-            inst.target_girth,
-            inst.removed_edges / max(1, m + inst.removed_edges),
-            inst.farness_lower_bound,
-            radius,
-            trees,
+            record["girth"],
+            record["target_girth"],
+            record["removed_edges"] / max(1, m + record["removed_edges"]),
+            record["farness_lb"],
+            record["blind_radius"],
+            record["views_are_trees"],
         )
     ns = [r[0] for r in rows]
     girths = [float(r[1]) for r in rows]

@@ -8,6 +8,11 @@ sample broadcasts (which pipeline O(log n / eps) sampled labels of
 O(D log n) bits over depth-D trees) pick up an extra log n factor, while
 Stage I parts keep poly(1/eps) diameters.  Measured: total rounds of both
 variants across n, plus the part-diameter column that drives the gap.
+
+Both variants run as job batches on the :mod:`repro.runtime` engine --
+``test_planarity`` for Stage I, the ``mpx_ablation`` kind for the
+random-shift replacement (``REPRO_BENCH_BACKEND=process`` parallelizes
+across sizes).
 """
 
 from __future__ import annotations
@@ -16,54 +21,57 @@ import math
 
 import pytest
 
-from _harness import quick_mode, save_table
+from _harness import bench_backend, bench_cache, quick_mode, save_table
 from repro.analysis import linear_fit
 from repro.analysis.tables import Table
-from repro.baselines import mpx_partition
 from repro.graphs import make_planar
-from repro.testers import test_planarity as run_planarity
-from repro.testers.planarity import stage2_over_partition
-from repro.testers.stage2 import Stage2Config
+from repro.runtime import JobSpec, run_jobs
 
 SIZES = (128, 256, 512) if quick_mode() else (128, 256, 512, 1024, 2048)
 EPSILON = 0.25
 FAMILY = "grid"
 
 
-def mpx_variant_rounds(graph, epsilon, seed):
-    """Tester rounds when Stage I is replaced by the MPX partition."""
-    mpx = mpx_partition(graph, beta=epsilon / 2, seed=seed)
-    verdicts, rejecting, stage2_rounds = stage2_over_partition(
-        graph, mpx.partition, Stage2Config(epsilon=epsilon), seed=seed
-    )
-    return mpx.rounds + stage2_rounds, mpx.partition.max_height(), not rejecting
-
-
 @pytest.fixture(scope="module")
 def ablation_table():
+    stage1_specs = [
+        JobSpec.make(
+            "test_planarity", family=FAMILY, n=n, seed=0, epsilon=EPSILON
+        )
+        for n in SIZES
+    ]
+    mpx_specs = [
+        JobSpec.make(
+            "mpx_ablation", family=FAMILY, n=n, seed=0, epsilon=EPSILON
+        )
+        for n in SIZES
+    ]
+    batch = run_jobs(
+        stage1_specs + mpx_specs, backend=bench_backend(), cache=bench_cache()
+    )
+    records = list(batch)
+    stage1_records = records[: len(SIZES)]
+    mpx_records = records[len(SIZES):]
+
     table = Table(
         f"E12: Stage I vs MPX partition inside the tester ({FAMILY}, eps={EPSILON})",
         ["n", "stageI rounds", "stageI max height", "MPX rounds",
          "MPX max height", "ratio MPX/stageI"],
     )
     ns, stage1_rounds, mpx_rounds = [], [], []
-    for n in SIZES:
-        graph = make_planar(FAMILY, n, seed=0)
-        actual_n = graph.number_of_nodes()
-        result = run_planarity(graph, epsilon=EPSILON, seed=0)
-        assert result.accepted
-        rounds_mpx, mpx_height, accepted = mpx_variant_rounds(graph, EPSILON, seed=0)
-        assert accepted  # one-sided error holds for the ablation too
-        ns.append(actual_n)
-        stage1_rounds.append(result.rounds)
-        mpx_rounds.append(rounds_mpx)
+    for stage1, mpx in zip(stage1_records, mpx_records):
+        assert stage1["accepted"]
+        assert mpx["accepted"]  # one-sided error holds for the ablation too
+        ns.append(stage1["n"])
+        stage1_rounds.append(stage1["rounds"])
+        mpx_rounds.append(mpx["rounds"])
         table.add_row(
-            actual_n,
-            result.rounds,
-            result.stage1.partition.max_height(),
-            rounds_mpx,
-            mpx_height,
-            rounds_mpx / result.rounds,
+            stage1["n"],
+            stage1["rounds"],
+            stage1["max_part_height"],
+            mpx["rounds"],
+            mpx["max_height"],
+            mpx["rounds"] / stage1["rounds"],
         )
     logs = [math.log2(n) for n in ns]
     fit1 = linear_fit(logs, stage1_rounds)
@@ -93,8 +101,11 @@ def test_both_variants_sublinear(ablation_table):
 
 
 def test_benchmark_mpx_variant(benchmark, ablation_table):
-    graph = make_planar(FAMILY, 512, seed=0)
-    rounds, _h, accepted = benchmark(
-        lambda: mpx_variant_rounds(graph, EPSILON, seed=0)
+    from repro.runtime import run_job
+
+    spec = JobSpec.make(
+        "mpx_ablation", family=FAMILY, n=512, seed=0, epsilon=EPSILON
     )
-    assert accepted
+    graph = make_planar(FAMILY, 512, seed=0)
+    record = benchmark(lambda: run_job(spec, graph))
+    assert record["accepted"]

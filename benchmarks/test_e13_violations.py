@@ -11,45 +11,38 @@ Claims reproduced / audited:
   hold -- planar graphs exhibit preorder interlacements (3x3 grid and
   every tested family); this reproduction finding motivates the corner
   refinement (see DESIGN.md).
+
+The family sweep runs as ``violation_audit`` jobs on the
+:mod:`repro.runtime` engine: planar specs analyze their LR embedding,
+far specs the identity rotation plus their construction-certified
+farness (``REPRO_BENCH_BACKEND=process`` parallelizes the families).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import quick_mode, save_table
+from _harness import bench_backend, bench_cache, quick_mode, save_table
 from repro.analysis.tables import Table
-from repro.graphs import make_far, make_planar
-from repro.planarity import check_planarity, identity_rotation
-from repro.testers import count_violating
-from repro.testers.labels import (
-    corner_intervals,
-    deterministic_bfs_tree,
-    embedding_ranks,
-    euler_tour_positions,
-    non_tree_intervals,
-)
+from repro.runtime import JobSpec, run_jobs
 
 N = 150 if quick_mode() else 300
 PLANAR = ("grid", "tri-grid", "apollonian", "delaunay", "outerplanar")
 FAR = ("gnp", "planted-k5", "planted-k33", "planar-plus")
 
 
-def analyze(graph, rotation):
-    parents, _ = deterministic_bfs_tree(graph, 0)
-    positions, universe = euler_tour_positions(graph, 0, rotation, parents)
-    corner = [(a, b) for a, b, _u, _v in corner_intervals(graph, parents, positions)]
-    ranks = embedding_ranks(graph, 0, rotation, parents)
-    preorder = [(a, b) for a, b, _u, _v in non_tree_intervals(graph, parents, ranks)]
-    return (
-        count_violating(corner, universe=universe),
-        count_violating(preorder, universe=graph.number_of_nodes()),
-        len(corner),
-    )
-
-
 @pytest.fixture(scope="module")
 def violations_table():
+    specs = [
+        JobSpec.make("violation_audit", family=family, n=N, seed=0)
+        for family in PLANAR
+    ] + [
+        JobSpec.make("violation_audit", far=family, n=N, seed=0)
+        for family in FAR
+    ]
+    batch = run_jobs(specs, backend=bench_backend(), cache=bench_cache())
+    records = list(batch)
+
     table = Table(
         "E13: violating edges -- corner criterion vs paper-literal preorder",
         ["graph", "planar?", "certified farness", "non-tree edges",
@@ -57,23 +50,23 @@ def violations_table():
     )
     planar_corner_total = 0
     far_rows = []
-    for family in PLANAR:
-        graph = make_planar(family, N, seed=0)
-        emb = check_planarity(graph).embedding
-        corner, preorder, non_tree = analyze(graph, emb)
-        planar_corner_total += corner
+    for record in records:
+        corner = record["violating_corner"]
+        m = record["m"]
+        if record["planar"]:
+            planar_corner_total += corner
+        else:
+            far_rows.append(
+                (record["family"], corner, record["certified_farness"], m)
+            )
         table.add_row(
-            family, True, 0.0, non_tree, corner, preorder,
-            corner / graph.number_of_edges(),
-        )
-    for family in FAR:
-        graph, certified = make_far(family, N, seed=0)
-        rot = identity_rotation(graph)
-        corner, preorder, non_tree = analyze(graph, rot)
-        m = graph.number_of_edges()
-        far_rows.append((family, corner, certified, m))
-        table.add_row(
-            family, False, certified, non_tree, corner, preorder, corner / m
+            record["family"],
+            record["planar"],
+            record["certified_farness"],
+            record["non_tree_edges"],
+            corner,
+            record["violating_preorder"],
+            corner / m,
         )
     save_table(table, "e13_violations.md")
     return planar_corner_total, far_rows
@@ -91,7 +84,8 @@ def test_corollary9_far_graphs(violations_table):
 
 
 def test_benchmark_violation_sweep(benchmark, violations_table):
-    graph, _c = make_far("gnp", N, seed=0)
-    rot = identity_rotation(graph)
-    corner, _pre, _nt = benchmark(lambda: analyze(graph, rot))
-    assert corner > 0
+    from repro.runtime import run_job
+
+    spec = JobSpec.make("violation_audit", far="gnp", n=N, seed=0)
+    record = benchmark(lambda: run_job(spec))
+    assert record["violating_corner"] > 0

@@ -9,128 +9,121 @@ Audits the layers everything else rests on:
   agree exactly: Barenboim-Elkin deactivation schedules and Cole-Vishkin
   colorings match; BFS trees match;
 * protocol bandwidth stays within the O(log n)-bit CONGEST budget.
+
+Every check runs as a job batch on the :mod:`repro.runtime` engine --
+``lr_oracle_trial`` (one job per random graph; the ``(n, p)``
+coordinates come from the table's shared RNG walk, computed up front so
+the committed numbers reproduce), ``forest_agreement``,
+``cv_agreement``, ``congest_bandwidth``, and ``stage2_agreement``.
+``REPRO_BENCH_BACKEND=process`` fans the whole audit over a pool.
 """
 
 from __future__ import annotations
 
 import random
 
-import networkx as nx
 import pytest
 
-from _harness import quick_mode, save_table
+from _harness import bench_backend, bench_cache, quick_mode, save_table
 from repro.analysis.tables import Table
-from repro.congest import CongestNetwork
-from repro.congest.programs import (
-    BFSTreeProgram,
-    cole_vishkin_coloring,
-    run_forest_decomposition_simulated,
-)
 from repro.graphs import make_planar
-from repro.partition import (
-    AuxiliaryGraph,
-    Partition,
-    cole_vishkin_emulated,
-    forest_decomposition_emulated,
-)
-from repro.planarity import check_planarity, verify_planar_embedding
+from repro.runtime import JobSpec, run_jobs
 
 SWEEP = 120 if quick_mode() else 300
+FD_FAMILIES = ("grid", "delaunay", "apollonian", "tri-grid")
+S2_FAMILIES = ("grid", "delaunay", "apollonian")
+
+
+def _lr_trial_specs():
+    """The (n, p) walk of the LR-vs-oracle sweep, as declarative specs.
+
+    The sizes and densities are drawn from one sequential RNG stream
+    (exactly the pre-migration protocol), then frozen into per-trial
+    specs so the jobs are independent and poolable.
+    """
+    rng = random.Random(0)
+    specs = []
+    for trial in range(SWEEP):
+        n = rng.randint(2, 16)
+        p = rng.random()
+        specs.append(
+            JobSpec.make(
+                "lr_oracle_trial", n=n, seed=0, gnp_n=n, gnp_p=p, trial=trial
+            )
+        )
+    return specs
 
 
 @pytest.fixture(scope="module")
 def substrate_table():
+    lr_specs = _lr_trial_specs()
+    fd_specs = [
+        JobSpec.make(
+            "forest_agreement", family=family, n=150, seed=0, graph_seed=1,
+            alpha=3,
+        )
+        for family in FD_FAMILIES
+    ]
+    cv_spec = JobSpec.make("cv_agreement", n=120, seed=0, length=120)
+    bw_spec = JobSpec.make(
+        "congest_bandwidth", family="delaunay", n=200, seed=0, graph_seed=2,
+        root=0,
+    )
+    s2_specs = [
+        JobSpec.make(
+            "stage2_agreement", family=family, n=90, seed=0, graph_seed=3,
+            epsilon=0.2,
+        )
+        for family in S2_FAMILIES
+    ]
+    specs = lr_specs + fd_specs + [cv_spec, bw_spec] + s2_specs
+    batch = run_jobs(specs, backend=bench_backend(), cache=bench_cache())
+    records = list(batch)
+
+    lr = records[: len(lr_specs)]
+    cursor = len(lr_specs)
+    fd = records[cursor: cursor + len(fd_specs)]
+    cursor += len(fd_specs)
+    cv = records[cursor]
+    bandwidth = records[cursor + 1]
+    s2 = records[cursor + 2:]
+
     table = Table(
         "E14: substrate validation",
         ["check", "instances", "agreements", "notes"],
     )
-
-    # LR vs oracle
-    rng = random.Random(0)
-    agree = 0
-    embeddings = 0
-    for trial in range(SWEEP):
-        n = rng.randint(2, 16)
-        p = rng.random()
-        graph = nx.gnp_random_graph(n, p, seed=trial)
-        mine = check_planarity(graph)
-        oracle, _ = nx.check_planarity(graph)
-        agree += mine.is_planar == oracle
-        if mine.is_planar:
-            verify_planar_embedding(mine.embedding, graph)
-            embeddings += 1
+    agree = sum(record["agree"] for record in lr)
+    embeddings = sum(record["embedding_verified"] for record in lr)
     table.add_row("LR verdict vs networkx oracle", SWEEP, agree,
                   f"{embeddings} embeddings Euler-verified")
 
-    # simulated vs emulated forest decomposition
-    fd_agree = 0
-    families = ("grid", "delaunay", "apollonian", "tri-grid")
-    for family in families:
-        graph = make_planar(family, 150, seed=1)
-        sim = run_forest_decomposition_simulated(graph, alpha=3, seed=0)
-        emu = forest_decomposition_emulated(
-            AuxiliaryGraph(Partition.singletons(graph)), alpha=3
-        )
-        same = sim.inactive_round == emu.inactive_round and {
-            v: set(o) for v, o in sim.out_neighbors.items()
-        } == {v: set(o) for v, o in emu.out_edges.items()}
-        fd_agree += same
-    table.add_row("BE simulated == emulated", len(families), fd_agree,
+    fd_agree = sum(record["agree"] for record in fd)
+    table.add_row("BE simulated == emulated", len(FD_FAMILIES), fd_agree,
                   "deactivation schedule + orientation")
 
-    # simulated vs emulated Cole-Vishkin
-    graph = nx.path_graph(120)
-    parents = {i: i - 1 if i > 0 else None for i in graph.nodes()}
-    sim_colors, sim_rounds = cole_vishkin_coloring(graph, parents, seed=0)
-    emu_colors, emu_super = cole_vishkin_emulated(parents)
-    cv_same = sim_colors == emu_colors
+    cv_same = bool(cv["agree"])
     table.add_row("CV simulated == emulated", 1, int(cv_same),
-                  f"{sim_rounds} protocol rounds, {emu_super} super-rounds")
+                  f"{cv['sim_rounds']} protocol rounds, "
+                  f"{cv['emu_super_rounds']} super-rounds")
 
-    # bandwidth audit of the BFS protocol
-    graph = make_planar("delaunay", 200, seed=2)
-    network = CongestNetwork(graph, seed=0)
-    result = network.run(
-        BFSTreeProgram,
-        max_rounds=graph.number_of_nodes(),
-        config={"root": 0},
-        strict_bandwidth=True,
-    )
     table.add_row(
         "BFS protocol within bandwidth",
-        result.total_messages,
-        result.total_messages - result.over_budget_messages,
-        f"max msg {result.max_message_bits} bits vs budget "
-        f"{result.bandwidth_bits}",
+        bandwidth["messages"],
+        bandwidth["messages"] - bandwidth["over_budget"],
+        f"max msg {bandwidth['max_message_bits']} bits vs budget "
+        f"{bandwidth['bandwidth_bits']}",
     )
 
-    # distributed Stage II protocol vs the emulated Euler-tour walk
-    from repro.congest.programs import run_stage2_verification_simulated
-    from repro.testers.labels import (
-        deterministic_bfs_tree,
-        euler_tour_positions,
-    )
-
-    s2_agree = 0
-    s2_families = ("grid", "delaunay", "apollonian")
-    for family in s2_families:
-        part = make_planar(family, 90, seed=3)
-        embedding = check_planarity(part).embedding
-        distributed = run_stage2_verification_simulated(
-            part, 0, embedding.to_dict(), epsilon=0.2, seed=0
-        )
-        parents, _depths = deterministic_bfs_tree(part, 0)
-        emulated, _total = euler_tour_positions(part, 0, embedding, parents)
-        s2_agree += distributed.accepted and distributed.positions == emulated
+    s2_agree = sum(record["agree"] for record in s2)
     table.add_row(
         "distributed Stage II == emulated corners",
-        len(s2_families),
+        len(S2_FAMILIES),
         s2_agree,
         "positions identical + planar parts accepted",
     )
 
     save_table(table, "e14_substrates.md")
-    return agree, fd_agree, cv_same, result.over_budget_messages, s2_agree
+    return agree, fd_agree, cv_same, bandwidth["over_budget"], s2_agree
 
 
 def test_lr_oracle_agreement(substrate_table):
@@ -151,6 +144,8 @@ def test_bandwidth_never_exceeded(substrate_table):
 
 
 def test_benchmark_lr_planarity(benchmark, substrate_table):
+    from repro.planarity import check_planarity
+
     graph = make_planar("delaunay", 1000, seed=0)
     result = benchmark(lambda: check_planarity(graph))
     assert result.is_planar

@@ -9,12 +9,16 @@ Subcommands:
 * ``lower-bound`` -- sample the Theorem 2 hard instance and certify it
 * ``families``    -- list available graph families
 * ``sweep``       -- expand an n x epsilon x seed grid into jobs and run
-  them on the :mod:`repro.runtime` engine (serial or process-pool
-  backend, with content-addressed result caching)
+  them on the :mod:`repro.runtime` orchestrator (serial, process-pool,
+  or async worker backend, with a sharded on-disk result store)
 
 The ``sweep`` subcommand takes comma-separated axis lists and executes
 their cartesian product; repeated invocations with ``--cache-dir`` are
-served from the on-disk cache instead of re-running the simulator.
+served from the sharded on-disk store instead of re-running the
+simulator.  ``--shard i/k`` runs one deterministic slice of the grid
+(point every slice at the same ``--cache-dir``, possibly from different
+machines) and ``--resume`` finishes whatever keys the store is still
+missing.
 ``--kind simulate`` sweeps raw CONGEST protocols (``--programs``) on
 the simulator, and ``--profile faithful|fast`` selects the simulator's
 instrumentation profile (exported as ``REPRO_SIM_PROFILE`` so
@@ -214,6 +218,20 @@ def _parse_axis(raw: str, convert):
     return values
 
 
+def _parse_shard(raw: Optional[str]):
+    """Parse ``--shard i/k`` into ``(index, count)`` or ``None``."""
+    if raw is None:
+        return None
+    try:
+        index_text, count_text = raw.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"--shard expects i/k (e.g. 0/2), got {raw!r}")
+    if count <= 0 or not 0 <= index < count:
+        raise SystemExit(f"--shard index out of range: {raw!r}")
+    return index, count
+
+
 def _cmd_sweep(args) -> int:
     kind = SWEEP_KINDS[args.kind]
     if kind == "simulate_program":
@@ -251,21 +269,35 @@ def _cmd_sweep(args) -> int:
     )
     if args.backend == "process":
         backend = make_backend("process", max_workers=args.workers)
+    elif args.backend == "async":
+        # Workers consult the shared sharded store directly, so
+        # concurrent orchestrators exchange results mid-flight.
+        backend = make_backend(
+            "async", max_workers=args.workers, store_dir=args.cache_dir
+        )
     else:
         backend = make_backend(args.backend)
     cache = ResultCache(disk_dir=args.cache_dir)
-    result = run_sweep(sweep, backend=backend, cache=cache)
+    shard = _parse_shard(args.shard)
+    if args.resume and cache.store_backend is None:
+        raise SystemExit("--resume needs --cache-dir (the store to resume from)")
+    result = run_sweep(
+        sweep, backend=backend, cache=cache, shard=shard, resume=args.resume
+    )
+    shard_label = f" [shard {shard[0]}/{shard[1]}]" if shard else ""
     table = result.to_table(
-        f"sweep: {args.kind} over {sweep.size} jobs", columns=None
+        f"sweep: {args.kind} over {len(result.records)} jobs{shard_label}",
+        columns=None,
     )
     table.print()
     summary = result.summary()
     print(
         f"jobs={summary['jobs']} executed={summary['executed']} "
-        f"cache_hits={summary['cache_hits']} "
-        f"hit_rate={summary['cache_hit_rate']:.0%} "
         f"backend={summary['backend']}"
     )
+    # Cache accounting from the cache instance itself: includes disk
+    # hits/evictions the per-batch snapshot cannot see.
+    print(f"cache: {cache.stats.summary_line()}")
     if args.markdown:
         with open(args.markdown, "w") as handle:
             handle.write(table.to_markdown() + "\n")
@@ -416,16 +448,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--backend",
         default="serial",
-        choices=("serial", "process"),
-        help="execution backend",
+        choices=("serial", "process", "async"),
+        help="execution backend (async streams results from asyncio-"
+        "managed worker subprocesses that share the cache store)",
     )
     p_sweep.add_argument(
-        "--workers", type=int, default=None, help="process-pool size"
+        "--workers", type=int, default=None, help="worker count (process/async)"
     )
     p_sweep.add_argument(
         "--cache-dir",
         default=None,
-        help="persist results as JSON under this directory",
+        help="persist results in a sharded store under this directory "
+        "(safe to share between concurrent invocations)",
+    )
+    p_sweep.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/K",
+        help="run only deterministic shard i of k (key-hash split); "
+        "point every shard at one --cache-dir and finish with --resume",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a partial sweep: only keys missing from the "
+        "cache store execute (requires --cache-dir)",
     )
     p_sweep.add_argument(
         "--markdown", default=None, help="also write the table as markdown"

@@ -341,6 +341,124 @@ def orient_and_select_dense(
     return parent, weight
 
 
+def weighted_selection_dense(
+    aux: DenseAuxiliaryGraph,
+    trials: int,
+    rng,
+) -> Tuple[Dict[int, Optional[int]], Dict[Tuple[int, int], int]]:
+    """Vectorized Theorem 4 weighted-edge selection on the aux arrays.
+
+    Array port of
+    :func:`repro.partition.weighted_selection.weighted_edge_selection`
+    that never materializes the lazy dict adjacency and replaces the
+    per-draw ``rng.choices`` (which rebuilds its cumulative-weight list
+    on *every* trial, ``O(trials * degree)`` Python work per part) with
+    one CSR sweep plus a batched ``searchsorted``.
+
+    **The RNG stream is consumed identically**: the legacy path draws
+    one ``rng.random()`` per (part, trial) in ascending part order --
+    compact order equals root-id order, so pre-drawing the same count
+    in row-major order yields the exact floats.  Each draw then
+    replicates ``random.choices``'s selection arithmetic bit for bit:
+    ``index = bisect_right(cum_weights, r * total, 0, degree - 1)``
+    with the multiplication performed in float64 exactly as CPython
+    does.  The global ``searchsorted`` adds the segment base in float64
+    (one possible ulp of error), so a two-step exact correction against
+    the integer segment-local cumulative weights pins every index to
+    the bisect result before use.  Best-of-draws keeps the heaviest
+    edge with ties to the smallest neighbor id -- the same fold the
+    sequential loop computes.
+
+    Returns ``(out_edge, weights)`` keyed by part roots (dense ids), in
+    ascending-root insertion order, exactly like the legacy function.
+    """
+    pids = aux.pids
+    k = aux.compact_count
+    ea, eb, w = aux.ea, aux.eb, aux.weights
+    # Symmetric CSR over compact indices, neighbors ascending (= id_key
+    # order of the roots, the legacy iteration order).
+    src = np.concatenate((ea, eb))
+    dst = np.concatenate((eb, ea))
+    ww = np.concatenate((w, w))
+    order = np.lexsort((dst, src))
+    src_s = src[order]
+    dst_s = dst[order]
+    w_s = ww[order]
+    counts = np.bincount(src_s, minlength=k)
+    indptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    cum = np.cumsum(w_s, dtype=np.int64)
+    cum0 = np.concatenate((np.zeros(1, dtype=np.int64), cum))
+    base = cum0[indptr[:-1]]  # total weight before each segment
+    totals = (cum0[indptr[1:]] - base).astype(np.float64)
+
+    active = np.nonzero(counts > 0)[0]
+    drawn: Dict[int, Optional[int]] = {}
+    if len(active) and trials > 0:
+        # One rng.random() per (active part, trial), part-major: the
+        # exact draws the sequential loop would consume.
+        flat = np.array(
+            [rng.random() for _ in range(len(active) * trials)],
+            dtype=np.float64,
+        ).reshape(len(active), trials)
+        x = flat * totals[active][:, None]  # CPython: random() * total
+        seg_start = indptr[active]
+        seg_len = counts[active]
+        queries = (base[active].astype(np.float64)[:, None] + x).ravel()
+        approx = np.searchsorted(cum, queries, side="right").reshape(
+            len(active), trials
+        )
+        local = approx - seg_start[:, None]
+        hi = (seg_len - 1)[:, None]
+        local = np.clip(local, 0, hi)
+        # Exact off-by-one correction: the float base addition can be a
+        # ulp off, never more (cumulative weights are distinct ints).
+        flat_local = local + seg_start[:, None]
+        lower = cum0[flat_local]  # cum before the candidate slot
+        down = (local > 0) & (lower - base[active][:, None] > x)
+        local -= down
+        flat_local = local + seg_start[:, None]
+        upper = cum0[flat_local + 1]
+        up = (local < hi) & (upper - base[active][:, None] <= x)
+        local += up
+        flat_local = (local + seg_start[:, None]).ravel()
+        cand = dst_s[flat_local].reshape(len(active), trials)
+        cand_w = w_s[flat_local].reshape(len(active), trials)
+        best_w = cand_w.max(axis=1)
+        # Ties to the smallest neighbor id (compact order = id order).
+        best_nb = np.where(cand_w == best_w[:, None], cand, k).min(axis=1)
+        chosen = dict(
+            zip(active.tolist(), zip(best_nb.tolist(), best_w.tolist()))
+        )
+    else:
+        chosen = {}
+
+    weight_of: Dict[int, int] = {}
+    for compact in range(k):
+        pid = pids[compact]
+        pick = chosen.get(compact)
+        if pick is None:
+            drawn[pid] = None
+        else:
+            drawn[pid] = pids[pick[0]]
+            weight_of[pid] = pick[1]
+
+    # Resolve double selections exactly as the legacy path: the edge
+    # becomes the out-edge of the smaller id; the larger endpoint is
+    # left without an out-edge.
+    out_edge: Dict[int, Optional[int]] = dict(drawn)
+    for pid, target in drawn.items():
+        if target is None:
+            continue
+        if drawn.get(target) == pid and target < pid:
+            out_edge[pid] = None
+    weights_out: Dict[Tuple[int, int], int] = {}
+    for pid, target in out_edge.items():
+        if target is not None:
+            weights_out[(pid, target)] = weight_of[pid]
+    return out_edge, weights_out
+
+
 def cole_vishkin_dense(
     parent: "np.ndarray",
     init_colors: "np.ndarray",

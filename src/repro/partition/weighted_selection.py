@@ -348,14 +348,19 @@ def _partition_randomized_dense(
 ) -> RandomizedPartitionResult:
     """The Theorem 4 phase loop on the CSR-native dense state.
 
-    The weighted selection iterates parts in sorted-root order and the
-    randomized coloring consumes conflicts in out-edge insertion order;
-    both orders are preserved under the dense-index relabeling (dense
-    indices sort like the original non-negative int ids), so the RNG
-    stream -- and therefore every draw -- matches the legacy engine.
+    The weighted selection runs vectorized on the aux edge arrays
+    (:func:`repro.partition.dense.weighted_selection_dense`): it
+    pre-draws the same ``rng.random()`` sequence the sequential loop
+    would consume (parts in sorted-root order, trials inner) and
+    replicates ``random.choices``'s cumulative-weight arithmetic bit
+    for bit, so the RNG stream -- and therefore every draw -- matches
+    the legacy engine exactly.  The randomized coloring likewise
+    consumes conflicts in out-edge insertion order, preserved under the
+    dense-index relabeling (dense indices sort like the original
+    non-negative int ids).
     """
     from ..congest.topology import compile_topology
-    from .dense import DensePartitionState
+    from .dense import DensePartitionState, weighted_selection_dense
 
     topology = compile_topology(graph)
     ids = topology.nodes
@@ -369,7 +374,7 @@ def _partition_randomized_dense(
         aux = state.build_aux()
         height = state.max_height()
 
-        out_edge, weights = weighted_edge_selection(aux, trials, rng)
+        out_edge, weights = weighted_selection_dense(aux, trials, rng)
         ledger.charge(
             trials * (model.convergecast(height) + 1) + 1,
             "randomized.selection",

@@ -1,10 +1,16 @@
-"""Parallel batch-execution engine with result caching.
+"""Sweep orchestrator: sharded batch execution with a shared result store.
 
 The runtime turns every computation in the repo -- planarity tests,
-partitions, spanners, application testers -- into a declarative,
-hashable :class:`JobSpec`, executes batches of them on pluggable
-backends (in-process or a chunked process pool), and memoizes records in
-a content-addressed cache keyed by graph fingerprint + config digest.
+partitions, spanners, application testers, claim audits -- into a
+declarative, hashable :class:`JobSpec`, executes batches of them on
+pluggable backends (in-process, a chunked process pool, or
+asyncio-managed worker subprocesses with streaming delivery), and
+memoizes records in a cache keyed by graph coordinates (default) or
+content fingerprint + config digest, persisted in a sharded
+multi-writer on-disk store that concurrent processes share.  Sweeps
+split into deterministic shards (``ShardedSweep`` /
+``repro-planarity sweep --shard i/k``) and resume from whatever the
+store already holds.
 
 Typical use::
 
@@ -31,6 +37,7 @@ Grid sweeps (the benchmark/CLI entry point) layer on top::
     result.to_table("rounds vs n").print()
 """
 
+from .async_backend import AsyncBackend, AsyncWorkerError
 from .cache import (
     COORD_KEYS_ENV_VAR,
     CacheStats,
@@ -46,17 +53,38 @@ from .executor import (
     BatchResult,
     ProcessPoolBackend,
     SerialBackend,
+    iter_jobs,
     make_backend,
     run_jobs,
 )
-from .jobs import JobSpec, Record, job_kinds, register_kind, run_job
+from .jobs import (
+    JobSpec,
+    Record,
+    job_kinds,
+    kind_needs_graph,
+    register_kind,
+    run_job,
+    spec_needs_graph,
+)
 from .seeding import derive_rng, derive_seed
-from .sweeps import SweepResult, SweepSpec, run_sweep
+from .store import ClearReport, ShardedStore, StoreStats, shard_of_key
+from .sweeps import (
+    ShardedSweep,
+    SweepResult,
+    SweepSpec,
+    job_shard,
+    run_sweep,
+)
+
+from . import audit as _audit_kinds  # noqa: F401  (registers E08-E14 kinds)
 
 __all__ = [
+    "AsyncBackend",
+    "AsyncWorkerError",
     "BACKENDS",
     "BatchResult",
     "CacheStats",
+    "ClearReport",
     "COORD_KEYS_ENV_VAR",
     "coord_keys_enabled",
     "coordinate_fingerprint",
@@ -65,6 +93,9 @@ __all__ = [
     "Record",
     "ResultCache",
     "SerialBackend",
+    "ShardedStore",
+    "ShardedSweep",
+    "StoreStats",
     "SweepResult",
     "SweepSpec",
     "cache_key",
@@ -72,10 +103,15 @@ __all__ = [
     "derive_rng",
     "derive_seed",
     "graph_fingerprint",
+    "iter_jobs",
     "job_kinds",
+    "job_shard",
+    "kind_needs_graph",
     "make_backend",
     "register_kind",
     "run_job",
     "run_jobs",
     "run_sweep",
+    "shard_of_key",
+    "spec_needs_graph",
 ]

@@ -1,0 +1,227 @@
+"""Asyncio execution backend: subprocess workers + streaming delivery.
+
+The process-pool backend barriers: ``pool.map`` hands records back in
+input order, so one slow job at the front blocks everything behind it.
+The async backend instead runs an asyncio event loop over ``W`` worker
+subprocesses (see :mod:`repro.runtime.worker` for the wire protocol)
+and **streams** ``(index, record)`` pairs back the moment each job
+lands, in completion order.  ``run_jobs`` consumes the stream to store
+fresh records into the cache eagerly; ``iter_jobs`` exposes it to
+callers that want progressive delivery (dashboards, early aborts).
+
+Because the protocol is JSON over pipes rather than pickle over a
+``ProcessPoolExecutor``, workers can also consult the shared sharded
+store *themselves* (``store_dir``): concurrent orchestrators with
+overlapping grids then exchange results through the fcntl-locked
+on-disk index mid-flight -- cross-process cache sharing, not just
+cross-invocation persistence.
+
+The event loop runs on a dedicated thread so the public surface stays
+synchronous and generator-shaped, interchangeable with the serial and
+process backends (same records, same order guarantees in
+:func:`~repro.runtime.executor.run_jobs`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import queue
+import sys
+import threading
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .jobs import JobSpec, Record
+
+_SENTINEL = object()
+
+
+class AsyncWorkerError(RuntimeError):
+    """A worker subprocess reported a job failure or died."""
+
+
+def _worker_env() -> dict:
+    """Environment for workers: inherit, but guarantee repro importable.
+
+    The parent may run from a source checkout without an installed
+    package; prepending the package's parent directory to PYTHONPATH
+    makes ``python -m repro.runtime.worker`` resolve either way.
+    """
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+class AsyncBackend:
+    """Fans jobs over asyncio-managed worker subprocesses.
+
+    Args:
+        max_workers: worker subprocess count; defaults to
+            ``os.cpu_count()`` capped at the number of jobs.
+        store_dir: optional sharded-store directory workers consult
+            before executing (and append fresh records to), enabling
+            cache sharing across concurrent orchestrator processes.
+    """
+
+    name = "async"
+    # Workers regenerate graphs from specs, like the process pool.
+    wants_graph_hints = False
+    # run_stream wants the cache keys so workers can hit the shared store.
+    wants_keys = True
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        store_dir: Optional[str] = None,
+    ):
+        self.max_workers = max_workers
+        self.store_dir = str(store_dir) if store_dir else None
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        graphs: Optional[Sequence] = None,
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[Record]:
+        """Execute *specs*, returning records in input order."""
+        records: List[Optional[Record]] = [None] * len(specs)
+        for index, record in self.run_stream(specs, graphs=graphs, keys=keys):
+            records[index] = record
+        return [r for r in records if r is not None]
+
+    def run_stream(
+        self,
+        specs: Sequence[JobSpec],
+        graphs: Optional[Sequence] = None,
+        keys: Optional[Sequence[str]] = None,
+    ) -> Iterator[Tuple[int, Record]]:
+        """Yield ``(index, record)`` pairs in completion order.
+
+        *graphs* is accepted for backend-interface parity and ignored
+        (workers regenerate inputs from specs).  *keys* are the cache
+        keys ``run_jobs`` already derived; they ride along so workers
+        can consult the shared store.
+        """
+        specs = list(specs)
+        if not specs:
+            return
+        out: "queue.Queue" = queue.Queue()
+        worker_count = self.max_workers or min(
+            len(specs), os.cpu_count() or 1
+        )
+        worker_count = max(1, min(worker_count, len(specs)))
+
+        def pump():
+            try:
+                asyncio.run(
+                    self._serve(specs, keys, worker_count, out)
+                )
+            except BaseException as exc:  # surfaced by the consumer
+                out.put(exc)
+            finally:
+                out.put(_SENTINEL)
+
+        thread = threading.Thread(
+            target=pump, name="repro-async-backend", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                item = out.get()
+                if item is _SENTINEL:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            thread.join()
+
+    # -- event loop internals -------------------------------------------------
+
+    async def _serve(
+        self,
+        specs: List[JobSpec],
+        keys: Optional[Sequence[str]],
+        worker_count: int,
+        out: "queue.Queue",
+    ) -> None:
+        pending: "asyncio.Queue" = asyncio.Queue()
+        for index, spec in enumerate(specs):
+            key = keys[index] if keys is not None else None
+            pending.put_nowait((index, spec, key))
+        for _ in range(worker_count):
+            pending.put_nowait(None)  # one stop token per worker
+        tasks = [
+            asyncio.create_task(self._worker_loop(pending, out))
+            for _ in range(worker_count)
+        ]
+        try:
+            await asyncio.gather(*tasks)
+        finally:
+            for task in tasks:
+                task.cancel()
+
+    async def _worker_loop(
+        self, pending: "asyncio.Queue", out: "queue.Queue"
+    ) -> None:
+        argv = [sys.executable, "-u", "-m", "repro.runtime.worker"]
+        if self.store_dir:
+            argv += ["--store", self.store_dir]
+        proc = await asyncio.create_subprocess_exec(
+            *argv,
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.PIPE,
+            env=_worker_env(),
+        )
+        try:
+            while True:
+                item = await pending.get()
+                if item is None:
+                    break
+                index, spec, key = item
+                request = {
+                    "id": index,
+                    "spec": spec.to_payload(),
+                    "key": key,
+                }
+                proc.stdin.write(
+                    (json.dumps(request, separators=(",", ":")) + "\n").encode()
+                )
+                await proc.stdin.drain()
+                line = await proc.stdout.readline()
+                if not line:
+                    stderr = (await proc.stderr.read()).decode(
+                        errors="replace"
+                    )
+                    raise AsyncWorkerError(
+                        f"worker died while running spec #{index} "
+                        f"({spec.kind}): {stderr.strip()[-2000:]}"
+                    )
+                response = json.loads(line)
+                if "error" in response:
+                    detail = response.get("traceback") or response["error"]
+                    raise AsyncWorkerError(
+                        f"job #{index} ({spec.kind}) failed in worker: "
+                        f"{detail}"
+                    )
+                out.put((response["id"], response["record"]))
+        finally:
+            if proc.returncode is None:
+                try:
+                    proc.stdin.write(b'{"op":"exit"}\n')
+                    await proc.stdin.drain()
+                    proc.stdin.close()
+                    await asyncio.wait_for(proc.wait(), timeout=5)
+                except (OSError, asyncio.TimeoutError, ConnectionError):
+                    proc.kill()
+                    await proc.wait()

@@ -9,10 +9,17 @@ Cache keys are ``sha256(kind || graph fingerprint || config digest)``:
   coordinates, so any change to ``epsilon``, ``method``, sampling knobs,
   or the algorithm seed invalidates the entry.
 
-Entries live in a bounded in-memory LRU; an optional on-disk JSON store
-(one file per entry, atomic rename writes) persists them across
-processes and CLI invocations.  Only flat primitive records (see
-:mod:`repro.runtime.jobs`) are stored, so JSON round-trips are lossless.
+Entries live in a bounded in-memory LRU; an optional on-disk layer (the
+sharded single-index :class:`~repro.runtime.store.ShardedStore` --
+append-only shard files, fcntl-locked multi-writer appends, newest-wins
+compaction) persists them across processes and CLI invocations, so
+concurrent sweeps, shard runs, and async workers all share one cache.
+Only flat primitive records (see :mod:`repro.runtime.jobs`) are stored,
+so JSON round-trips are lossless.
+
+Coordinate-derived cache keys (fingerprint from generator coordinates,
+skipping graph generation on hits) are the **default**; set
+``REPRO_CACHE_COORD_KEYS=0`` to fall back to content-addressed keys.
 """
 
 from __future__ import annotations
@@ -20,7 +27,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,14 +34,22 @@ from typing import Any, Dict, Optional
 
 import networkx as nx
 
-from .jobs import JobSpec, Record
+from .jobs import JobSpec, Record, spec_needs_graph
+from .store import ClearReport, ShardedStore
 
 COORD_KEYS_ENV_VAR = "REPRO_CACHE_COORD_KEYS"
 
 
 def coord_keys_enabled() -> bool:
-    """Whether ``REPRO_CACHE_COORD_KEYS=1`` selects coordinate keys."""
-    return os.environ.get(COORD_KEYS_ENV_VAR, "0") == "1"
+    """Whether coordinate-derived cache keys are selected (the default).
+
+    Coordinate keys skip graph generation entirely on cache hits; they
+    are sound because every bundled generator is deterministic in its
+    coordinates (certified by the determinism cross-check test over all
+    planar and far families).  ``REPRO_CACHE_COORD_KEYS=0`` opts out,
+    restoring content-addressed fingerprints of the generated graph.
+    """
+    return os.environ.get(COORD_KEYS_ENV_VAR, "1") != "0"
 
 
 def coordinate_fingerprint(spec: JobSpec) -> str:
@@ -115,6 +129,8 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    disk_evictions: int = 0
+    disk_bytes_reclaimed: int = 0
 
     @property
     def lookups(self) -> int:
@@ -125,32 +141,58 @@ class CacheStats:
         """Fraction of lookups served from cache (0.0 when none)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def summary_line(self) -> str:
+        """One-line rendering for CLI summaries."""
+        parts = [
+            f"hits={self.hits}",
+            f"misses={self.misses}",
+            f"hit_rate={self.hit_rate:.0%}",
+            f"stores={self.stores}",
+        ]
+        if self.disk_hits:
+            parts.append(f"disk_hits={self.disk_hits}")
+        return " ".join(parts)
+
 
 @dataclass
 class ResultCache:
-    """In-memory LRU over job records, with an optional JSON disk store.
+    """In-memory LRU over job records, with an optional sharded disk store.
 
     Args:
         max_entries: LRU capacity; oldest entries evict first.  The disk
-            store (when configured) is unbounded and re-warms the LRU on
-            hit.
-        disk_dir: directory for the persistent JSON store; created on
+            store (when configured) re-warms the LRU on hit.
+        disk_dir: directory for the persistent sharded store
+            (:class:`~repro.runtime.store.ShardedStore`); created on
             first write.  ``None`` keeps the cache memory-only.
+            Multiple processes may point at one directory concurrently
+            -- appends are fcntl-locked, so pool/async workers and
+            parallel shard runs share a single cache.
+        disk_shards: number of shard files for a newly-created store.
+        disk_max_entries: live-entry cap the store enforces at
+            compaction time (``None`` = unbounded).
     """
 
     max_entries: int = 4096
     disk_dir: Optional[Path] = None
+    disk_shards: int = 8
+    disk_max_entries: Optional[int] = None
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: "OrderedDict[str, Record]" = field(default_factory=OrderedDict)
+    _store: Optional[ShardedStore] = field(default=None, repr=False)
 
     def __post_init__(self):
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
+            self._store = ShardedStore(
+                self.disk_dir,
+                shards=self.disk_shards,
+                max_entries=self.disk_max_entries,
+            )
 
-    def _disk_path(self, key: str) -> Optional[Path]:
-        if self.disk_dir is None:
-            return None
-        return self.disk_dir / f"{key}.json"
+    @property
+    def store_backend(self) -> Optional[ShardedStore]:
+        """The sharded disk store, when configured."""
+        return self._store
 
     def lookup(self, key: str) -> Optional[Record]:
         """Return the cached record for *key*, or ``None`` on a miss."""
@@ -158,13 +200,9 @@ class ResultCache:
             self._entries.move_to_end(key)
             self.stats.hits += 1
             return dict(self._entries[key])
-        path = self._disk_path(key)
-        if path is not None and path.is_file():
-            try:
-                record = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                record = None
-            if isinstance(record, dict):
+        if self._store is not None:
+            record = self._store.get(key)
+            if record is not None:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
                 self._remember(key, record)
@@ -176,25 +214,23 @@ class ResultCache:
         """Insert *record* under *key* (memory, and disk when configured)."""
         self.stats.stores += 1
         self._remember(key, record)
-        path = self._disk_path(key)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic write: concurrent CLI runs must never read a torn file.
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                # Insertion order is preserved through JSON, so tables
-                # rendered from disk hits keep the runner's column order.
-                json.dump(record, handle)
-            os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+        if self._store is not None:
+            self._store.put(key, record)
+            self.stats.disk_evictions = self._store.stats.evicted_entries
+            self.stats.disk_bytes_reclaimed = (
+                self._store.stats.bytes_reclaimed
+            )
+
+    def remember(self, key: str, record: Record) -> None:
+        """Insert into the in-memory LRU only (disk untouched).
+
+        The executor uses this when a backend's workers already
+        appended the record to this cache's own disk store (the async
+        backend with a shared ``store_dir``): a second ``put`` would
+        double every line and halve the compaction headroom.
+        """
+        self.stats.stores += 1
+        self._remember(key, record)
 
     def _remember(self, key: str, record: Record) -> None:
         self._entries[key] = dict(record)
@@ -206,15 +242,24 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def clear(self, disk: bool = False) -> None:
-        """Drop the in-memory entries (and the disk store when *disk*)."""
+    def clear(self, disk: bool = False) -> ClearReport:
+        """Drop the in-memory entries (and the disk store when *disk*).
+
+        Returns a :class:`~repro.runtime.store.ClearReport` of evicted
+        entries and bytes reclaimed (in-memory entries count as
+        entries; bytes are disk bytes only).  The counts also land in
+        ``stats.evictions`` / ``stats.disk_evictions`` /
+        ``stats.disk_bytes_reclaimed``.
+        """
+        report = ClearReport(entries_removed=len(self._entries))
+        self.stats.evictions += len(self._entries)
         self._entries.clear()
-        if disk and self.disk_dir is not None and self.disk_dir.is_dir():
-            for path in self.disk_dir.glob("*.json"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+        if disk and self._store is not None:
+            disk_report = self._store.clear()
+            report += disk_report
+            self.stats.disk_evictions += disk_report.entries_removed
+            self.stats.disk_bytes_reclaimed += disk_report.bytes_reclaimed
+        return report
 
 
 # Keys derived per spec in one batch: the graph fingerprint is memoized
@@ -244,6 +289,12 @@ class KeyDeriver:
         return spec.graph_coordinates
 
     def key_for(self, spec: JobSpec) -> str:
+        if not spec_needs_graph(spec):
+            # Graphless kinds (audit jobs that build their own
+            # instances) always key by coordinates: there is no input
+            # graph to fingerprint, and the coordinate hash is cheap
+            # enough not to memoize.
+            return cache_key(spec, coordinate_fingerprint(spec))
         graph_id = self._graph_id(spec)
         fingerprint = self._fingerprints.get(graph_id)
         if fingerprint is None:

@@ -3,32 +3,42 @@
 ``run_jobs(specs)`` is the single entry point the CLI, the sweeps
 front-end, and the benchmarks use to execute work:
 
-1. every spec's cache key is derived (graph fingerprint + config
-   digest; fingerprints are memoized per graph within the batch);
+1. every spec's cache key is derived (coordinate keys by default --
+   content fingerprints when ``REPRO_CACHE_COORD_KEYS=0``);
 2. cache hits are answered immediately;
 3. the misses are dispatched to the chosen backend --
-   :class:`SerialBackend` runs them in-process, while
+   :class:`SerialBackend` runs them in-process,
    :class:`ProcessPoolBackend` fans them over a
    :class:`concurrent.futures.ProcessPoolExecutor` with chunked
-   dispatch;
+   dispatch, and :class:`~repro.runtime.async_backend.AsyncBackend`
+   streams them through asyncio-managed worker subprocesses;
 4. fresh records are stored back and the full result list is returned
    in the order of the input specs.
 
+:func:`iter_jobs` is the streaming face of the same machinery: it
+yields ``(index, record, from_cache)`` triples as results land
+(hits first, then misses in completion order) instead of barriering
+the whole batch -- fresh records are cached the moment they arrive, so
+a concurrent orchestrator sharing the same on-disk store sees them
+mid-flight.
+
 Records are flat primitive dicts (see :mod:`repro.runtime.jobs`), so
 backends are interchangeable: the same batch yields byte-identical
-aggregates whether it ran serially or on a pool.  Per-job randomness is
-carried entirely by ``spec.seed`` (workers derive their streams via
+aggregates whichever backend ran it.  Per-job randomness is carried
+entirely by ``spec.seed`` (workers derive their streams via
 :mod:`repro.runtime.seeding`), never by process-global state.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .async_backend import AsyncBackend
 from .cache import CacheStats, KeyDeriver, ResultCache
-from .jobs import JobSpec, Record, run_job
+from .jobs import JobSpec, Record, run_job, spec_needs_graph
 
 
 class SerialBackend:
@@ -49,6 +59,22 @@ class SerialBackend:
             return [run_job(spec) for spec in specs]
         # Reuse graphs the caller already built (e.g. for fingerprinting).
         return [run_job(spec, graph) for spec, graph in zip(specs, graphs)]
+
+    def run_stream(
+        self,
+        specs: Sequence[JobSpec],
+        graphs: Optional[Sequence] = None,
+    ) -> Iterator[Tuple[int, Record]]:
+        """Yield each record as soon as its job finishes (input order)."""
+        if graphs is None:
+            graphs = [None] * len(specs)
+        for index, (spec, graph) in enumerate(zip(specs, graphs)):
+            yield index, run_job(spec, graph)
+
+
+def _run_chunk(specs: List[JobSpec]) -> List[Record]:
+    """Module-level chunk runner (picklable for pool dispatch)."""
+    return [run_job(spec) for spec in specs]
 
 
 class ProcessPoolBackend:
@@ -75,6 +101,14 @@ class ProcessPoolBackend:
         self.max_workers = max_workers
         self.chunksize = chunksize
 
+    def _plan(self, specs: Sequence[JobSpec]) -> Tuple[int, int]:
+        workers = self.max_workers or min(len(specs), os.cpu_count() or 1)
+        workers = max(1, min(workers, len(specs)))
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, -(-len(specs) // (4 * workers)))
+        return workers, chunksize
+
     def run(
         self,
         specs: Sequence[JobSpec],
@@ -89,22 +123,48 @@ class ProcessPoolBackend:
         # selectable by the caller's environment.
         from concurrent.futures import ProcessPoolExecutor
 
-        workers = self.max_workers or min(len(specs), os.cpu_count() or 1)
-        workers = max(1, min(workers, len(specs)))
+        workers, chunksize = self._plan(specs)
         if workers == 1:
             return SerialBackend().run(specs)
-        chunksize = self.chunksize
-        if chunksize is None:
-            chunksize = max(1, -(-len(specs) // (4 * workers)))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # map() preserves input order, so cached and fresh records
             # interleave deterministically regardless of worker timing.
             return list(pool.map(run_job, specs, chunksize=chunksize))
 
+    def run_stream(
+        self,
+        specs: Sequence[JobSpec],
+        graphs: Optional[Sequence] = None,
+    ) -> Iterator[Tuple[int, Record]]:
+        """Yield ``(index, record)`` per completed chunk, as chunks land."""
+        if not specs:
+            return
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        specs = list(specs)
+        workers, chunksize = self._plan(specs)
+        if workers == 1:
+            yield from SerialBackend().run_stream(specs, graphs)
+            return
+        chunks = [
+            list(range(start, min(start + chunksize, len(specs))))
+            for start in range(0, len(specs), chunksize)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_chunk, [specs[i] for i in chunk]): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                for index, record in zip(chunk, future.result()):
+                    yield index, record
+
 
 BACKENDS = {
     "serial": SerialBackend,
     "process": ProcessPoolBackend,
+    "async": AsyncBackend,
 }
 """Backend registry used by the CLI's ``--backend`` flag."""
 
@@ -127,11 +187,15 @@ def _graph_hints(specs: Sequence[JobSpec]) -> List:
     specs that share graph coordinates (family/far, n, effective graph
     seed) receive the *same* graph object, so downstream consumers --
     most importantly the simulator's per-graph compiled-topology memo --
-    only pay the derivation once per distinct topology.
+    only pay the derivation once per distinct topology.  Graphless
+    kinds (audit jobs) receive ``None``.
     """
     built: Dict = {}
     hints = []
     for spec in specs:
+        if not spec_needs_graph(spec):
+            hints.append(None)
+            continue
         key = spec.graph_coordinates
         graph = built.get(key)
         if graph is None:
@@ -164,6 +228,136 @@ class BatchResult:
         return len(self.records)
 
 
+def _backend_stream(
+    backend,
+    specs: List[JobSpec],
+    graphs: Optional[List],
+    keys: Optional[List[str]],
+) -> Iterator[Tuple[int, Record]]:
+    """Stream ``(position, record)`` from *backend*, however it runs.
+
+    Prefers the backend's native ``run_stream`` (completion order);
+    falls back to the barriering ``run`` for custom backends that only
+    implement the original interface.  *keys* are forwarded to
+    backends that declare ``wants_keys`` (the async backend hands them
+    to workers for shared-store lookups).
+    """
+    kwargs = {}
+    if getattr(backend, "wants_keys", False) and keys is not None:
+        kwargs["keys"] = keys
+    stream = getattr(backend, "run_stream", None)
+    if stream is not None:
+        yield from stream(specs, graphs=graphs, **kwargs)
+        return
+    records = backend.run(specs, graphs=graphs, **kwargs)
+    yield from enumerate(records)
+
+
+def iter_jobs(
+    specs: Sequence[JobSpec],
+    backend=None,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[CacheStats] = None,
+) -> Iterator[Tuple[int, Record, bool]]:
+    """Execute *specs*, yielding ``(index, record, from_cache)`` as they land.
+
+    Cache hits stream first (input order); misses follow in the
+    backend's completion order.  Fresh records are stored into *cache*
+    the moment they arrive, so concurrent orchestrators sharing one
+    on-disk store observe them mid-batch.  Duplicate specs within the
+    batch execute once; their copies are yielded when the first record
+    lands.
+
+    Args:
+        specs: job specs to run.
+        backend: backend instance or registry name (default serial).
+        cache: optional :class:`ResultCache`.
+        stats: optional :class:`CacheStats` to fill with this batch's
+            hit/miss/store counters (what :func:`run_jobs` reports).
+    """
+    if backend is None:
+        backend = SerialBackend()
+    elif isinstance(backend, str):
+        backend = make_backend(backend)
+    specs = list(specs)
+    batch_stats = stats if stats is not None else CacheStats()
+
+    if cache is None:
+        # No cache: still deduplicate identical specs within the batch.
+        unique: Dict[JobSpec, List[int]] = {}
+        for index, spec in enumerate(specs):
+            unique.setdefault(spec, []).append(index)
+        ordered = list(unique)
+        graphs = (
+            _graph_hints(ordered)
+            if getattr(backend, "wants_graph_hints", False)
+            else None
+        )
+        for position, record in _backend_stream(backend, ordered, graphs, None):
+            for index in unique[ordered[position]]:
+                yield index, dict(record), False
+        return
+
+    deriver = KeyDeriver()
+    keys = [deriver.key_for(spec) for spec in specs]
+    miss_indices: List[int] = []
+    pending: Dict[str, List[int]] = {}
+    for index, (spec, key) in enumerate(zip(specs, keys)):
+        if key in pending:
+            # Duplicate within the batch: piggyback on the first miss.
+            pending[key].append(index)
+            batch_stats.hits += 1
+            continue
+        hit = cache.lookup(key)
+        if hit is not None:
+            batch_stats.hits += 1
+            yield index, hit, True
+        else:
+            batch_stats.misses += 1
+            miss_indices.append(index)
+            pending[key] = [index]
+
+    if not miss_indices:
+        return
+    miss_specs = [specs[i] for i in miss_indices]
+    miss_keys = [keys[i] for i in miss_indices]
+    miss_graphs = None
+    if getattr(backend, "wants_graph_hints", False):
+        miss_graphs = [deriver.graph_for(spec) for spec in miss_specs]
+        # Coordinate-keyed derivers never build graphs; fill the gaps so
+        # in-process misses still share one instance (and one compiled
+        # topology) per distinct input.
+        built: Dict = {}
+        for position, (spec, graph) in enumerate(
+            zip(miss_specs, miss_graphs)
+        ):
+            if graph is None and spec_needs_graph(spec):
+                key = spec.graph_coordinates
+                graph = built.get(key)
+                if graph is None:
+                    graph = built[key] = spec.build_graph()
+                miss_graphs[position] = graph
+    # When the backend's workers persist to this cache's own disk store
+    # (async backend sharing store_dir), the record is already on disk
+    # by the time it streams back: remember it in memory only, or every
+    # line would land twice.
+    backend_store = getattr(backend, "store_dir", None)
+    workers_persist = (
+        backend_store is not None
+        and cache.disk_dir is not None
+        and Path(backend_store).resolve() == Path(cache.disk_dir).resolve()
+    )
+    absorb = cache.remember if workers_persist else cache.store
+    for position, record in _backend_stream(
+        backend, miss_specs, miss_graphs, miss_keys
+    ):
+        index = miss_indices[position]
+        absorb(keys[index], record)
+        batch_stats.stores += 1
+        for dup_index in pending[keys[index]]:
+            yield dup_index, dict(record), False
+
+
 def run_jobs(
     specs: Sequence[JobSpec],
     backend=None,
@@ -189,70 +383,14 @@ def run_jobs(
     specs = list(specs)
     batch_stats = CacheStats()
     records: List[Optional[Record]] = [None] * len(specs)
-
-    if cache is None:
-        # No cache: still deduplicate identical specs within the batch.
-        unique: Dict[JobSpec, List[int]] = {}
-        for index, spec in enumerate(specs):
-            unique.setdefault(spec, []).append(index)
-        ordered = list(unique)
-        if getattr(backend, "wants_graph_hints", False):
-            fresh = backend.run(ordered, graphs=_graph_hints(ordered))
-        else:
-            fresh = backend.run(ordered)
-        for spec, record in zip(ordered, fresh):
-            for index in unique[spec]:
-                records[index] = dict(record)
-        return BatchResult(
-            records=[r for r in records if r is not None],
-            cache_stats=batch_stats,
-            backend=getattr(backend, "name", type(backend).__name__),
-            executed=len(ordered),
-        )
-
-    deriver = KeyDeriver()
-    keys = [deriver.key_for(spec) for spec in specs]
-    miss_indices: List[int] = []
-    pending: Dict[str, List[int]] = {}
-    for index, (spec, key) in enumerate(zip(specs, keys)):
-        if key in pending:
-            # Duplicate within the batch: piggyback on the first miss.
-            pending[key].append(index)
-            batch_stats.hits += 1
-            continue
-        hit = cache.lookup(key)
-        if hit is not None:
-            records[index] = hit
-            batch_stats.hits += 1
-        else:
-            batch_stats.misses += 1
-            miss_indices.append(index)
-            pending[key] = [index]
-
-    miss_specs = [specs[i] for i in miss_indices]
-    miss_graphs = [deriver.graph_for(spec) for spec in miss_specs]
-    if getattr(backend, "wants_graph_hints", False):
-        # Coordinate-keyed derivers never build graphs; fill the gaps so
-        # in-process misses still share one instance (and one compiled
-        # topology) per distinct input.
-        built: Dict = {}
-        for position, (spec, graph) in enumerate(zip(miss_specs, miss_graphs)):
-            if graph is None:
-                key = spec.graph_coordinates
-                graph = built.get(key)
-                if graph is None:
-                    graph = built[key] = spec.build_graph()
-                miss_graphs[position] = graph
-    fresh = backend.run(miss_specs, graphs=miss_graphs)
-    for index, record in zip(miss_indices, fresh):
-        cache.store(keys[index], record)
-        batch_stats.stores += 1
-        for dup_index in pending[keys[index]]:
-            records[dup_index] = dict(record)
-
+    for index, record, _from_cache in iter_jobs(
+        specs, backend=backend, cache=cache, stats=batch_stats
+    ):
+        records[index] = record
+    executed = batch_stats.misses if cache is not None else len(set(specs))
     return BatchResult(
         records=[r for r in records if r is not None],
         cache_stats=batch_stats,
         backend=getattr(backend, "name", type(backend).__name__),
-        executed=len(miss_indices),
+        executed=executed,
     )

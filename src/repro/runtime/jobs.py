@@ -32,11 +32,34 @@ Record = Dict[str, Any]
 Runner = Callable[["JobSpec", nx.Graph], Record]
 
 _RUNNERS: Dict[str, Runner] = {}
+_GRAPHLESS: set = set()
 
 
-def register_kind(kind: str, runner: Runner) -> None:
-    """Register *runner* for *kind*; overwrites a previous registration."""
+def register_kind(kind: str, runner: Runner, needs_graph: bool = True) -> None:
+    """Register *runner* for *kind*; overwrites a previous registration.
+
+    Args:
+        needs_graph: ``False`` for kinds that build their own input
+            (e.g. the lower-bound instance audit): the executor then
+            never generates a graph for the spec -- the runner receives
+            ``None`` and must fill ``n``/``m`` in its record itself.
+            Such specs are always cache-keyed by coordinates.
+    """
     _RUNNERS[kind] = runner
+    if needs_graph:
+        _GRAPHLESS.discard(kind)
+    else:
+        _GRAPHLESS.add(kind)
+
+
+def kind_needs_graph(kind: str) -> bool:
+    """Whether *kind*'s runner consumes a generated input graph."""
+    return kind not in _GRAPHLESS
+
+
+def spec_needs_graph(spec: "JobSpec") -> bool:
+    """Whether *spec* requires its input graph to be generated."""
+    return kind_needs_graph(spec.kind)
 
 
 def job_kinds() -> Tuple[str, ...]:
@@ -166,6 +189,41 @@ class JobSpec:
             return graph
         return make_planar(self.family, self.n, seed=self.effective_graph_seed)
 
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-safe encoding for wire protocols (async workers).
+
+        Round-trips through :meth:`from_payload`; only specs whose
+        config values are JSON primitives survive the trip, which every
+        registered kind's knobs are by construction.
+        """
+        return {
+            "kind": self.kind,
+            "family": self.family,
+            "far": self.far,
+            "n": self.n,
+            "seed": self.seed,
+            "graph_seed": self.graph_seed,
+            "config": [[k, v] for k, v in self.config],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "JobSpec":
+        """Rebuild a spec from :meth:`to_payload` output.
+
+        Config values arrive as JSON types; ``_freeze`` restores the
+        canonical tuple form, so hashing and cache keys match the
+        original spec exactly.
+        """
+        return cls.make(
+            payload["kind"],
+            family=payload.get("family", "delaunay"),
+            far=payload.get("far"),
+            n=int(payload.get("n", 500)),
+            seed=int(payload.get("seed", 0)),
+            graph_seed=payload.get("graph_seed"),
+            **{k: v for k, v in payload.get("config", [])},
+        )
+
 
 def run_job(spec: JobSpec, graph: Optional[nx.Graph] = None) -> Record:
     """Execute *spec* and return its flat record.
@@ -173,7 +231,9 @@ def run_job(spec: JobSpec, graph: Optional[nx.Graph] = None) -> Record:
     Module-level (and therefore picklable) so process-pool workers can
     receive specs directly.  *graph* lets callers that already built the
     input (e.g. the cache layer, which fingerprints it) avoid a second
-    generation.
+    generation.  Graphless kinds (``register_kind(...,
+    needs_graph=False)``) skip generation entirely; their runners own
+    the ``n``/``m`` record fields.
     """
     try:
         runner = _RUNNERS[spec.kind]
@@ -181,14 +241,19 @@ def run_job(spec: JobSpec, graph: Optional[nx.Graph] = None) -> Record:
         raise ValueError(
             f"unknown job kind {spec.kind!r}; registered: {job_kinds()}"
         ) from None
-    if graph is None:
-        graph = spec.build_graph()
+    if spec.kind in _GRAPHLESS:
+        graph = None
+        n, m = spec.n, 0
+    else:
+        if graph is None:
+            graph = spec.build_graph()
+        n, m = graph.number_of_nodes(), graph.number_of_edges()
     record: Record = {
         "kind": spec.kind,
         "graph": spec.graph_label,
         "family": spec.far or spec.family,
-        "n": graph.number_of_nodes(),
-        "m": graph.number_of_edges(),
+        "n": n,
+        "m": m,
         "seed": spec.seed,
     }
     record.update(runner(spec, graph))

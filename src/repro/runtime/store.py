@@ -1,0 +1,421 @@
+"""Sharded on-disk record store: append-only shards + a compact index.
+
+The seed cache persisted one JSON file per entry, which meant one
+``open``/``stat`` pair per lookup, unbounded directory growth, and no
+way for concurrent writers to coordinate beyond atomic renames.  This
+module replaces that layer with a **sharded single-index store**:
+
+* records append to one of ``shards`` JSONL files (``shard-SS.jsonl``);
+  the shard is chosen by a stable hash of the key, so every process
+  agrees on placement without coordination;
+* each process keeps a **compact in-memory index** per shard (key ->
+  byte offset of the newest line), built by scanning the shard once and
+  refreshed *incrementally*: when another process appends, only the new
+  tail is read, never the whole file;
+* appends hold an ``fcntl`` exclusive lock on a per-shard lock file, so
+  any number of pool workers / CLI invocations / async workers can
+  write to one store concurrently without tearing lines;
+* **compaction** rewrites a shard newest-wins, evicting the
+  least-recently-touched entries beyond ``max_entries`` (recency is
+  this process's append/lookup order -- an LRU approximation across
+  processes) and reporting entries evicted + bytes reclaimed.
+
+Durability model: a line is the unit of persistence.  Torn or corrupt
+lines (crash mid-append without the lock discipline, disk trouble)
+degrade to misses at scan time, never to crashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+try:  # POSIX advisory locks; other platforms use an O_EXCL lock file.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+Record = Dict[str, object]
+
+DEFAULT_SHARDS = 8
+
+
+def shard_of_key(key: str, shards: int) -> int:
+    """Stable shard placement: independent of Python's hash seed."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+@dataclass
+class StoreStats:
+    """Counters for one :class:`ShardedStore` instance."""
+
+    appends: int = 0
+    lookups: int = 0
+    hits: int = 0
+    compactions: int = 0
+    evicted_entries: int = 0
+    bytes_reclaimed: int = 0
+
+
+@dataclass
+class ClearReport:
+    """What a destructive operation (clear / compaction) removed."""
+
+    entries_removed: int = 0
+    bytes_reclaimed: int = 0
+
+    def __iadd__(self, other: "ClearReport") -> "ClearReport":
+        self.entries_removed += other.entries_removed
+        self.bytes_reclaimed += other.bytes_reclaimed
+        return self
+
+
+class _Shard:
+    """One append-only JSONL file plus this process's index over it.
+
+    ``index`` maps key -> byte offset of the newest line holding it,
+    ordered by recency (move-to-end on append and on lookup).
+    ``scanned`` is how far into the file the index is valid; anything
+    past it was appended by another process and is folded in lazily.
+    """
+
+    __slots__ = ("path", "index", "scanned")
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.index: "OrderedDict[str, int]" = OrderedDict()
+        self.scanned = 0
+
+    def refresh(self) -> None:
+        """Fold in lines appended since the last scan (cheap when none)."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            # File vanished (clear() from another process): start over.
+            self.index.clear()
+            self.scanned = 0
+            return
+        if size < self.scanned:
+            # Truncated behind our back (compaction elsewhere): rescan.
+            self.index.clear()
+            self.scanned = 0
+        if size == self.scanned:
+            return
+        line = b"\n"
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self.scanned)
+                offset = self.scanned
+                for line in handle:
+                    if line.endswith(b"\n"):
+                        key = _key_of_line(line)
+                        if key is not None:
+                            self.index[key] = offset
+                            self.index.move_to_end(key)
+                    offset += len(line)
+        except OSError:
+            # Shard disappeared mid-read (clear/compact race): the next
+            # refresh rescans from scratch.
+            self.index.clear()
+            self.scanned = 0
+            return
+        # A trailing partial line (writer mid-append) stays unscanned
+        # so the next refresh picks it up once it is complete.
+        self.scanned = offset if line_complete(line) else offset - len(line)
+
+
+def line_complete(line: bytes) -> bool:
+    return line.endswith(b"\n")
+
+
+def _key_of_line(line: bytes) -> Optional[str]:
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if isinstance(payload, dict) and isinstance(payload.get("k"), str):
+        return payload["k"]
+    return None
+
+
+@dataclass
+class ShardedStore:
+    """Multi-process-safe sharded record store under one directory.
+
+    Args:
+        root: store directory; created on first write.
+        shards: number of shard files (fixed at creation; persisted in
+            ``store.json`` so every opener agrees).
+        max_entries: per-store live-entry cap enforced at compaction
+            time (``None`` = unbounded).  Eviction order is this
+            process's recency order (append/lookup), oldest first.
+        compact_factor: a shard compacts automatically when its file
+            holds more than ``compact_factor`` times its live entries
+            (dead newest-wins duplicates) and at least ``shards`` lines.
+    """
+
+    root: Path
+    shards: int = DEFAULT_SHARDS
+    max_entries: Optional[int] = None
+    compact_factor: float = 4.0
+    stats: StoreStats = field(default_factory=StoreStats)
+    _shards: List[_Shard] = field(default_factory=list, repr=False)
+    _lines: List[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+        meta = self.root / "store.json"
+        if meta.is_file():
+            try:
+                persisted = json.loads(meta.read_text())
+                self.shards = int(persisted.get("shards", self.shards))
+            except (ValueError, OSError):
+                pass
+        self._shards = [
+            _Shard(self.root / f"shard-{i:02d}.jsonl")
+            for i in range(self.shards)
+        ]
+        self._lines = [0] * self.shards
+
+    # -- layout helpers -------------------------------------------------------
+
+    def _ensure_root(self) -> None:
+        if not self.root.is_dir():
+            self.root.mkdir(parents=True, exist_ok=True)
+        meta = self.root / "store.json"
+        if not meta.is_file():
+            tmp = meta.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps({"version": 1, "shards": self.shards}) + "\n"
+            )
+            os.replace(tmp, meta)
+
+    @contextmanager
+    def _lock(self, shard_id: int):
+        """Exclusive per-shard lock: ``flock`` on POSIX, else O_EXCL file.
+
+        The fallback spins on atomically creating ``.mutex``; a mutex
+        older than 30s is presumed leaked by a dead process and broken.
+        Multi-writer appends are therefore serialized on every
+        platform, matching the rename-atomicity the per-entry JSON
+        layout used to provide.
+        """
+        self._ensure_root()
+        lock_path = self.root / f"shard-{shard_id:02d}.lock"
+        if fcntl is not None:
+            handle = open(lock_path, "a+b")
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                handle.close()
+            return
+        mutex = lock_path.with_suffix(".mutex")  # pragma: no cover
+        deadline = time.monotonic() + 30.0
+        while True:
+            try:
+                fd = os.open(str(mutex), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+                break
+            except FileExistsError:
+                try:
+                    if mutex.stat().st_mtime + 30.0 < time.time():
+                        mutex.unlink()  # break a leaked lock
+                        continue
+                except OSError:
+                    continue
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"could not acquire store lock {mutex}"
+                    ) from None
+                time.sleep(0.005)
+        try:
+            yield
+        finally:
+            try:
+                mutex.unlink()
+            except OSError:
+                pass
+
+    # -- store API ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Record]:
+        """Return the newest record stored under *key*, or ``None``."""
+        self.stats.lookups += 1
+        shard = self._shards[shard_of_key(key, self.shards)]
+        shard.refresh()
+        record = self._read_indexed(shard, key)
+        if record is None and key in shard.index:
+            # The offset was stale (another process compacted the shard
+            # without shrinking it below our scan pointer): rebuild the
+            # index from scratch and retry once.
+            shard.index.clear()
+            shard.scanned = 0
+            shard.refresh()
+            record = self._read_indexed(shard, key)
+        if record is None:
+            return None
+        shard.index.move_to_end(key)  # recency for LRU compaction
+        self.stats.hits += 1
+        return record
+
+    @staticmethod
+    def _read_indexed(shard: _Shard, key: str) -> Optional[Record]:
+        """Read *key*'s record at its indexed offset; ``None`` if stale."""
+        offset = shard.index.get(key)
+        if offset is None:
+            return None
+        try:
+            with open(shard.path, "rb") as handle:
+                handle.seek(offset)
+                line = handle.readline()
+            payload = json.loads(line)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("k") != key:
+            # The line at this offset belongs to a different key: the
+            # file was rewritten behind our back.  Never serve it.
+            return None
+        record = payload.get("r")
+        return record if isinstance(record, dict) else None
+
+    def put(self, key: str, record: Record) -> None:
+        """Append *record* under *key* (newest-wins on repeated keys)."""
+        shard_id = shard_of_key(key, self.shards)
+        shard = self._shards[shard_id]
+        line = (
+            json.dumps({"k": key, "r": record}, separators=(",", ":"))
+            + "\n"
+        ).encode("utf-8")
+        with self._lock(shard_id):
+            with open(shard.path, "ab") as handle:
+                offset = handle.tell()
+                handle.write(line)
+        shard.index[key] = offset
+        shard.index.move_to_end(key)
+        # Our scan pointer is only advanced past our own line when no
+        # other writer interleaved; otherwise the next refresh re-reads
+        # the gap (idempotent).
+        if offset == shard.scanned:
+            shard.scanned = offset + len(line)
+        self.stats.appends += 1
+        self._maybe_compact(shard_id)
+
+    def __len__(self) -> int:
+        total = 0
+        for shard in self._shards:
+            shard.refresh()
+            total += len(shard.index)
+        return total
+
+    def keys(self) -> Iterator[str]:
+        for shard in self._shards:
+            shard.refresh()
+            yield from list(shard.index)
+
+    # -- compaction / eviction ------------------------------------------------
+
+    def _live_cap_per_shard(self) -> Optional[int]:
+        if self.max_entries is None:
+            return None
+        return max(1, self.max_entries // self.shards)
+
+    def _maybe_compact(self, shard_id: int) -> None:
+        shard = self._shards[shard_id]
+        try:
+            size = shard.path.stat().st_size
+        except OSError:
+            return
+        live = max(1, len(shard.index))
+        cap = self._live_cap_per_shard()
+        over_cap = cap is not None and len(shard.index) > cap
+        # Estimate dead weight from line counts: scanned bytes per live
+        # entry.  Compact when the file is mostly dead or over cap.
+        self._lines[shard_id] += 1
+        if over_cap or (
+            self._lines[shard_id] >= live * self.compact_factor
+            and self._lines[shard_id] >= 2 * self.shards
+        ):
+            self.compact(shard_id)
+
+    def compact(self, shard_id: Optional[int] = None) -> ClearReport:
+        """Rewrite shards newest-wins, evicting beyond ``max_entries``.
+
+        Returns a :class:`ClearReport` of entries evicted (cap overflow
+        only -- deduplicated stale lines are not "entries") and total
+        bytes reclaimed.
+        """
+        report = ClearReport()
+        ids = range(self.shards) if shard_id is None else (shard_id,)
+        cap = self._live_cap_per_shard()
+        for sid in ids:
+            shard = self._shards[sid]
+            with self._lock(sid):
+                shard.refresh()
+                try:
+                    old_size = shard.path.stat().st_size
+                except OSError:
+                    self._lines[sid] = 0
+                    continue
+                keep = list(shard.index.items())  # oldest -> newest
+                evicted = 0
+                if cap is not None and len(keep) > cap:
+                    evicted = len(keep) - cap
+                    for key, _offset in keep[:evicted]:
+                        del shard.index[key]
+                    keep = keep[evicted:]
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=str(self.root), suffix=".tmp"
+                )
+                new_index: "OrderedDict[str, int]" = OrderedDict()
+                offset = 0
+                with open(shard.path, "rb") as src, os.fdopen(
+                    fd, "wb"
+                ) as dst:
+                    for key, old_offset in keep:
+                        src.seek(old_offset)
+                        line = src.readline()
+                        dst.write(line)
+                        new_index[key] = offset
+                        offset += len(line)
+                os.replace(tmp_name, shard.path)
+                shard.index = new_index
+                shard.scanned = offset
+                self._lines[sid] = len(new_index)
+                self.stats.compactions += 1
+                self.stats.evicted_entries += evicted
+                reclaimed = max(0, old_size - offset)
+                self.stats.bytes_reclaimed += reclaimed
+                report += ClearReport(evicted, reclaimed)
+        return report
+
+    def clear(self) -> ClearReport:
+        """Delete every shard file; report entries and bytes removed."""
+        report = ClearReport()
+        for sid in range(self.shards):
+            shard = self._shards[sid]
+            with self._lock(sid):
+                shard.refresh()
+                entries = len(shard.index)
+                try:
+                    size = shard.path.stat().st_size
+                    shard.path.unlink()
+                except OSError:
+                    size = 0
+                shard.index.clear()
+                shard.scanned = 0
+                self._lines[sid] = 0
+                report += ClearReport(entries, size)
+        self.stats.evicted_entries += report.entries_removed
+        self.stats.bytes_reclaimed += report.bytes_reclaimed
+        return report

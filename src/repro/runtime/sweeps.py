@@ -1,4 +1,4 @@
-"""Parameter-grid sweeps over the batch runtime.
+"""Parameter-grid sweeps and the sharded sweep orchestrator.
 
 A :class:`SweepSpec` is a cartesian grid: one job *kind*, plus lists of
 graph coordinates (families or far families, sizes, seeds) and
@@ -8,16 +8,27 @@ deterministic order; :func:`run_sweep` executes them on any backend and
 wraps the records in a :class:`SweepResult` that renders
 :class:`~repro.analysis.tables.Table` views and summary statistics.
 
-This is the layer the benchmarks (E01/E03/E04) and the CLI's ``sweep``
+Sweeps **shard**: :class:`ShardedSweep` splits a grid into ``k``
+deterministic pieces by a stable key-hash of each job's canonical
+encoding, so independent orchestrator processes (CI legs, machines in a
+fleet) each run ``--shard i/k`` against one shared on-disk store and a
+final :func:`merge_sweep_results` -- or simply a full ``--resume`` run,
+which is then a 100% cache hit -- reassembles the grid in canonical
+expansion order.  ``resume=True`` certifies a cache is attached and
+reruns only the keys the store is missing (the executor's hit path
+skips even graph generation under the default coordinate keys).
+
+This is the layer the benchmarks (E01-E16) and the CLI's ``sweep``
 subcommand sit on; anything that used to hand-roll nested ``for`` loops
 over ``make_planar`` + ``test_planarity`` goes through here instead.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import Table
 from .cache import ResultCache
@@ -115,6 +126,105 @@ class SweepSpec:
         return specs
 
 
+def job_shard(spec: JobSpec, shards: int) -> int:
+    """Deterministic shard assignment by key-hash of the canonical spec.
+
+    Stable across processes, Python versions, and hash randomization
+    (SHA-256 over :meth:`JobSpec.canonical`), so every orchestrator
+    partitions a grid identically without coordination.
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    digest = hashlib.sha256(spec.canonical().encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+@dataclass(frozen=True)
+class ShardedSweep:
+    """A :class:`SweepSpec` split into ``shards`` deterministic pieces.
+
+    Shards partition the expanded grid by :func:`job_shard`; each shard
+    can run (and resume) independently -- on another process, another
+    machine, another CI leg -- against one shared cache store, and
+    :meth:`merge` reassembles per-shard results into canonical
+    expansion order.
+    """
+
+    spec: SweepSpec
+    shards: int = 2
+
+    def __post_init__(self):
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+
+    def shard_specs(self, index: int) -> List[JobSpec]:
+        """The expansion-ordered job specs belonging to shard *index*."""
+        if not 0 <= index < self.shards:
+            raise ValueError(
+                f"shard index {index} out of range 0..{self.shards - 1}"
+            )
+        return [
+            spec
+            for spec in self.spec.expand()
+            if job_shard(spec, self.shards) == index
+        ]
+
+    def run_shard(
+        self,
+        index: int,
+        backend=None,
+        cache: Optional[ResultCache] = None,
+    ) -> "SweepResult":
+        """Execute one shard; the result covers only that shard's jobs."""
+        batch = run_jobs(self.shard_specs(index), backend=backend, cache=cache)
+        return SweepResult(spec=self.spec, batch=batch)
+
+    def merge(self, results: Sequence["SweepResult"]) -> "SweepResult":
+        """Reassemble per-shard results into canonical expansion order.
+
+        *results* must hold one :class:`SweepResult` per shard, in
+        shard-index order (each as returned by :meth:`run_shard`).
+        """
+        if len(results) != self.shards:
+            raise ValueError(
+                f"expected {self.shards} shard results, got {len(results)}"
+            )
+        queues = [list(result.records) for result in results]
+        cursors = [0] * self.shards
+        merged: List[Record] = []
+        for spec in self.spec.expand():
+            shard = job_shard(spec, self.shards)
+            cursor = cursors[shard]
+            if cursor >= len(queues[shard]):
+                raise ValueError(
+                    f"shard {shard} is short {spec.kind!r} records; "
+                    "was it run against this grid?"
+                )
+            merged.append(queues[shard][cursor])
+            cursors[shard] = cursor + 1
+        stats = _merge_stats(result.batch.cache_stats for result in results)
+        batch = BatchResult(
+            records=merged,
+            cache_stats=stats,
+            backend=results[0].batch.backend if results else "serial",
+            executed=sum(result.batch.executed for result in results),
+        )
+        return SweepResult(spec=self.spec, batch=batch)
+
+
+def _merge_stats(stats: Iterable) -> "CacheStats":
+    from .cache import CacheStats
+
+    merged = CacheStats()
+    for item in stats:
+        merged.hits += item.hits
+        merged.misses += item.misses
+        merged.stores += item.stores
+        merged.evictions += item.evictions
+        merged.disk_hits += item.disk_hits
+    return merged
+
+
 @dataclass
 class SweepResult:
     """Records of one executed sweep plus aggregation helpers."""
@@ -178,7 +288,33 @@ def run_sweep(
     spec: SweepSpec,
     backend=None,
     cache: Optional[ResultCache] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Expand *spec* and execute it via :func:`repro.runtime.run_jobs`."""
-    batch = run_jobs(spec.expand(), backend=backend, cache=cache)
+    """Expand *spec* and execute it via :func:`repro.runtime.run_jobs`.
+
+    Args:
+        spec: the grid to run.
+        backend / cache: as :func:`~repro.runtime.run_jobs`.
+        shard: ``(index, count)`` restricts execution to one
+            deterministic shard of the grid (see :class:`ShardedSweep`);
+            the result covers only that shard's jobs.
+        resume: certify this is a continuation run: requires *cache*
+            (otherwise nothing could have survived the earlier run) and
+            executes only the keys the cache is missing -- which is the
+            executor's normal hit path, so a completed sweep resumes as
+            a 100% hit with zero graph generations under coordinate
+            keys.
+    """
+    if resume and cache is None:
+        raise ValueError(
+            "resume=True needs a cache (e.g. ResultCache(disk_dir=...)); "
+            "without one there is nothing to resume from"
+        )
+    if shard is not None:
+        index, count = shard
+        specs = ShardedSweep(spec, count).shard_specs(index)
+    else:
+        specs = spec.expand()
+    batch = run_jobs(specs, backend=backend, cache=cache)
     return SweepResult(spec=spec, batch=batch)

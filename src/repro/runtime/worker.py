@@ -1,0 +1,90 @@
+"""Subprocess worker protocol for the async backend.
+
+``python -m repro.runtime.worker`` turns a process into a job server
+speaking newline-delimited JSON over stdin/stdout:
+
+* request:  ``{"id": <int>, "spec": <JobSpec.to_payload()>,
+  "key": <cache key or null>}``
+* response: ``{"id": <int>, "record": {...}, "hit": <bool>}`` on
+  success, ``{"id": <int>, "error": "<repr>"}`` on failure.
+
+When launched with ``--store DIR``, the worker consults the shared
+:class:`~repro.runtime.store.ShardedStore` *before* executing a job
+whose request carries a ``key``, and appends fresh records back --
+that is the cross-process cache sharing: two concurrent sweeps (or two
+shard runs) with overlapping grids serve each other's results through
+one fcntl-locked on-disk index instead of each missing cold.
+
+Everything a record needs to be reproducible travels in the spec
+(``seed`` drives all randomness), so a worker is stateless: killing and
+respawning one mid-batch loses nothing but the in-flight job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import traceback
+from typing import Optional
+
+from .jobs import JobSpec, run_job
+from .store import ShardedStore
+
+
+def serve(stdin=None, stdout=None, store_dir: Optional[str] = None) -> int:
+    """Serve job requests until EOF or an explicit ``{"op": "exit"}``."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    store = ShardedStore(store_dir) if store_dir else None
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            message = json.loads(line)
+        except ValueError:
+            continue
+        if message.get("op") == "exit":
+            break
+        job_id = message.get("id")
+        key = message.get("key")
+        try:
+            record = None
+            hit = False
+            if store is not None and key:
+                record = store.get(key)
+                hit = record is not None
+            if record is None:
+                spec = JobSpec.from_payload(message["spec"])
+                record = run_job(spec)
+                if store is not None and key:
+                    store.put(key, record)
+            response = {"id": job_id, "record": record, "hit": hit}
+        except Exception as exc:  # report, don't die: the batch goes on
+            response = {
+                "id": job_id,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        stdout.write(json.dumps(response, separators=(",", ":")) + "\n")
+        stdout.flush()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.runtime.worker",
+        description="async-backend job worker (JSON lines over stdio)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="shared sharded-store directory for cross-process cache hits",
+    )
+    args = parser.parse_args(argv)
+    return serve(store_dir=args.store)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -190,3 +190,41 @@ class TestSweepCLI:
                 ["sweep", "--kind", "simulate", "--families", "grid",
                  "--ns", "36", "--profile", "warp"]
             )
+
+    def test_sweep_shard_and_resume_workflow(self, capsys, tmp_path):
+        """Two shard runs fill one store; the final --resume run is a
+        100% hit (executed=0) covering the whole grid."""
+        store = str(tmp_path / "cache")
+        base = ["sweep", "--kind", "test", "--families", "grid",
+                "--ns", "36,64", "--epsilons", "0.5,0.25", "--seeds", "0",
+                "--cache-dir", store]
+        assert main(base + ["--shard", "0/2"]) == 0
+        shard0 = capsys.readouterr().out
+        assert "shard 0/2" in shard0
+        assert main(base + ["--shard", "1/2"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=4 executed=0" in out
+        assert "cache: hits=4" in out
+
+    def test_sweep_shard_argument_validation(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--shard", "2/2"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--shard", "nope"])
+
+    def test_sweep_resume_requires_cache_dir(self):
+        with pytest.raises(SystemExit, match="--resume needs --cache-dir"):
+            main(["sweep", "--kind", "test", "--families", "grid",
+                  "--ns", "36", "--epsilons", "0.5", "--resume"])
+
+    def test_sweep_async_backend(self, capsys, tmp_path):
+        store = str(tmp_path / "cache")
+        code = main(
+            ["sweep", "--kind", "test", "--families", "grid", "--ns", "36",
+             "--epsilons", "0.5", "--backend", "async", "--workers", "1",
+             "--cache-dir", store]
+        )
+        assert code == 0
+        assert "backend=async" in capsys.readouterr().out

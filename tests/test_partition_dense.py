@@ -111,6 +111,35 @@ class TestRandomizedDifferential:
         )
         assert _canonical(legacy) == _canonical(dense)
 
+    @pytest.mark.parametrize(
+        "family",
+        ("grid", "tri-grid", "apollonian", "delaunay", "planar-sparse",
+         "outerplanar", "tree"),
+    )
+    def test_vectorized_selection_matches_legacy_and_rng_stream(self, family):
+        """The vectorized Theorem 4 selection draws the exact edges of
+        the sequential loop *and* leaves the RNG in the same state, on
+        the singleton aux of every bundled family."""
+        import random
+
+        from repro.congest.topology import compile_topology
+        from repro.partition.dense import (
+            DensePartitionState,
+            weighted_selection_dense,
+        )
+        from repro.partition.weighted_selection import weighted_edge_selection
+
+        graph = make_planar(family, 150, seed=0)
+        aux = DensePartitionState(compile_topology(graph)).build_aux()
+        for trials in (1, 2, 5):
+            legacy_rng = random.Random(1234)
+            dense_rng = random.Random(1234)
+            legacy = weighted_edge_selection(aux, trials, legacy_rng)
+            dense = weighted_selection_dense(aux, trials, dense_rng)
+            assert legacy == dense, (family, trials)
+            # Same draws consumed: subsequent randomness stays aligned.
+            assert legacy_rng.getstate() == dense_rng.getstate()
+
 
 class TestEngineResolution:
     def test_auto_picks_dense_for_int_labels(self):

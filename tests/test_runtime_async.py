@@ -1,0 +1,138 @@
+"""Async backend, worker protocol, and streaming delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    AsyncBackend,
+    AsyncWorkerError,
+    JobSpec,
+    ResultCache,
+    SerialBackend,
+    iter_jobs,
+    make_backend,
+    run_jobs,
+)
+from repro.runtime.cache import KeyDeriver
+
+SPECS = [
+    JobSpec.make("test_planarity", family="grid", n=36, seed=seed,
+                 epsilon=epsilon)
+    for seed in (0, 1)
+    for epsilon in (0.5, 0.25)
+]
+
+
+def test_payload_round_trip():
+    for spec in SPECS:
+        clone = JobSpec.from_payload(spec.to_payload())
+        assert clone == spec
+        assert clone.canonical() == spec.canonical()
+    pinned = JobSpec.make(
+        "partition_randomized", family="delaunay", n=64, seed=3,
+        graph_seed=0, epsilon=0.2, delta=0.1,
+    )
+    assert JobSpec.from_payload(pinned.to_payload()) == pinned
+
+
+def test_make_backend_registry_includes_async():
+    backend = make_backend("async", max_workers=2)
+    assert isinstance(backend, AsyncBackend)
+
+
+def test_async_matches_serial():
+    serial = run_jobs(SPECS, backend=SerialBackend())
+    asynced = run_jobs(SPECS, backend=AsyncBackend(max_workers=2))
+    assert serial.records == asynced.records
+
+
+def test_async_with_cache_differential(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path / "c")
+    first = run_jobs(SPECS, backend=AsyncBackend(max_workers=2), cache=cache)
+    assert first.executed == len(SPECS)
+    second = run_jobs(SPECS, backend=AsyncBackend(max_workers=2), cache=cache)
+    assert second.executed == 0
+    assert second.records == first.records
+
+
+def test_worker_consults_shared_store(tmp_path):
+    """Workers hit the on-disk index for keys other processes stored."""
+    store_dir = tmp_path / "shared"
+    key = KeyDeriver().key_for(SPECS[0])
+    sentinel = {"kind": "test_planarity", "sentinel": True, "rounds": -1}
+    ResultCache(disk_dir=store_dir).store(key, sentinel)
+    # Parent cache is memory-only: the parent cannot answer the lookup,
+    # so the record must have come from the worker's store probe.
+    batch = run_jobs(
+        [SPECS[0]],
+        backend=AsyncBackend(max_workers=1, store_dir=str(store_dir)),
+        cache=ResultCache(),
+    )
+    assert batch.records[0] == sentinel
+
+
+def test_shared_store_records_land_once(tmp_path):
+    """Async workers persist fresh records themselves; the orchestrator
+    must not append them to the same store a second time."""
+    store_dir = tmp_path / "shared"
+    cache = ResultCache(disk_dir=store_dir)
+    run_jobs(
+        SPECS,
+        backend=AsyncBackend(max_workers=2, store_dir=str(store_dir)),
+        cache=cache,
+    )
+    lines = sum(
+        len(path.read_bytes().splitlines())
+        for path in store_dir.glob("shard-*.jsonl")
+    )
+    assert lines == len(SPECS)  # one line per record, not two
+    # And the records are still served back on a fresh run.
+    rerun = run_jobs(SPECS, cache=ResultCache(disk_dir=store_dir))
+    assert rerun.executed == 0
+
+
+def test_worker_error_propagates():
+    bad = JobSpec.make("test_planarity", family="grid", n=36, epsilon=0.5)
+    # Corrupt the payload en route by registering a failing kind name is
+    # invasive; instead point the spec at an epsilon the tester rejects
+    # as invalid, which raises inside the worker.
+    invalid = JobSpec(
+        kind="test_planarity", family="grid", n=36, seed=0,
+        config=(("epsilon", -1.0),),
+    )
+    with pytest.raises(AsyncWorkerError, match="failed in worker"):
+        run_jobs([bad, invalid], backend=AsyncBackend(max_workers=1))
+
+
+def test_iter_jobs_streams_hits_then_misses():
+    cache = ResultCache()
+    warm = run_jobs(SPECS[:2], cache=cache)
+    events = list(iter_jobs(SPECS, cache=cache))
+    assert len(events) == len(SPECS)
+    from_cache = [cached for _i, _r, cached in events]
+    assert from_cache == [True, True, False, False]
+    indices = [index for index, _r, _c in events]
+    assert sorted(indices) == list(range(len(SPECS)))
+    by_index = {index: record for index, record, _c in events}
+    assert by_index[0] == warm.records[0]
+
+
+def test_iter_jobs_is_lazy():
+    """Records arrive one at a time, not after a whole-batch barrier."""
+    stream = iter_jobs(SPECS, backend=SerialBackend())
+    first = next(stream)
+    assert first[0] == 0 and first[1]["seed"] == SPECS[0].seed
+    rest = list(stream)
+    assert len(rest) == len(SPECS) - 1
+
+
+def test_process_stream_matches_serial_records():
+    from repro.runtime import ProcessPoolBackend
+
+    backend = ProcessPoolBackend(max_workers=2, chunksize=1)
+    streamed = {}
+    for index, record in backend.run_stream(SPECS):
+        streamed[index] = record
+    serial = SerialBackend().run(SPECS)
+    assert [streamed[i] for i in range(len(SPECS))] == serial

@@ -123,12 +123,15 @@ class TestCoordinateKeys:
         assert deriver.graph_for(spec) is None  # no graph was built
         assert key != KeyDeriver(coord_keys=False).key_for(spec)
 
-    def test_env_knob(self, monkeypatch):
+    def test_env_knob_defaults_on(self, monkeypatch):
         from repro.runtime.cache import COORD_KEYS_ENV_VAR, KeyDeriver
 
         monkeypatch.setenv(COORD_KEYS_ENV_VAR, "1")
         assert KeyDeriver().coord_keys
         monkeypatch.delenv(COORD_KEYS_ENV_VAR)
+        # Coordinate keys are the default; "0" is the opt-out.
+        assert KeyDeriver().coord_keys
+        monkeypatch.setenv(COORD_KEYS_ENV_VAR, "0")
         assert not KeyDeriver().coord_keys
 
     def test_determinism_cross_check(self, monkeypatch):
@@ -146,7 +149,7 @@ class TestCoordinateKeys:
         specs = [self._spec(epsilon=eps) for eps in (0.5, 0.25)]
         from repro.runtime.cache import COORD_KEYS_ENV_VAR
 
-        monkeypatch.delenv(COORD_KEYS_ENV_VAR, raising=False)
+        monkeypatch.setenv(COORD_KEYS_ENV_VAR, "0")
         content = run_jobs(specs, cache=ResultCache())
         monkeypatch.setenv(COORD_KEYS_ENV_VAR, "1")
         coord_cache = ResultCache()
@@ -156,3 +159,62 @@ class TestCoordinateKeys:
         assert coord_second.records == coord_first.records
         assert coord_second.executed == 0  # fully served from cache
         assert coord_second.cache_stats.hits == len(specs)
+
+    def test_every_bundled_generator_is_coordinate_deterministic(self):
+        """The certification behind the coordinate-keys default: every
+        planar and far family regenerates bit-identically from its
+        coordinates (two independent builds share a content
+        fingerprint, across two seeds)."""
+        from repro.graphs.far_from_planar import FAR_FAMILIES
+        from repro.graphs.generators import PLANAR_FAMILIES
+        from repro.runtime import JobSpec, graph_fingerprint
+
+        def fingerprints(**kw):
+            spec = JobSpec.make("partition_stage1", n=48, **kw)
+            return (
+                graph_fingerprint(spec.build_graph()),
+                graph_fingerprint(spec.build_graph()),
+            )
+
+        for family in sorted(PLANAR_FAMILIES):
+            for seed in (0, 3):
+                first, second = fingerprints(family=family, seed=seed)
+                assert first == second, (family, seed)
+        for family in sorted(FAR_FAMILIES):
+            for seed in (0, 3):
+                first, second = fingerprints(far=family, seed=seed)
+                assert first == second, (family, seed)
+
+    def test_repeat_sweep_is_all_hits_with_zero_generations(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance: a repeated sweep against the sharded store is a
+        100% cache hit that never touches the generators."""
+        import repro.runtime.jobs as jobs_mod
+        from repro.runtime import ResultCache, SweepSpec, run_sweep
+
+        sweep = SweepSpec.make(
+            "partition_stage1", families=["grid", "tree"], ns=[36],
+            seeds=[0, 1], epsilon=[0.5, 0.25],
+        )
+        run_sweep(sweep, cache=ResultCache(disk_dir=tmp_path / "store"))
+
+        calls = {"planar": 0, "far": 0}
+        real_planar, real_far = jobs_mod.make_planar, jobs_mod.make_far
+
+        def counting_planar(*args, **kwargs):
+            calls["planar"] += 1
+            return real_planar(*args, **kwargs)
+
+        def counting_far(*args, **kwargs):
+            calls["far"] += 1
+            return real_far(*args, **kwargs)
+
+        monkeypatch.setattr(jobs_mod, "make_planar", counting_planar)
+        monkeypatch.setattr(jobs_mod, "make_far", counting_far)
+        repeat = run_sweep(
+            sweep, cache=ResultCache(disk_dir=tmp_path / "store")
+        )
+        assert repeat.batch.executed == 0
+        assert repeat.batch.cache_stats.hits == sweep.size
+        assert calls == {"planar": 0, "far": 0}  # zero graph generations

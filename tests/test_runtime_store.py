@@ -1,0 +1,190 @@
+"""Sharded single-index disk store (repro.runtime.store)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.runtime import JobSpec, ResultCache, ShardedStore, run_jobs
+from repro.runtime.store import shard_of_key
+
+
+def test_round_trip_and_miss(tmp_path):
+    store = ShardedStore(tmp_path / "s")
+    assert store.get("missing") is None
+    store.put("k1", {"rounds": 7, "ok": True})
+    assert store.get("k1") == {"rounds": 7, "ok": True}
+    assert len(store) == 1
+    assert store.stats.appends == 1
+    assert store.stats.hits == 1
+
+
+def test_newest_wins_and_compaction(tmp_path):
+    store = ShardedStore(tmp_path / "s", shards=1)
+    for version in range(5):
+        store.put("k", {"v": version})
+    assert store.get("k") == {"v": 4}
+    report = store.compact()
+    assert report.entries_removed == 0  # dedup is not eviction
+    assert report.bytes_reclaimed > 0  # four stale lines dropped
+    # The shard file now holds exactly one live line.
+    shard_path = tmp_path / "s" / "shard-00.jsonl"
+    lines = shard_path.read_bytes().splitlines()
+    assert len(lines) == 1
+    assert store.get("k") == {"v": 4}
+
+
+def test_eviction_cap_reports_counts(tmp_path):
+    store = ShardedStore(tmp_path / "s", shards=1, max_entries=3)
+    for index in range(8):
+        store.put(f"key-{index}", {"v": index})
+    store.compact()
+    assert len(store) <= 3
+    assert store.stats.evicted_entries >= 5
+    assert store.stats.bytes_reclaimed > 0
+    # The *newest* entries survive (recency order eviction).
+    assert store.get("key-7") == {"v": 7}
+
+
+def test_fresh_instance_reads_existing_store(tmp_path):
+    first = ShardedStore(tmp_path / "s", shards=4)
+    first.put("a", {"v": 1})
+    second = ShardedStore(tmp_path / "s")
+    assert second.shards == 4  # persisted in store.json
+    assert second.get("a") == {"v": 1}
+
+
+def test_incremental_refresh_sees_other_writers(tmp_path):
+    writer = ShardedStore(tmp_path / "s", shards=1)
+    reader = ShardedStore(tmp_path / "s", shards=1)
+    writer.put("a", {"v": 1})
+    assert reader.get("a") == {"v": 1}
+    writer.put("b", {"v": 2})  # appended after the reader's first scan
+    assert reader.get("b") == {"v": 2}
+
+
+def test_corrupt_lines_degrade_to_misses(tmp_path):
+    store = ShardedStore(tmp_path / "s", shards=1)
+    store.put("good", {"v": 1})
+    shard_path = tmp_path / "s" / "shard-00.jsonl"
+    with open(shard_path, "ab") as handle:
+        handle.write(b"{not json}\n")
+        handle.write(b'{"k": "torn", "r": {"v"')  # no trailing newline
+    fresh = ShardedStore(tmp_path / "s")
+    assert fresh.get("good") == {"v": 1}
+    assert fresh.get("torn") is None
+
+
+def test_clear_reports_entries_and_bytes(tmp_path):
+    store = ShardedStore(tmp_path / "s")
+    for index in range(6):
+        store.put(f"k{index}", {"v": index})
+    report = store.clear()
+    assert report.entries_removed == 6
+    assert report.bytes_reclaimed > 0
+    assert len(store) == 0
+    assert store.get("k0") is None
+
+
+def _writer_process(root, start, barrier, count):
+    store = ShardedStore(root, shards=2)
+    barrier.wait()  # maximize interleaving
+    for index in range(start, start + count):
+        store.put(f"key-{index}", {"writer": start, "v": index})
+
+
+def test_concurrent_writers_share_one_index(tmp_path):
+    """Two processes appending to the same shards: no torn or lost lines."""
+    root = tmp_path / "s"
+    ShardedStore(root, shards=2).put("seed", {"v": -1})
+    count = 200
+    barrier = multiprocessing.Barrier(2)
+    procs = [
+        multiprocessing.Process(
+            target=_writer_process, args=(root, start, barrier, count)
+        )
+        for start in (0, count)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+        assert proc.exitcode == 0
+    store = ShardedStore(root)
+    assert len(store) == 2 * count + 1
+    for index in range(2 * count):
+        assert store.get(f"key-{index}") == {
+            "writer": 0 if index < count else count,
+            "v": index,
+        }
+    # Every persisted line is valid JSON (no interleaved writes).
+    for shard_file in sorted(root.glob("shard-*.jsonl")):
+        for line in shard_file.read_bytes().splitlines():
+            payload = json.loads(line)
+            assert set(payload) == {"k", "r"}
+
+
+def _sweep_process(root, queue):
+    specs = [
+        JobSpec.make("test_planarity", family="grid", n=36, seed=seed,
+                     epsilon=0.5)
+        for seed in (0, 1)
+    ]
+    batch = run_jobs(specs, cache=ResultCache(disk_dir=root))
+    queue.put((batch.executed, batch.cache_stats.hits))
+
+
+def test_two_pool_workers_share_hits_from_one_disk_index(tmp_path):
+    """Acceptance: a second process is served from the first's entries."""
+    root = tmp_path / "cache"
+    ctx = multiprocessing.get_context()
+    queue = ctx.Queue()
+    first = ctx.Process(target=_sweep_process, args=(root, queue))
+    first.start()
+    first.join()
+    assert first.exitcode == 0
+    executed, hits = queue.get()
+    assert executed == 2 and hits == 0
+    second = ctx.Process(target=_sweep_process, args=(root, queue))
+    second.start()
+    second.join()
+    assert second.exitcode == 0
+    executed, hits = queue.get()
+    assert executed == 0 and hits == 2  # shared via the on-disk index
+
+
+def test_shard_placement_is_stable():
+    assert shard_of_key("abc", 8) == shard_of_key("abc", 8)
+    spread = {shard_of_key(f"key-{i}", 8) for i in range(64)}
+    assert len(spread) > 1  # keys actually spread over shards
+
+
+class TestResultCacheIntegration:
+    def test_disk_round_trip_through_cache(self, tmp_path):
+        first = ResultCache(disk_dir=tmp_path / "store")
+        first.store("key1", {"rounds": 7, "accepted": True})
+        second = ResultCache(disk_dir=tmp_path / "store")
+        assert second.lookup("key1") == {"rounds": 7, "accepted": True}
+        assert second.stats.disk_hits == 1
+
+    def test_clear_reports_eviction_accounting(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path / "store")
+        cache.store("a", {"v": 1})
+        cache.store("b", {"v": 2})
+        report = cache.clear(disk=True)
+        assert report.entries_removed >= 2
+        assert report.bytes_reclaimed > 0
+        assert cache.stats.disk_evictions >= 2
+        assert cache.stats.disk_bytes_reclaimed == report.bytes_reclaimed
+        assert cache.lookup("a") is None
+
+    def test_memory_only_clear_keeps_disk(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path / "store")
+        cache.store("k", {"v": 1})
+        report = cache.clear()
+        assert report.entries_removed == 1
+        assert report.bytes_reclaimed == 0
+        assert cache.lookup("k") == {"v": 1}  # still on disk
