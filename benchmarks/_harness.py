@@ -1,8 +1,16 @@
 """Shared infrastructure for the experiment benchmarks.
 
 Every experiment module computes its table once (module-scoped fixture),
-prints it, and persists a markdown copy under ``benchmarks/results/`` so
-the numbers referenced by EXPERIMENTS.md can be regenerated with::
+prints it, and persists two artifacts under ``benchmarks/results/``:
+
+* a markdown copy of the table (``eXX_*.md``), the human-readable
+  rendering EXPERIMENTS.md references;
+* a machine-readable ``BENCH_eXX.json`` record -- the table's raw rows
+  plus environment metadata (backend, python version, quick flag) and
+  any experiment-supplied metrics (wall times, speedup ratios).  CI
+  uploads these from every bench leg and
+  ``benchmarks/baselines/`` holds committed quick-grid baselines, so
+  the perf trajectory of the repo is diffable across PRs::
 
     pytest benchmarks/ --benchmark-only
 
@@ -13,19 +21,83 @@ itself covers the full parameter sweep.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import platform
+import time
 
 from repro.analysis.tables import Table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+# BENCH json files this process already wrote: the first table of a run
+# starts the record fresh (dropping stale tables from earlier runs);
+# later tables of the same experiment merge in.
+_WRITTEN_THIS_RUN = set()
 
-def save_table(table: Table, filename: str) -> None:
-    """Print *table* and persist its markdown rendering."""
+
+def _bench_json_path(filename: str) -> pathlib.Path:
+    experiment = filename.split("_", 1)[0]
+    return RESULTS_DIR / f"BENCH_{experiment}.json"
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "backend": os.environ.get("REPRO_BENCH_BACKEND", "serial"),
+        "quick": quick_mode(),
+        "cache_dir": bool(os.environ.get("REPRO_BENCH_CACHE_DIR")),
+    }
+
+
+def record_bench(filename: str, table: Table, metrics=None) -> pathlib.Path:
+    """Write/merge the ``BENCH_eXX.json`` record for one saved table.
+
+    The record keys tables by their markdown stem, so experiments that
+    save several tables accumulate them all under one experiment file.
+    """
+    path = _bench_json_path(filename)
+    payload = None
+    if path in _WRITTEN_THIS_RUN and path.is_file():
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = None
+    if not isinstance(payload, dict):
+        payload = {"schema": 1, "experiment": filename.split("_", 1)[0]}
+    payload.update(_environment())
+    payload["generated_unix"] = round(time.time(), 3)
+    tables = payload.setdefault("tables", {})
+    stem = filename.rsplit(".", 1)[0]
+    tables[stem] = {
+        "source": filename,
+        "title": table.title,
+        "columns": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+        "metrics": dict(metrics or {}),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _WRITTEN_THIS_RUN.add(path)
+    return path
+
+
+def save_table(table: Table, filename: str, metrics=None) -> None:
+    """Print *table*; persist markdown + the machine-readable record.
+
+    Args:
+        table: the experiment's result table.
+        filename: markdown filename under ``benchmarks/results/``
+            (``eXX_<slug>.md`` -- the ``eXX`` prefix names the
+            ``BENCH_eXX.json`` record).
+        metrics: optional flat dict of experiment metrics (timings,
+            speedup ratios, gate thresholds) for the JSON record.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / filename
     path.write_text(table.to_markdown() + "\n")
+    record_bench(filename, table, metrics)
     table.print()
 
 

@@ -112,7 +112,20 @@ def throughput_table():
         f"{compiled} topology compile",
     )
 
-    save_table(table, "e15_simulator_throughput.md")
+    save_table(
+        table,
+        "e15_simulator_throughput.md",
+        metrics={
+            "n": N,
+            "edge_prob": EDGE_PROB,
+            "storm_rounds": STORM_ROUNDS,
+            "repeats": REPEATS,
+            "faithful_s": round(faithful_time, 6),
+            "fast_s": round(fast_time, 6),
+            "speedup": round(speedup, 3),
+            "gate": 3.0,
+        },
+    )
     return speedup, faithful, fast, compiled, batch
 
 

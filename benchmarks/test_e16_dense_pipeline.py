@@ -106,7 +106,23 @@ def pipeline_table():
         f">={TESTER_GATE}x",
         "yes",
     )
-    save_table(table, "e16_dense_pipeline.md")
+    save_table(
+        table,
+        "e16_dense_pipeline.md",
+        metrics={
+            "n": N,
+            "epsilon": EPSILON,
+            "repeats": REPEATS,
+            "partition_legacy_s": round(legacy_time, 6),
+            "partition_dense_s": round(dense_time, 6),
+            "partition_speedup": round(partition_speedup, 3),
+            "partition_gate": PARTITION_GATE,
+            "tester_seed_s": round(seed_tester_time, 6),
+            "tester_native_s": round(native_tester_time, 6),
+            "tester_speedup": round(tester_speedup, 3),
+            "tester_gate": TESTER_GATE,
+        },
+    )
     return partition_speedup, tester_speedup
 
 

@@ -77,10 +77,10 @@ def main() -> None:
         assert run.outputs == result.outputs
         assert run.rounds == result.rounds
     print(
-        f"Profiles agree on outputs and rounds; faithful "
+        "Profiles agree on outputs and rounds; faithful "
         f"{timings['faithful'] * 1e3:.1f} ms vs fast "
         f"{timings['fast'] * 1e3:.1f} ms on this BFS "
-        f"(round stats kept by faithful only: "
+        "(round stats kept by faithful only: "
         f"{len(result.round_stats)} rounds recorded)."
     )
 
@@ -90,7 +90,7 @@ def main() -> None:
     print(
         f"Forest decomposition: success={fd.success} in {fd.rounds} rounds; "
         f"max out-degree {max(out_degrees)} <= 3*alpha = 9 "
-        f"(so the edges split into <= 9 forests)."
+        "(so the edges split into <= 9 forests)."
     )
 
     # planar graphs never produce evidence; a clique does:

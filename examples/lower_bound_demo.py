@@ -12,8 +12,6 @@ Run:  python examples/lower_bound_demo.py
 
 from __future__ import annotations
 
-import networkx as nx
-
 from repro import lower_bound_instance
 from repro.analysis import Table
 from repro.graphs import view_is_tree

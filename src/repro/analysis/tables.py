@@ -7,7 +7,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 
 class Table:

@@ -20,7 +20,9 @@ def planarity_ground_truth(graph: nx.Graph) -> bool:
 
 def cycle_freeness_ground_truth(graph: nx.Graph) -> bool:
     """Exact forest decision: ``m == n - #components``."""
-    return graph.number_of_edges() == graph.number_of_nodes() - nx.number_connected_components(graph)
+    return graph.number_of_edges() == (
+        graph.number_of_nodes() - nx.number_connected_components(graph)
+    )
 
 
 def bipartiteness_ground_truth(graph: nx.Graph) -> bool:

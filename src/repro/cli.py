@@ -10,15 +10,22 @@ Subcommands:
 * ``families``    -- list available graph families
 * ``sweep``       -- expand an n x epsilon x seed grid into jobs and run
   them on the :mod:`repro.runtime` orchestrator (serial, process-pool,
-  or async worker backend, with a sharded on-disk result store)
+  async worker, or remote socket backend, with a sharded on-disk
+  result store)
+* ``worker``      -- join a ``sweep --backend remote`` server over TCP
+* ``cache``       -- inspect (``stats``) or garbage-collect (``gc``)
+  a sharded result store
 
 The ``sweep`` subcommand takes comma-separated axis lists and executes
 their cartesian product; repeated invocations with ``--cache-dir`` are
 served from the sharded on-disk store instead of re-running the
 simulator.  ``--shard i/k`` runs one deterministic slice of the grid
 (point every slice at the same ``--cache-dir``, possibly from different
-machines) and ``--resume`` finishes whatever keys the store is still
-missing.
+machines; ``--balance cost`` splits by measured job cost instead of
+key-hash counts) and ``--resume`` finishes whatever keys the store is
+still missing.  ``--backend remote --listen host:port`` serves the
+grid to ``repro-planarity worker --connect host:port`` processes; a
+worker killed mid-run has its job requeued.
 ``--kind simulate`` sweeps raw CONGEST protocols (``--programs``) on
 the simulator, and ``--profile faithful|fast`` selects the simulator's
 instrumentation profile (exported as ``REPRO_SIM_PROFILE`` so
@@ -34,6 +41,11 @@ Examples::
         --backend process --cache-dir /tmp/repro-cache
     repro-planarity sweep --kind simulate --programs bfs,storm \\
         --families delaunay --ns 256 --profile fast
+    repro-planarity sweep --backend remote --listen 127.0.0.1:7341 \\
+        --cache-dir /tmp/repro-cache   # then, on each worker host:
+    repro-planarity worker --connect 127.0.0.1:7341
+    repro-planarity cache gc --cache-dir /tmp/repro-cache \\
+        --ttl 604800 --max-bytes 500000000
 """
 
 from __future__ import annotations
@@ -51,7 +63,8 @@ from .graphs.generators import PLANAR_FAMILIES, make_planar
 from .graphs.lower_bound import lower_bound_instance
 from .partition.stage1 import ENGINES, ENGINE_ENV_VAR, partition_stage1
 from .partition.weighted_selection import partition_randomized
-from .runtime import ResultCache, SweepSpec, make_backend, run_sweep
+from .runtime import ResultCache, ShardedStore, SweepSpec, make_backend, run_sweep
+from .runtime.remote import parse_endpoint
 from .testers.applications import test_bipartiteness, test_cycle_freeness
 from .testers.planarity import PlanarityTestConfig, test_planarity
 
@@ -84,7 +97,10 @@ def _cmd_test(args) -> int:
     result = test_planarity(graph, seed=args.seed, config=config)
     table = Table(
         f"Planarity test on {label}",
-        ["n", "m", "epsilon", "verdict", "stage", "rounds", "stage1", "stage2", "parts"],
+        [
+            "n", "m", "epsilon", "verdict", "stage", "rounds",
+            "stage1", "stage2", "parts",
+        ],
     )
     table.add_row(
         graph.number_of_nodes(),
@@ -147,7 +163,10 @@ def _cmd_spanner(args) -> int:
     n = graph.number_of_nodes()
     table = Table(
         f"Corollary 17 spanner on {label}",
-        ["n", "m", "spanner edges", "size/n", "measured stretch", "guaranteed", "rounds"],
+        [
+            "n", "m", "spanner edges", "size/n", "measured stretch",
+            "guaranteed", "rounds",
+        ],
     )
     table.add_row(
         n,
@@ -275,14 +294,36 @@ def _cmd_sweep(args) -> int:
         backend = make_backend(
             "async", max_workers=args.workers, store_dir=args.cache_dir
         )
+    elif args.backend == "remote":
+        if not args.listen:
+            raise SystemExit("--backend remote needs --listen HOST:PORT")
+        try:
+            host, port = parse_endpoint(args.listen)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        backend = make_backend(
+            "remote", host=host, port=port, store_dir=args.cache_dir
+        )
+        backend.bind()
+        print(
+            f"remote backend listening on {backend.host}:"
+            f"{backend.bound_port} (join with: repro-planarity worker "
+            f"--connect {backend.host}:{backend.bound_port})"
+        )
     else:
         backend = make_backend(args.backend)
     cache = ResultCache(disk_dir=args.cache_dir)
     shard = _parse_shard(args.shard)
     if args.resume and cache.store_backend is None:
         raise SystemExit("--resume needs --cache-dir (the store to resume from)")
+    if args.balance == "cost" and cache.store_backend is None:
+        raise SystemExit(
+            "--balance cost needs --cache-dir (the store holding the "
+            "measured cost table)"
+        )
     result = run_sweep(
-        sweep, backend=backend, cache=cache, shard=shard, resume=args.resume
+        sweep, backend=backend, cache=cache, shard=shard, resume=args.resume,
+        balance=args.balance,
     )
     shard_label = f" [shard {shard[0]}/{shard[1]}]" if shard else ""
     table = result.to_table(
@@ -308,6 +349,73 @@ def _cmd_sweep(args) -> int:
 def _cmd_families(_args) -> int:
     print("planar families: ", ", ".join(sorted(PLANAR_FAMILIES)))
     print("far families:    ", ", ".join(sorted(FAR_FAMILIES)))
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .runtime.worker import serve_remote
+
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    return serve_remote(
+        host, port, store_dir=args.store, retry_seconds=args.retry_seconds
+    )
+
+
+def _format_bytes(count) -> str:
+    if count is None:
+        return "-"
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(count)} B"
+
+
+def _cmd_cache(args) -> int:
+    store = ShardedStore(args.cache_dir)
+    if args.cache_command == "stats":
+        usage = store.usage()
+        table = Table(
+            f"store {usage['root']}",
+            ["shards", "entries", "live", "on disk", "reclaimable", "meta"],
+        )
+        table.add_row(
+            usage["shards"],
+            usage["entries"],
+            _format_bytes(usage["live_bytes"]),
+            _format_bytes(usage["file_bytes"]),
+            _format_bytes(usage["reclaimable_bytes"]),
+            usage["meta_entries"],
+        )
+        table.print()
+        if usage["oldest_t"] is not None:
+            import time as _time
+
+            now = _time.time()
+            print(
+                f"entry age: newest {now - usage['newest_t']:.0f}s, "
+                f"oldest {now - usage['oldest_t']:.0f}s"
+            )
+        return 0
+    # gc
+    if args.ttl is None and args.max_bytes is None and not args.compact:
+        raise SystemExit(
+            "cache gc needs --ttl and/or --max-bytes (or --compact for a "
+            "newest-wins rewrite only)"
+        )
+    report = store.gc(ttl=args.ttl, max_bytes=args.max_bytes,
+                      grace=args.grace)
+    print(
+        f"gc: removed {report.entries_removed} entries "
+        f"({report.expired_entries} expired, {report.evicted_entries} over "
+        f"byte budget), reclaimed {_format_bytes(report.bytes_reclaimed)}; "
+        f"kept {report.entries_kept} entries "
+        f"({_format_bytes(report.bytes_kept)})"
+    )
     return 0
 
 
@@ -448,12 +556,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--backend",
         default="serial",
-        choices=("serial", "process", "async"),
+        choices=("serial", "process", "async", "remote"),
         help="execution backend (async streams results from asyncio-"
-        "managed worker subprocesses that share the cache store)",
+        "managed worker subprocesses that share the cache store; remote "
+        "serves jobs over TCP to repro-planarity worker processes)",
     )
     p_sweep.add_argument(
         "--workers", type=int, default=None, help="worker count (process/async)"
+    )
+    p_sweep.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="endpoint the remote backend listens on (required for "
+        "--backend remote; port 0 picks an ephemeral port)",
+    )
+    p_sweep.add_argument(
+        "--balance",
+        default="hash",
+        choices=("hash", "cost"),
+        help="--shard placement policy: hash (key-hash counts) or cost "
+        "(LPT over the store's measured per-kind/per-n wall-times; "
+        "falls back to hash while the cost table is empty)",
     )
     p_sweep.add_argument(
         "--cache-dir",
@@ -478,6 +602,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", default=None, help="also write the table as markdown"
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a `sweep --backend remote` server and serve jobs",
+    )
+    p_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the sweep server's --listen endpoint",
+    )
+    p_worker.add_argument(
+        "--store",
+        default=None,
+        help="sharded store directory (defaults to the server's, when "
+        "this host can reach it)",
+    )
+    p_worker.add_argument(
+        "--retry-seconds",
+        type=float,
+        default=30.0,
+        help="how long to retry the initial connection (default 30)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or garbage-collect a sharded result store"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_stats = cache_sub.add_parser("stats", help="store usage summary")
+    p_stats.add_argument(
+        "--cache-dir", required=True, help="store directory to inspect"
+    )
+    p_stats.set_defaults(func=_cmd_cache)
+    p_gc = cache_sub.add_parser(
+        "gc", help="expire by TTL and/or shrink to a byte budget"
+    )
+    p_gc.add_argument(
+        "--cache-dir", required=True, help="store directory to collect"
+    )
+    p_gc.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="drop entries older than this many seconds",
+    )
+    p_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="keep only the newest entries fitting in this many bytes",
+    )
+    p_gc.add_argument(
+        "--compact",
+        action="store_true",
+        help="allow a bound-less run (newest-wins rewrite only)",
+    )
+    p_gc.add_argument(
+        "--grace",
+        type=float,
+        default=60.0,
+        help="never collect entries newer than this many seconds "
+        "(concurrent-writer / clock-skew guard; default 60)",
+    )
+    p_gc.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -271,7 +271,9 @@ class FastProfile(InstrumentationProfile):
                 box = inboxes[target] = {}
             box[node] = payload
 
-    def _deliver_pure_broadcast(self, node: Any, payload: Any, inboxes: Inboxes) -> None:
+    def _deliver_pure_broadcast(
+        self, node: Any, payload: Any, inboxes: Inboxes
+    ) -> None:
         neighbors = self._neighbors[node]
         degree = len(neighbors)
         if degree == 0:
@@ -373,7 +375,9 @@ def register_profile(name: str, cls: Type[InstrumentationProfile]) -> None:
 
 
 def resolve_profile(
-    profile: Union[None, str, InstrumentationProfile, Type[InstrumentationProfile]] = None,
+    profile: Union[
+        None, str, InstrumentationProfile, Type[InstrumentationProfile]
+    ] = None,
 ) -> InstrumentationProfile:
     """Resolve *profile* to a fresh (or caller-provided) instance.
 

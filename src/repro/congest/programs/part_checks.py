@@ -15,7 +15,7 @@ nodes announce ``(depth, parent)`` and inspect their incident edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import networkx as nx
 

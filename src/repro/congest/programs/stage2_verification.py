@@ -177,7 +177,7 @@ class Stage2VerificationProgram(NodeProgram):
                 cursor += 1
         return child_offsets
 
-    # -- main loop ----------------------------------------------------------------------
+    # -- main loop ---------------------------------------------------------
 
     def step(self, round_index: int, inbox: Inbox) -> Optional[Outbox]:
         """Event-driven phase machine: counts, offsets, sampling, verdict."""

@@ -138,7 +138,9 @@ def delaunay_graph(n: int, seed: Optional[int] = None) -> nx.Graph:
     return graph
 
 
-def random_outerplanar(n: int, seed: Optional[int] = None, maximal: bool = True) -> nx.Graph:
+def random_outerplanar(
+    n: int, seed: Optional[int] = None, maximal: bool = True
+) -> nx.Graph:
     """Random (maximal) outerplanar graph: polygon + non-crossing chords.
 
     Outerplanar graphs are K4-minor-free and K23-minor-free; they exercise

@@ -122,7 +122,9 @@ def view_is_tree(graph: nx.Graph, node, radius: int) -> bool:
     depths = bfs_levels(graph.adj, node)
     ball = {v for v, d in depths.items() if d <= radius}
     sub = graph.subgraph(ball)
-    return sub.number_of_edges() == sub.number_of_nodes() - nx.number_connected_components(sub)
+    return sub.number_of_edges() == (
+        sub.number_of_nodes() - nx.number_connected_components(sub)
+    )
 
 
 def all_views_are_trees(graph: nx.Graph, radius: int) -> bool:

@@ -66,7 +66,11 @@ class _ConflictPair:
 
     __slots__ = ("L", "R")
 
-    def __init__(self, left: Optional[_Interval] = None, right: Optional[_Interval] = None):
+    def __init__(
+        self,
+        left: Optional[_Interval] = None,
+        right: Optional[_Interval] = None,
+    ):
         self.L = left if left is not None else _Interval()
         self.R = right if right is not None else _Interval()
 

@@ -1,16 +1,19 @@
-"""Sweep orchestrator: sharded batch execution with a shared result store.
+"""Fleet orchestrator: sharded batch execution with a shared result store.
 
 The runtime turns every computation in the repo -- planarity tests,
 partitions, spanners, application testers, claim audits -- into a
 declarative, hashable :class:`JobSpec`, executes batches of them on
-pluggable backends (in-process, a chunked process pool, or
-asyncio-managed worker subprocesses with streaming delivery), and
-memoizes records in a cache keyed by graph coordinates (default) or
-content fingerprint + config digest, persisted in a sharded
-multi-writer on-disk store that concurrent processes share.  Sweeps
-split into deterministic shards (``ShardedSweep`` /
-``repro-planarity sweep --shard i/k``) and resume from whatever the
-store already holds.
+pluggable backends (in-process, a chunked process pool,
+asyncio-managed worker subprocesses, or remote TCP workers that join a
+``sweep --backend remote`` server and may die mid-job without losing
+work), and memoizes records in a cache keyed by graph coordinates
+(default) or content fingerprint + config digest, persisted in a
+sharded multi-writer on-disk store that concurrent processes share
+(with timestamps, TTL/byte-budget GC, and a metadata shard holding the
+scheduler's measured cost table).  Sweeps split into deterministic
+shards (``ShardedSweep`` / ``repro-planarity sweep --shard i/k``) --
+by key-hash or cost-balanced LPT (``--balance cost``) -- and resume
+from whatever the store already holds.
 
 Typical use::
 
@@ -38,6 +41,13 @@ Grid sweeps (the benchmark/CLI entry point) layer on top::
 """
 
 from .async_backend import AsyncBackend, AsyncWorkerError
+from .remote import (
+    PROTOCOL_VERSION,
+    RemoteBackend,
+    RemoteProtocolError,
+    RemoteWorkerError,
+)
+from .scheduler import CostBook, CostModel, assign_shards
 from .cache import (
     COORD_KEYS_ENV_VAR,
     CacheStats,
@@ -64,10 +74,17 @@ from .jobs import (
     kind_needs_graph,
     register_kind,
     run_job,
+    run_job_timed,
     spec_needs_graph,
 )
 from .seeding import derive_rng, derive_seed
-from .store import ClearReport, ShardedStore, StoreStats, shard_of_key
+from .store import (
+    ClearReport,
+    GCReport,
+    ShardedStore,
+    StoreStats,
+    shard_of_key,
+)
 from .sweeps import (
     ShardedSweep,
     SweepResult,
@@ -86,11 +103,16 @@ __all__ = [
     "CacheStats",
     "ClearReport",
     "COORD_KEYS_ENV_VAR",
-    "coord_keys_enabled",
-    "coordinate_fingerprint",
+    "CostBook",
+    "CostModel",
+    "GCReport",
     "JobSpec",
+    "PROTOCOL_VERSION",
     "ProcessPoolBackend",
     "Record",
+    "RemoteBackend",
+    "RemoteProtocolError",
+    "RemoteWorkerError",
     "ResultCache",
     "SerialBackend",
     "ShardedStore",
@@ -98,8 +120,11 @@ __all__ = [
     "StoreStats",
     "SweepResult",
     "SweepSpec",
+    "assign_shards",
     "cache_key",
     "config_digest",
+    "coord_keys_enabled",
+    "coordinate_fingerprint",
     "derive_rng",
     "derive_seed",
     "graph_fingerprint",
@@ -110,6 +135,7 @@ __all__ = [
     "make_backend",
     "register_kind",
     "run_job",
+    "run_job_timed",
     "run_jobs",
     "run_sweep",
     "shard_of_key",

@@ -94,7 +94,9 @@ class AsyncBackend:
     ) -> List[Record]:
         """Execute *specs*, returning records in input order."""
         records: List[Optional[Record]] = [None] * len(specs)
-        for index, record in self.run_stream(specs, graphs=graphs, keys=keys):
+        for index, record, _seconds in self.run_stream(
+            specs, graphs=graphs, keys=keys
+        ):
             records[index] = record
         return [r for r in records if r is not None]
 
@@ -103,13 +105,14 @@ class AsyncBackend:
         specs: Sequence[JobSpec],
         graphs: Optional[Sequence] = None,
         keys: Optional[Sequence[str]] = None,
-    ) -> Iterator[Tuple[int, Record]]:
-        """Yield ``(index, record)`` pairs in completion order.
+    ) -> Iterator[Tuple[int, Record, Optional[float]]]:
+        """Yield ``(index, record, seconds)`` triples in completion order.
 
         *graphs* is accepted for backend-interface parity and ignored
         (workers regenerate inputs from specs).  *keys* are the cache
         keys ``run_jobs`` already derived; they ride along so workers
-        can consult the shared store.
+        can consult the shared store.  ``seconds`` is the worker-side
+        wall-time of an executed job (``None`` for store hits).
         """
         specs = list(specs)
         if not specs:
@@ -214,7 +217,13 @@ class AsyncBackend:
                         f"job #{index} ({spec.kind}) failed in worker: "
                         f"{detail}"
                     )
-                out.put((response["id"], response["record"]))
+                out.put(
+                    (
+                        response["id"],
+                        response["record"],
+                        response.get("seconds"),
+                    )
+                )
         finally:
             if proc.returncode is None:
                 try:

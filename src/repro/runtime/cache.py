@@ -35,7 +35,7 @@ from typing import Any, Dict, Optional
 import networkx as nx
 
 from .jobs import JobSpec, Record, spec_needs_graph
-from .store import ClearReport, ShardedStore
+from .store import ClearReport, GCReport, ShardedStore
 
 COORD_KEYS_ENV_VAR = "REPRO_CACHE_COORD_KEYS"
 
@@ -259,6 +259,25 @@ class ResultCache:
             report += disk_report
             self.stats.disk_evictions += disk_report.entries_removed
             self.stats.disk_bytes_reclaimed += disk_report.bytes_reclaimed
+        return report
+
+    def gc(
+        self,
+        ttl: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> Optional[GCReport]:
+        """Garbage-collect the disk store (see :meth:`ShardedStore.gc`).
+
+        Entries the GC removed may survive in this process's in-memory
+        LRU until they age out; other processes miss immediately.
+        Returns ``None`` for a memory-only cache.  Removal counters
+        land in ``stats.disk_evictions`` / ``disk_bytes_reclaimed``.
+        """
+        if self._store is None:
+            return None
+        report = self._store.gc(ttl=ttl, max_bytes=max_bytes)
+        self.stats.disk_evictions += report.entries_removed
+        self.stats.disk_bytes_reclaimed += report.bytes_reclaimed
         return report
 
 

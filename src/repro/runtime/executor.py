@@ -38,7 +38,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .async_backend import AsyncBackend
 from .cache import CacheStats, KeyDeriver, ResultCache
-from .jobs import JobSpec, Record, run_job, spec_needs_graph
+from .jobs import JobSpec, Record, run_job, run_job_timed, spec_needs_graph
+from .remote import RemoteBackend
 
 
 class SerialBackend:
@@ -64,17 +65,18 @@ class SerialBackend:
         self,
         specs: Sequence[JobSpec],
         graphs: Optional[Sequence] = None,
-    ) -> Iterator[Tuple[int, Record]]:
-        """Yield each record as soon as its job finishes (input order)."""
+    ) -> Iterator[Tuple[int, Record, float]]:
+        """Yield ``(index, record, seconds)`` as each job finishes."""
         if graphs is None:
             graphs = [None] * len(specs)
         for index, (spec, graph) in enumerate(zip(specs, graphs)):
-            yield index, run_job(spec, graph)
+            record, seconds = run_job_timed(spec, graph)
+            yield index, record, seconds
 
 
-def _run_chunk(specs: List[JobSpec]) -> List[Record]:
+def _run_chunk(specs: List[JobSpec]) -> List[Tuple[Record, float]]:
     """Module-level chunk runner (picklable for pool dispatch)."""
-    return [run_job(spec) for spec in specs]
+    return [run_job_timed(spec) for spec in specs]
 
 
 class ProcessPoolBackend:
@@ -135,8 +137,8 @@ class ProcessPoolBackend:
         self,
         specs: Sequence[JobSpec],
         graphs: Optional[Sequence] = None,
-    ) -> Iterator[Tuple[int, Record]]:
-        """Yield ``(index, record)`` per completed chunk, as chunks land."""
+    ) -> Iterator[Tuple[int, Record, float]]:
+        """Yield ``(index, record, seconds)`` per chunk, as chunks land."""
         if not specs:
             return
         from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -157,14 +159,15 @@ class ProcessPoolBackend:
             }
             for future in as_completed(futures):
                 chunk = futures[future]
-                for index, record in zip(chunk, future.result()):
-                    yield index, record
+                for index, (record, seconds) in zip(chunk, future.result()):
+                    yield index, record, seconds
 
 
 BACKENDS = {
     "serial": SerialBackend,
     "process": ProcessPoolBackend,
     "async": AsyncBackend,
+    "remote": RemoteBackend,
 }
 """Backend registry used by the CLI's ``--backend`` flag."""
 
@@ -233,24 +236,33 @@ def _backend_stream(
     specs: List[JobSpec],
     graphs: Optional[List],
     keys: Optional[List[str]],
-) -> Iterator[Tuple[int, Record]]:
-    """Stream ``(position, record)`` from *backend*, however it runs.
+) -> Iterator[Tuple[int, Record, Optional[float]]]:
+    """Stream ``(position, record, seconds)`` from *backend*.
 
     Prefers the backend's native ``run_stream`` (completion order);
     falls back to the barriering ``run`` for custom backends that only
     implement the original interface.  *keys* are forwarded to
-    backends that declare ``wants_keys`` (the async backend hands them
-    to workers for shared-store lookups).
+    backends that declare ``wants_keys`` (the async/remote backends
+    hand them to workers for shared-store lookups).  ``seconds`` is
+    the job's wall-time where the backend measured one (``None`` for
+    legacy two-tuple streams and the ``run`` fallback) -- the cost
+    book feeds it to the scheduler's per-kind/per-n cost table.
     """
     kwargs = {}
     if getattr(backend, "wants_keys", False) and keys is not None:
         kwargs["keys"] = keys
     stream = getattr(backend, "run_stream", None)
     if stream is not None:
-        yield from stream(specs, graphs=graphs, **kwargs)
+        for item in stream(specs, graphs=graphs, **kwargs):
+            if len(item) == 3:
+                yield item
+            else:
+                position, record = item
+                yield position, record, None
         return
     records = backend.run(specs, graphs=graphs, **kwargs)
-    yield from enumerate(records)
+    for position, record in enumerate(records):
+        yield position, record, None
 
 
 def iter_jobs(
@@ -258,6 +270,7 @@ def iter_jobs(
     backend=None,
     cache: Optional[ResultCache] = None,
     stats: Optional[CacheStats] = None,
+    cost_book=None,
 ) -> Iterator[Tuple[int, Record, bool]]:
     """Execute *specs*, yielding ``(index, record, from_cache)`` as they land.
 
@@ -274,6 +287,9 @@ def iter_jobs(
         cache: optional :class:`ResultCache`.
         stats: optional :class:`CacheStats` to fill with this batch's
             hit/miss/store counters (what :func:`run_jobs` reports).
+        cost_book: optional :class:`~repro.runtime.scheduler.CostBook`
+            fed one ``(kind, n, seconds)`` observation per executed
+            job (cache hits are never observed).
     """
     if backend is None:
         backend = SerialBackend()
@@ -293,7 +309,12 @@ def iter_jobs(
             if getattr(backend, "wants_graph_hints", False)
             else None
         )
-        for position, record in _backend_stream(backend, ordered, graphs, None):
+        for position, record, seconds in _backend_stream(
+            backend, ordered, graphs, None
+        ):
+            if cost_book is not None and seconds is not None:
+                spec = ordered[position]
+                cost_book.observe(spec.kind, spec.n, seconds)
             for index in unique[ordered[position]]:
                 yield index, dict(record), False
         return
@@ -348,10 +369,13 @@ def iter_jobs(
         and Path(backend_store).resolve() == Path(cache.disk_dir).resolve()
     )
     absorb = cache.remember if workers_persist else cache.store
-    for position, record in _backend_stream(
+    for position, record, seconds in _backend_stream(
         backend, miss_specs, miss_graphs, miss_keys
     ):
         index = miss_indices[position]
+        if cost_book is not None and seconds is not None:
+            spec = miss_specs[position]
+            cost_book.observe(spec.kind, spec.n, seconds)
         absorb(keys[index], record)
         batch_stats.stores += 1
         for dup_index in pending[keys[index]]:
@@ -362,6 +386,7 @@ def run_jobs(
     specs: Sequence[JobSpec],
     backend=None,
     cache: Optional[ResultCache] = None,
+    cost_book=None,
 ) -> BatchResult:
     """Execute *specs*, serving repeats from *cache*.
 
@@ -371,6 +396,8 @@ def run_jobs(
             :class:`SerialBackend`.
         cache: a :class:`ResultCache`; ``None`` disables caching (every
             spec executes).
+        cost_book: optional :class:`~repro.runtime.scheduler.CostBook`
+            collecting per-job wall-times (see :func:`iter_jobs`).
 
     Returns:
         A :class:`BatchResult` with one record per spec, in input order.
@@ -384,7 +411,8 @@ def run_jobs(
     batch_stats = CacheStats()
     records: List[Optional[Record]] = [None] * len(specs)
     for index, record, _from_cache in iter_jobs(
-        specs, backend=backend, cache=cache, stats=batch_stats
+        specs, backend=backend, cache=cache, stats=batch_stats,
+        cost_book=cost_book,
     ):
         records[index] = record
     executed = batch_stats.misses if cache is not None else len(set(specs))

@@ -20,6 +20,7 @@ the runtime extensible from application code without touching this file.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
@@ -258,6 +259,21 @@ def run_job(spec: JobSpec, graph: Optional[nx.Graph] = None) -> Record:
     }
     record.update(runner(spec, graph))
     return record
+
+
+def run_job_timed(
+    spec: JobSpec, graph: Optional[nx.Graph] = None
+) -> Tuple[Record, float]:
+    """Execute *spec* and return ``(record, wall_seconds)``.
+
+    The timing wraps graph generation + the runner -- the cost a
+    scheduler actually pays for dispatching the spec cold.  Every
+    backend reports these seconds back so the cost-balanced sharder
+    (:mod:`repro.runtime.scheduler`) can learn per-kind/per-n costs.
+    """
+    start = time.perf_counter()
+    record = run_job(spec, graph)
+    return record, time.perf_counter() - start
 
 
 # -- builtin runners ---------------------------------------------------------

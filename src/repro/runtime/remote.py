@@ -1,0 +1,518 @@
+"""Remote socket backend: the worker protocol lifted onto TCP.
+
+The async backend's JSON-lines worker protocol is transport-agnostic;
+this module serves it over sockets so workers can live in other
+processes, containers, or machines.  The orchestrator side is
+:class:`RemoteBackend` -- an asyncio TCP server that plugs into
+``run_jobs``/``iter_jobs`` exactly like the serial/process/async
+backends -- and the worker side is ``repro-planarity worker --connect
+host:port`` (see :func:`repro.runtime.worker.serve_remote`).
+
+Wire protocol (newline-delimited JSON frames, one per line):
+
+=============  =========================================================
+frame          fields
+=============  =========================================================
+``hello``      worker -> server: ``protocol`` (version int), ``kinds``
+               (worker's registered job kinds), ``store`` (worker's
+               store dir or ``null``), ``pid``
+``welcome``    server -> worker: ``protocol``, ``store`` (the
+               orchestrator's store dir, for same-host adoption)
+``reject``     server -> worker on a failed handshake: ``reason``;
+               the connection closes immediately after
+``job``        server -> worker: ``id``, ``spec``
+               (:meth:`JobSpec.to_payload`), ``key`` (cache key or
+               ``null``)
+``result``     worker -> server: ``id``, ``record``, ``hit`` (served
+               from the worker's store), ``seconds`` (worker-side
+               wall-time, ``null`` on hits), ``stored`` (whether the
+               worker persisted the record itself) -- or ``error`` +
+               ``traceback`` on failure
+``ping``       server -> worker heartbeat; worker answers ``pong``
+``exit``       server -> worker: batch done, disconnect
+=============  =========================================================
+
+Fault model: a worker that dies mid-job (socket EOF/reset) has its
+in-flight job **requeued** for the next worker, so killing a worker
+never loses work; a worker whose *job* raises reports an ``error``
+frame, which aborts the batch with :class:`RemoteWorkerError` (the
+failure is deterministic -- retrying it elsewhere would fail again).
+Handshakes reject protocol-version mismatches, workers missing job
+kinds the batch needs, and workers pointed at a *different* store
+(split-brain caches).  Records stream back in completion order; specs
+carry all randomness, so remote records are byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import socket
+import threading
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from .jobs import JobSpec, Record
+from .store import ShardedStore
+
+PROTOCOL_VERSION = 1
+
+_SENTINEL = object()
+
+
+class RemoteWorkerError(RuntimeError):
+    """A remote worker reported a deterministic job failure."""
+
+
+class RemoteProtocolError(RuntimeError):
+    """A peer spoke the wire protocol wrong (bad frame, bad handshake)."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one wire frame; raises :class:`RemoteProtocolError` on junk."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RemoteProtocolError(f"undecodable frame: {line[:200]!r}") from exc
+    if not isinstance(payload, dict):
+        raise RemoteProtocolError(f"frame is not an object: {payload!r}")
+    return payload
+
+
+def parse_endpoint(raw: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (CLI ``--listen`` / ``--connect``)."""
+    host, sep, port_text = raw.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected host:port, got {raw!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"expected host:port, got {raw!r}") from None
+    return host, port
+
+
+class _Connection:
+    """Server-side state for one connected worker."""
+
+    __slots__ = ("reader", "writer", "name", "read_task")
+
+    def __init__(self, reader, writer, name: str):
+        self.reader = reader
+        self.writer = writer
+        self.name = name
+        # The persistent readline task: lets the dispatch loop wait on
+        # "next frame OR next job" without two readers racing.
+        self.read_task: Optional[asyncio.Task] = None
+
+    def next_frame_task(self) -> asyncio.Task:
+        if self.read_task is None or self.read_task.done():
+            self.read_task = asyncio.ensure_future(self.reader.readline())
+        return self.read_task
+
+
+class RemoteBackend:
+    """Fans jobs over workers connected via TCP (``--backend remote``).
+
+    Args:
+        host / port: listen endpoint; port ``0`` binds an ephemeral
+            port (read it from :attr:`bound_port` after :meth:`bind`).
+        store_dir: the shared sharded-store directory.  Workers are
+            told it at handshake (same-host workers adopt it and probe
+            /append directly); results a worker could *not* persist are
+            appended server-side, so the store always converges to one
+            line per executed job.
+        heartbeat: idle-connection ping interval in seconds.
+
+    The server accepts workers for the lifetime of one ``run_stream``
+    call: workers may join late, leave, or die mid-job (the job is
+    requeued).  The batch finishes when every record has landed, then
+    connected workers receive ``exit``.
+    """
+
+    name = "remote"
+    wants_graph_hints = False
+    wants_keys = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store_dir: Optional[str] = None,
+        heartbeat: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        self.store_dir = str(store_dir) if store_dir else None
+        self.heartbeat = heartbeat
+        self.bound_port: Optional[int] = None
+        self.ready = threading.Event()
+        self._socket: Optional[socket.socket] = None
+        self._store: Optional[ShardedStore] = None
+        self._abort_loop = None
+        self._abort_event = None
+
+    # -- public API -----------------------------------------------------------
+
+    def bind(self) -> int:
+        """Bind the listen socket now; returns the bound port.
+
+        Called implicitly by :meth:`run_stream`; call it explicitly to
+        learn an ephemeral port before starting workers (the CLI also
+        uses it to print the endpoint before dispatch blocks).
+        """
+        if self._socket is None:
+            sock = socket.create_server(
+                (self.host, self.port), reuse_port=False
+            )
+            sock.setblocking(False)
+            self._socket = sock
+            self.bound_port = sock.getsockname()[1]
+            self.ready.set()
+        return self.bound_port
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        graphs: Optional[Sequence] = None,
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[Record]:
+        """Execute *specs*, returning records in input order."""
+        records: List[Optional[Record]] = [None] * len(specs)
+        for index, record, _seconds in self.run_stream(
+            specs, graphs=graphs, keys=keys
+        ):
+            records[index] = record
+        return [r for r in records if r is not None]
+
+    def run_stream(
+        self,
+        specs: Sequence[JobSpec],
+        graphs: Optional[Sequence] = None,
+        keys: Optional[Sequence[str]] = None,
+    ) -> Iterator[Tuple[int, Record, Optional[float]]]:
+        """Yield ``(index, record, seconds)`` in completion order.
+
+        Blocks until every job has a record; jobs wait in the queue
+        while no worker is connected, so starting workers late (or
+        replacing dead ones) is fine.
+        """
+        specs = list(specs)
+        if not specs:
+            return
+        self.bind()
+        out: "queue.Queue" = queue.Queue()
+
+        def pump():
+            try:
+                asyncio.run(self._serve(specs, keys, out))
+            except BaseException as exc:  # surfaced by the consumer
+                out.put(exc)
+            finally:
+                out.put(_SENTINEL)
+
+        thread = threading.Thread(
+            target=pump, name="repro-remote-backend", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                item = out.get()
+                if item is _SENTINEL:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            # A consumer abandoning the generator mid-batch
+            # (KeyboardInterrupt, an exception downstream) must not
+            # hang on a pump thread that is still awaiting results:
+            # wake the server loop so it shuts down cleanly.
+            self._request_abort()
+            thread.join()
+
+    def _request_abort(self) -> None:
+        """Ask a live serve loop to finish now (thread-safe, idempotent)."""
+        loop, event = self._abort_loop, self._abort_event
+        if loop is None or event is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass  # loop already shut down between the check and the call
+
+    # -- event loop internals -------------------------------------------------
+
+    async def _serve(
+        self,
+        specs: List[JobSpec],
+        keys: Optional[Sequence[str]],
+        out: "queue.Queue",
+    ) -> None:
+        pending: "asyncio.Queue" = asyncio.Queue()
+        for index, spec in enumerate(specs):
+            key = keys[index] if keys is not None else None
+            pending.put_nowait((index, spec, key))
+        state = {
+            "remaining": len(specs),
+            "failed": None,  # first RemoteWorkerError, aborts the batch
+        }
+        finished = asyncio.Event()
+        kinds_needed = sorted({spec.kind for spec in specs})
+        connections: Set[_Connection] = set()
+        if self.store_dir and self._store is None:
+            self._store = ShardedStore(self.store_dir)
+        if self._store is not None:
+            # Materialize store.json now: worker-side store adoption
+            # checks for it, so it must exist before the first worker
+            # handshakes (not merely after the first append).
+            self._store._ensure_root()
+        self._abort_loop = asyncio.get_running_loop()
+        self._abort_event = finished
+
+        async def handle(reader, writer):
+            # Swallow cancellation: server teardown cancels handlers
+            # whose workers are idle; that is a clean exit, not an
+            # error worth the event loop's exception logger.
+            try:
+                conn = await self._handshake(reader, writer, kinds_needed)
+                if conn is None:
+                    return
+                connections.add(conn)
+                try:
+                    await self._dispatch_loop(
+                        conn, pending, out, state, finished
+                    )
+                finally:
+                    connections.discard(conn)
+                    conn.writer.close()
+            except asyncio.CancelledError:
+                pass
+
+        server = await asyncio.start_server(handle, sock=self._socket)
+        try:
+            await finished.wait()
+        finally:
+            server.close()
+            for conn in list(connections):
+                try:
+                    conn.writer.write(encode_frame({"op": "exit"}))
+                    await conn.writer.drain()
+                except (OSError, ConnectionError):
+                    pass
+            await server.wait_closed()
+            self._socket = None
+            self.bound_port = None
+            self.ready.clear()
+            self._abort_loop = None
+            self._abort_event = None
+        if state["failed"] is not None:
+            raise state["failed"]
+
+    async def _handshake(
+        self, reader, writer, kinds_needed: List[str]
+    ) -> Optional[_Connection]:
+        """Validate a connecting worker; ``None`` means rejected."""
+
+        async def reject(reason: str) -> None:
+            try:
+                writer.write(encode_frame({"op": "reject", "reason": reason}))
+                await writer.drain()
+            except (OSError, ConnectionError):
+                pass
+            writer.close()
+
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=max(self.heartbeat, 10.0)
+            )
+            hello = decode_frame(line) if line else {}
+        except (asyncio.TimeoutError, RemoteProtocolError):
+            writer.close()
+            return None
+        if hello.get("op") != "hello":
+            await reject("expected hello frame")
+            return None
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            await reject(
+                f"protocol mismatch: server speaks {PROTOCOL_VERSION}, "
+                f"worker speaks {hello.get('protocol')!r}"
+            )
+            return None
+        worker_kinds = set(hello.get("kinds") or ())
+        missing = [k for k in kinds_needed if k not in worker_kinds]
+        if missing:
+            await reject(f"worker is missing job kinds: {missing}")
+            return None
+        worker_store = hello.get("store")
+        if (
+            worker_store
+            and self.store_dir
+            and not _same_path(worker_store, self.store_dir)
+        ):
+            await reject(
+                f"store mismatch: server uses {self.store_dir}, "
+                f"worker uses {worker_store}"
+            )
+            return None
+        writer.write(
+            encode_frame(
+                {
+                    "op": "welcome",
+                    "protocol": PROTOCOL_VERSION,
+                    "store": self.store_dir,
+                }
+            )
+        )
+        await writer.drain()
+        name = f"worker-pid{hello.get('pid', '?')}"
+        return _Connection(reader, writer, name)
+
+    async def _dispatch_loop(
+        self,
+        conn: _Connection,
+        pending: "asyncio.Queue",
+        out: "queue.Queue",
+        state: dict,
+        finished: asyncio.Event,
+    ) -> None:
+        """Feed one worker jobs until the batch completes or it dies."""
+        loop = asyncio.get_event_loop()
+        last_ping = loop.time()
+        while not finished.is_set():
+            getter = asyncio.ensure_future(pending.get())
+            frame_task = conn.next_frame_task()
+            finish_task = asyncio.ensure_future(finished.wait())
+            done, _ = await asyncio.wait(
+                {getter, frame_task, finish_task},
+                timeout=self.heartbeat,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            finish_task.cancel()
+            if finished.is_set():
+                await _requeue_cancelled(getter, pending)
+                try:
+                    conn.writer.write(encode_frame({"op": "exit"}))
+                    await conn.writer.drain()
+                except (OSError, ConnectionError):
+                    pass
+                return
+            if frame_task in done:
+                # Unsolicited frame while idle: pong (fine) or EOF
+                # (worker died between jobs).
+                await _requeue_cancelled(getter, pending)
+                line = frame_task.result()
+                if not line:
+                    return  # EOF: nothing in flight, nothing to requeue
+                frame = decode_frame(line)
+                if frame.get("op") not in ("pong",):
+                    # Unexpected chatter; drop the worker.
+                    return
+                continue
+            if getter not in done:
+                # Idle heartbeat window elapsed: ping the worker (a
+                # dead one fails the write or EOFs the read task).
+                await _requeue_cancelled(getter, pending)
+                if loop.time() - last_ping >= self.heartbeat:
+                    try:
+                        conn.writer.write(encode_frame({"op": "ping"}))
+                        await conn.writer.drain()
+                        last_ping = loop.time()
+                    except (OSError, ConnectionError):
+                        return
+                continue
+            item = getter.result()
+            ok = await self._run_one(conn, item, pending, out, state)
+            last_ping = loop.time()
+            if state["remaining"] == 0 or state["failed"] is not None:
+                finished.set()
+            if not ok:
+                return
+
+    async def _run_one(
+        self,
+        conn: _Connection,
+        item: Tuple[int, JobSpec, Optional[str]],
+        pending: "asyncio.Queue",
+        out: "queue.Queue",
+        state: dict,
+    ) -> bool:
+        """Send one job; collect its result.  ``False`` = drop worker."""
+        index, spec, key = item
+        request = {
+            "op": "job",
+            "id": index,
+            "spec": spec.to_payload(),
+            "key": key,
+        }
+        try:
+            conn.writer.write(encode_frame(request))
+            await conn.writer.drain()
+        except (OSError, ConnectionError):
+            pending.put_nowait(item)  # never dispatched: requeue
+            return False
+        while True:
+            line = await conn.next_frame_task()
+            conn.read_task = None
+            if not line:
+                # Worker died mid-job: requeue for the next worker.
+                pending.put_nowait(item)
+                return False
+            try:
+                frame = decode_frame(line)
+            except RemoteProtocolError:
+                pending.put_nowait(item)
+                return False
+            op = frame.get("op")
+            if op == "pong":
+                continue
+            if op != "result" or frame.get("id") != index:
+                pending.put_nowait(item)
+                return False
+            break
+        if "error" in frame:
+            detail = frame.get("traceback") or frame["error"]
+            state["failed"] = RemoteWorkerError(
+                f"job #{index} ({spec.kind}) failed on {conn.name}: {detail}"
+            )
+            return False
+        record = frame["record"]
+        if (
+            key
+            and self._store is not None
+            and not frame.get("stored", False)
+        ):
+            # Storeless workers (no shared filesystem) cannot persist;
+            # the orchestrator appends on their behalf so resume runs
+            # still find every record on disk.
+            self._store.put(key, record)
+        state["remaining"] -= 1
+        out.put((index, record, frame.get("seconds")))
+        return True
+
+
+async def _requeue_cancelled(getter: "asyncio.Task", pending) -> None:
+    """Cancel a queue getter, requeueing an item it may have grabbed."""
+    if getter.done():
+        if not getter.cancelled():
+            pending.put_nowait(getter.result())
+        return
+    getter.cancel()
+    try:
+        item = await getter
+    except asyncio.CancelledError:
+        return
+    pending.put_nowait(item)
+
+
+def _same_path(left: str, right: str) -> bool:
+    from pathlib import Path
+
+    try:
+        return Path(left).resolve() == Path(right).resolve()
+    except OSError:
+        return left == right

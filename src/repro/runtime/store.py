@@ -18,7 +18,14 @@ module replaces that layer with a **sharded single-index store**:
 * **compaction** rewrites a shard newest-wins, evicting the
   least-recently-touched entries beyond ``max_entries`` (recency is
   this process's append/lookup order -- an LRU approximation across
-  processes) and reporting entries evicted + bytes reclaimed.
+  processes) and reporting entries evicted + bytes reclaimed;
+* every line carries an **append timestamp**, so long-lived fleet
+  stores can be garbage-collected: :meth:`ShardedStore.gc` expires
+  entries older than a TTL and shrinks the store to a byte budget with
+  newest-wins retention, reporting entries removed + bytes reclaimed;
+* one **metadata shard** (``meta-00.jsonl``, same locking and line
+  format, exempt from caps/GC) holds small operational records --
+  today the scheduler's per-kind/per-n wall-time cost table.
 
 Durability model: a line is the unit of persistence.  Torn or corrupt
 lines (crash mid-append without the lock discipline, disk trouble)
@@ -36,7 +43,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 try:  # POSIX advisory locks; other platforms use an O_EXCL lock file.
     import fcntl
@@ -46,6 +53,14 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 Record = Dict[str, object]
 
 DEFAULT_SHARDS = 8
+
+META_SHARD = "meta-00"
+"""Basename of the metadata shard (cost tables, operational records)."""
+
+
+def _now() -> float:
+    """Wall-clock used for entry timestamps (monkeypatchable in tests)."""
+    return time.time()
 
 
 def shard_of_key(key: str, shards: int) -> int:
@@ -76,6 +91,32 @@ class ClearReport:
     def __iadd__(self, other: "ClearReport") -> "ClearReport":
         self.entries_removed += other.entries_removed
         self.bytes_reclaimed += other.bytes_reclaimed
+        return self
+
+
+@dataclass
+class GCReport:
+    """Outcome of one :meth:`ShardedStore.gc` pass.
+
+    ``entries_removed`` counts live entries dropped (TTL-expired plus
+    byte-budget evictions); ``bytes_reclaimed`` additionally includes
+    dead newest-wins duplicates rewritten away.
+    """
+
+    entries_removed: int = 0
+    bytes_reclaimed: int = 0
+    entries_kept: int = 0
+    bytes_kept: int = 0
+    expired_entries: int = 0
+    evicted_entries: int = 0
+
+    def __iadd__(self, other: "GCReport") -> "GCReport":
+        self.entries_removed += other.entries_removed
+        self.bytes_reclaimed += other.bytes_reclaimed
+        self.entries_kept += other.entries_kept
+        self.bytes_kept += other.bytes_kept
+        self.expired_entries += other.expired_entries
+        self.evicted_entries += other.evicted_entries
         return self
 
 
@@ -199,9 +240,13 @@ class ShardedStore:
             )
             os.replace(tmp, meta)
 
-    @contextmanager
     def _lock(self, shard_id: int):
-        """Exclusive per-shard lock: ``flock`` on POSIX, else O_EXCL file.
+        """Exclusive lock for one data shard (see :meth:`_lock_named`)."""
+        return self._lock_named(f"shard-{shard_id:02d}")
+
+    @contextmanager
+    def _lock_named(self, name: str):
+        """Exclusive named lock: ``flock`` on POSIX, else O_EXCL file.
 
         The fallback spins on atomically creating ``.mutex``; a mutex
         older than 30s is presumed leaked by a dead process and broken.
@@ -210,7 +255,7 @@ class ShardedStore:
         layout used to provide.
         """
         self._ensure_root()
-        lock_path = self.root / f"shard-{shard_id:02d}.lock"
+        lock_path = self.root / f"{name}.lock"
         if fcntl is not None:
             handle = open(lock_path, "a+b")
             try:
@@ -290,11 +335,18 @@ class ShardedStore:
         return record if isinstance(record, dict) else None
 
     def put(self, key: str, record: Record) -> None:
-        """Append *record* under *key* (newest-wins on repeated keys)."""
+        """Append *record* under *key* (newest-wins on repeated keys).
+
+        Each line is stamped with the append wall-clock time, which is
+        what :meth:`gc` ages entries by.
+        """
         shard_id = shard_of_key(key, self.shards)
         shard = self._shards[shard_id]
         line = (
-            json.dumps({"k": key, "r": record}, separators=(",", ":"))
+            json.dumps(
+                {"k": key, "r": record, "t": round(_now(), 3)},
+                separators=(",", ":"),
+            )
             + "\n"
         ).encode("utf-8")
         with self._lock(shard_id):
@@ -374,30 +426,330 @@ class ShardedStore:
                     for key, _offset in keep[:evicted]:
                         del shard.index[key]
                     keep = keep[evicted:]
-                fd, tmp_name = tempfile.mkstemp(
-                    dir=str(self.root), suffix=".tmp"
-                )
-                new_index: "OrderedDict[str, int]" = OrderedDict()
-                offset = 0
-                with open(shard.path, "rb") as src, os.fdopen(
-                    fd, "wb"
-                ) as dst:
-                    for key, old_offset in keep:
-                        src.seek(old_offset)
-                        line = src.readline()
-                        dst.write(line)
-                        new_index[key] = offset
-                        offset += len(line)
-                os.replace(tmp_name, shard.path)
+                new_index, new_size = self._rewrite_shard(shard, keep)
                 shard.index = new_index
-                shard.scanned = offset
+                shard.scanned = new_size
                 self._lines[sid] = len(new_index)
                 self.stats.compactions += 1
                 self.stats.evicted_entries += evicted
-                reclaimed = max(0, old_size - offset)
+                reclaimed = max(0, old_size - new_size)
                 self.stats.bytes_reclaimed += reclaimed
                 report += ClearReport(evicted, reclaimed)
         return report
+
+    # -- garbage collection ---------------------------------------------------
+
+    def _scan_live(
+        self, shard: _Shard
+    ) -> "OrderedDict[str, Tuple[int, int, float]]":
+        """Newest-wins scan of one shard file.
+
+        Returns ``key -> (offset, line_length, timestamp)`` for every
+        complete line, later lines overriding earlier ones.  Lines
+        without a timestamp (pre-GC stores) age as epoch 0, so a TTL
+        pass retires them first.
+        """
+        live: "OrderedDict[str, Tuple[int, int, float]]" = OrderedDict()
+        try:
+            with open(shard.path, "rb") as handle:
+                offset = 0
+                for line in handle:
+                    if line_complete(line):
+                        try:
+                            payload = json.loads(line)
+                        except (ValueError, UnicodeDecodeError):
+                            payload = None
+                        if (
+                            isinstance(payload, dict)
+                            and isinstance(payload.get("k"), str)
+                        ):
+                            stamp = payload.get("t")
+                            live[payload["k"]] = (
+                                offset,
+                                len(line),
+                                float(stamp)
+                                if isinstance(stamp, (int, float))
+                                else 0.0,
+                            )
+                            live.move_to_end(payload["k"])
+                    offset += len(line)
+        except OSError:
+            return OrderedDict()
+        return live
+
+    def gc(
+        self,
+        ttl: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+        grace: float = 60.0,
+    ) -> GCReport:
+        """Expire old entries and shrink the store to a byte budget.
+
+        Args:
+            ttl: drop entries whose newest line is older than this many
+                seconds (``None`` = no age limit).
+            max_bytes: keep only the newest entries whose lines fit in
+                this many bytes store-wide, newest-first by timestamp
+                (``None`` = no size limit).
+            now: reference wall-clock (defaults to ``time.time()``;
+                injectable for tests).
+            grace: entries stamped within this many seconds of the
+                snapshot are never collected.  This is the
+                concurrent-writer guard across *hosts*: a fleet
+                worker whose clock trails the collector's by less
+                than the grace can re-put a condemned key mid-GC
+                without losing the fresh record.
+
+        Entries appended *while* the GC runs (newer stamp than the
+        snapshot, a key the snapshot never saw, or anything inside the
+        grace window) are always retained, so concurrent writers never
+        lose fresh records.  With both limits ``None`` this
+        degenerates to a full newest-wins compaction.  The metadata
+        shard is exempt from TTL/size limits (cost history outlives
+        result TTLs) but is deduplicated newest-wins on every GC so it
+        cannot grow without bound either.
+
+        Returns a :class:`GCReport`; the removal counters also land in
+        ``stats.evicted_entries`` / ``stats.bytes_reclaimed``.
+        """
+        snapshot_now = _now() if now is None else now
+        keep_floor = snapshot_now - max(0.0, grace)
+        ttl_cut = (snapshot_now - ttl) if ttl is not None else None
+        # Phase 1: snapshot live entries across all shards and decide
+        # which keys survive.  (sid, key) -> timestamp/length.
+        survivors: Dict[Tuple[int, str], float] = {}
+        candidates: List[Tuple[float, int, int, str]] = []
+        seen: List[set] = [set() for _ in range(self.shards)]
+        expired = 0
+        for sid in range(self.shards):
+            for key, (offset, length, stamp) in self._scan_live(
+                self._shards[sid]
+            ).items():
+                seen[sid].add(key)
+                if ttl_cut is not None and stamp < ttl_cut:
+                    expired += 1
+                    continue
+                candidates.append((stamp, sid, length, key))
+        evicted_by_size = 0
+        if max_bytes is not None:
+            # Newest-wins retention: keep newest-first until the byte
+            # budget is spent.  Deterministic given the timestamps
+            # (ties broken by shard id, then key).
+            candidates.sort(key=lambda item: (-item[0], item[1], item[3]))
+            budget = max_bytes
+            for stamp, sid, length, key in candidates:
+                if budget - length >= 0:
+                    budget -= length
+                    survivors[(sid, key)] = stamp
+                else:
+                    evicted_by_size += 1
+        else:
+            for stamp, sid, length, key in candidates:
+                survivors[(sid, key)] = stamp
+        # Phase 2: rewrite each shard under its lock.  A fresh rescan
+        # folds in lines appended since the snapshot; anything stamped
+        # after the snapshot is kept unconditionally.
+        report = GCReport(expired_entries=expired, evicted_entries=evicted_by_size)
+        for sid in range(self.shards):
+            shard = self._shards[sid]
+            with self._lock(sid):
+                live = self._scan_live(shard)
+                if not live:
+                    self._drop_shard_file(shard, sid, report)
+                    continue
+                try:
+                    old_size = shard.path.stat().st_size
+                except OSError:
+                    continue
+                # Keep: phase-1 survivors, anything stamped after the
+                # grace floor (covers appends during the GC, timestamp
+                # rounding, and cross-host clock skew up to *grace*),
+                # and keys phase 1 never saw.
+                keep = [
+                    (key, offset)
+                    for key, (offset, _length, stamp) in live.items()
+                    if (sid, key) in survivors
+                    or stamp > keep_floor
+                    or key not in seen[sid]
+                ]
+                removed = len(live) - len(keep)
+                new_index, new_size = self._rewrite_shard(shard, keep)
+                shard.index = new_index
+                shard.scanned = new_size
+                self._lines[sid] = len(new_index)
+                report += GCReport(
+                    entries_removed=removed,
+                    bytes_reclaimed=max(0, old_size - new_size),
+                    entries_kept=len(new_index),
+                    bytes_kept=new_size,
+                )
+        report += self._compact_meta()
+        self.stats.compactions += 1
+        self.stats.evicted_entries += report.entries_removed
+        self.stats.bytes_reclaimed += report.bytes_reclaimed
+        return report
+
+    def _compact_meta(self) -> GCReport:
+        """Deduplicate the metadata shard newest-wins (no TTL, no cap).
+
+        Meta cells are read-modify-write records (the scheduler's cost
+        table), so the file accumulates one dead line per update;
+        every GC rewrites it down to its live entries so the meta
+        shard cannot grow without bound either.
+        """
+        meta = self._meta
+        with self._lock_named(META_SHARD):
+            live = self._scan_live(meta)
+            if not live:
+                return GCReport()
+            try:
+                old_size = meta.path.stat().st_size
+            except OSError:
+                return GCReport()
+            keep = [(key, offset) for key, (offset, _len, _t) in live.items()]
+            new_index, new_size = self._rewrite_shard(meta, keep)
+            meta.index = new_index
+            meta.scanned = new_size
+            return GCReport(bytes_reclaimed=max(0, old_size - new_size))
+
+    def _drop_shard_file(
+        self, shard: _Shard, sid: int, report: GCReport
+    ) -> None:
+        """Remove an all-dead shard file during GC (caller holds lock)."""
+        try:
+            size = shard.path.stat().st_size
+        except OSError:
+            size = 0
+        if size:
+            try:
+                shard.path.unlink()
+            except OSError:
+                return
+            report += GCReport(bytes_reclaimed=size)
+        shard.index = OrderedDict()
+        shard.scanned = 0
+        self._lines[sid] = 0
+
+    def _rewrite_shard(
+        self, shard: _Shard, keep: List[Tuple[str, int]]
+    ) -> Tuple["OrderedDict[str, int]", int]:
+        """Rewrite *shard* to exactly the ``(key, old_offset)`` lines.
+
+        The shared tail of :meth:`compact` and :meth:`gc` (caller holds
+        the shard lock): copy the kept lines into a temp file and
+        atomically replace the shard.  The temp file is removed if the
+        copy fails, so an aborted rewrite leaves the shard untouched.
+        """
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        new_index: "OrderedDict[str, int]" = OrderedDict()
+        offset = 0
+        try:
+            with open(shard.path, "rb") as src, os.fdopen(fd, "wb") as dst:
+                for key, old_offset in keep:
+                    src.seek(old_offset)
+                    line = src.readline()
+                    dst.write(line)
+                    new_index[key] = offset
+                    offset += len(line)
+            os.replace(tmp_name, shard.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return new_index, offset
+
+    def usage(self) -> Dict[str, object]:
+        """Store-wide usage summary for ``repro-planarity cache stats``.
+
+        Scans every shard (newest-wins): live entry count, live vs
+        on-disk bytes (the difference is reclaimable by compaction),
+        and the age range of the live entries.
+        """
+        entries = 0
+        live_bytes = 0
+        file_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for sid in range(self.shards):
+            shard = self._shards[sid]
+            try:
+                file_bytes += shard.path.stat().st_size
+            except OSError:
+                continue
+            for _key, (_offset, length, stamp) in self._scan_live(
+                shard
+            ).items():
+                entries += 1
+                live_bytes += length
+                if stamp > 0:
+                    oldest = stamp if oldest is None else min(oldest, stamp)
+                    newest = stamp if newest is None else max(newest, stamp)
+        meta_entries = sum(1 for _ in self.meta_keys())
+        try:
+            meta_bytes = self._meta.path.stat().st_size
+        except OSError:
+            meta_bytes = 0
+        return {
+            "root": str(self.root),
+            "shards": self.shards,
+            "entries": entries,
+            "live_bytes": live_bytes,
+            "file_bytes": file_bytes,
+            "reclaimable_bytes": max(0, file_bytes - live_bytes),
+            "oldest_t": oldest,
+            "newest_t": newest,
+            "meta_entries": meta_entries,
+            "meta_bytes": meta_bytes,
+        }
+
+    # -- metadata shard -------------------------------------------------------
+
+    @property
+    def _meta(self) -> _Shard:
+        meta = getattr(self, "_meta_shard", None)
+        if meta is None:
+            meta = _Shard(self.root / f"{META_SHARD}.jsonl")
+            self._meta_shard = meta
+        return meta
+
+    def put_meta(self, key: str, record: Record) -> None:
+        """Append an operational record to the metadata shard.
+
+        Same line format and lock discipline as data shards; excluded
+        from ``len()`` / ``keys()`` / caps / GC.  Used by the scheduler
+        for the per-kind/per-n wall-time cost table.
+        """
+        meta = self._meta
+        line = (
+            json.dumps(
+                {"k": key, "r": record, "t": round(_now(), 3)},
+                separators=(",", ":"),
+            )
+            + "\n"
+        ).encode("utf-8")
+        with self._lock_named(META_SHARD):
+            with open(meta.path, "ab") as handle:
+                offset = handle.tell()
+                handle.write(line)
+        meta.index[key] = offset
+        meta.index.move_to_end(key)
+        if offset == meta.scanned:
+            meta.scanned = offset + len(line)
+
+    def get_meta(self, key: str) -> Optional[Record]:
+        """Return the newest metadata record under *key*, or ``None``."""
+        meta = self._meta
+        meta.refresh()
+        return self._read_indexed(meta, key)
+
+    def meta_keys(self) -> Iterator[str]:
+        """All keys present in the metadata shard."""
+        meta = self._meta
+        meta.refresh()
+        yield from list(meta.index)
 
     def clear(self) -> ClearReport:
         """Delete every shard file; report entries and bytes removed."""

@@ -9,14 +9,20 @@ wraps the records in a :class:`SweepResult` that renders
 :class:`~repro.analysis.tables.Table` views and summary statistics.
 
 Sweeps **shard**: :class:`ShardedSweep` splits a grid into ``k``
-deterministic pieces by a stable key-hash of each job's canonical
-encoding, so independent orchestrator processes (CI legs, machines in a
-fleet) each run ``--shard i/k`` against one shared on-disk store and a
-final :func:`merge_sweep_results` -- or simply a full ``--resume`` run,
-which is then a 100% cache hit -- reassembles the grid in canonical
-expansion order.  ``resume=True`` certifies a cache is attached and
-reruns only the keys the store is missing (the executor's hit path
-skips even graph generation under the default coordinate keys).
+deterministic pieces -- by a stable key-hash of each job's canonical
+encoding (``balance="hash"``), or by measured job cost
+(``balance="cost"``: LPT over the scheduler's learned per-kind/per-n
+wall-times, hash fallback while there is no history) -- so independent
+orchestrator processes (CI legs, machines in a fleet) each run
+``--shard i/k`` against one shared on-disk store and a final
+``merge()`` -- or simply a full ``--resume`` run, which is then a 100%
+cache hit -- reassembles the grid in canonical expansion order.
+``resume=True`` certifies a cache is attached and reruns only the keys
+the store is missing (the executor's hit path skips even graph
+generation under the default coordinate keys).  Runs with a disk store
+automatically feed their wall-times back into the cost table
+(:class:`~repro.runtime.scheduler.CostBook`), so balance improves as
+history accrues.
 
 This is the layer the benchmarks (E01-E16) and the CLI's ``sweep``
 subcommand sit on; anything that used to hand-roll nested ``for`` loops
@@ -34,6 +40,7 @@ from ..analysis.tables import Table
 from .cache import ResultCache
 from .executor import BatchResult, run_jobs
 from .jobs import JobSpec, Record
+from .scheduler import CostBook, CostModel, assign_shards
 
 
 @dataclass(frozen=True)
@@ -143,19 +150,38 @@ def job_shard(spec: JobSpec, shards: int) -> int:
 class ShardedSweep:
     """A :class:`SweepSpec` split into ``shards`` deterministic pieces.
 
-    Shards partition the expanded grid by :func:`job_shard`; each shard
-    can run (and resume) independently -- on another process, another
-    machine, another CI leg -- against one shared cache store, and
+    Shards partition the expanded grid by :func:`job_shard` (the
+    default key-hash split) or, with ``balance="cost"``, by the
+    scheduler's LPT assignment over measured job costs
+    (:func:`~repro.runtime.scheduler.assign_shards`; falls back to the
+    hash split while the cost table is empty).  Each shard can run
+    (and resume) independently -- on another process, another machine,
+    another CI leg -- against one shared cache store, and
     :meth:`merge` reassembles per-shard results into canonical
-    expansion order.
+    expansion order.  Keep the *same* cost table across a fleet's legs
+    for a consistent partition; mismatched tables at worst overlap
+    (cache hits) or leave gaps a final ``--resume`` fills.
     """
 
     spec: SweepSpec
     shards: int = 2
+    balance: str = "hash"
+    cost_model: Optional[CostModel] = None
 
     def __post_init__(self):
         if self.shards <= 0:
             raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.balance not in ("hash", "cost"):
+            raise ValueError(
+                f"balance must be 'hash' or 'cost', got {self.balance!r}"
+            )
+
+    def assignments(self) -> List[int]:
+        """Shard index per expanded spec, in canonical expansion order."""
+        specs = self.spec.expand()
+        if self.balance == "cost":
+            return assign_shards(specs, self.shards, model=self.cost_model)
+        return [job_shard(spec, self.shards) for spec in specs]
 
     def shard_specs(self, index: int) -> List[JobSpec]:
         """The expansion-ordered job specs belonging to shard *index*."""
@@ -165,8 +191,8 @@ class ShardedSweep:
             )
         return [
             spec
-            for spec in self.spec.expand()
-            if job_shard(spec, self.shards) == index
+            for spec, shard in zip(self.spec.expand(), self.assignments())
+            if shard == index
         ]
 
     def run_shard(
@@ -192,8 +218,8 @@ class ShardedSweep:
         queues = [list(result.records) for result in results]
         cursors = [0] * self.shards
         merged: List[Record] = []
-        for spec in self.spec.expand():
-            shard = job_shard(spec, self.shards)
+        assignments = self.assignments()
+        for spec, shard in zip(self.spec.expand(), assignments):
             cursor = cursors[shard]
             if cursor >= len(queues[shard]):
                 raise ValueError(
@@ -290,6 +316,8 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     shard: Optional[Tuple[int, int]] = None,
     resume: bool = False,
+    balance: str = "hash",
+    cost_model: Optional[CostModel] = None,
 ) -> SweepResult:
     """Expand *spec* and execute it via :func:`repro.runtime.run_jobs`.
 
@@ -305,16 +333,41 @@ def run_sweep(
             executor's normal hit path, so a completed sweep resumes as
             a 100% hit with zero graph generations under coordinate
             keys.
+        balance: shard placement policy: ``"hash"`` (key-hash counts)
+            or ``"cost"`` (LPT over measured wall-times; falls back to
+            hash while the cost table is empty).
+        cost_model: explicit :class:`~repro.runtime.scheduler.CostModel`
+            for ``balance="cost"``; defaults to the history in the
+            cache's disk store.
+
+    Runs with a disk store feed their measured wall-times back into
+    the store's metadata shard, so later ``balance="cost"`` splits
+    have history to work from.
     """
     if resume and cache is None:
         raise ValueError(
             "resume=True needs a cache (e.g. ResultCache(disk_dir=...)); "
             "without one there is nothing to resume from"
         )
+    store = cache.store_backend if cache is not None else None
     if shard is not None:
         index, count = shard
-        specs = ShardedSweep(spec, count).shard_specs(index)
+        if balance == "cost" and cost_model is None:
+            cost_model = CostModel.from_store(store)
+        specs = ShardedSweep(
+            spec, count, balance=balance, cost_model=cost_model
+        ).shard_specs(index)
     else:
         specs = spec.expand()
-    batch = run_jobs(specs, backend=backend, cache=cache)
+    cost_book = CostBook(store) if store is not None else None
+    try:
+        batch = run_jobs(
+            specs, backend=backend, cache=cache, cost_book=cost_book
+        )
+    finally:
+        # Flush even when the batch aborts: the wall-times of every
+        # job that *did* complete are exactly the history a retry's
+        # cost-balanced split needs.
+        if cost_book is not None:
+            cost_book.flush()
     return SweepResult(spec=spec, batch=batch)

@@ -1,39 +1,86 @@
-"""Subprocess worker protocol for the async backend.
+"""Worker process: the JSON-lines job protocol over stdio or TCP.
 
-``python -m repro.runtime.worker`` turns a process into a job server
-speaking newline-delimited JSON over stdin/stdout:
+``python -m repro.runtime.worker`` turns a process into a job server.
+Two transports share one request handler:
 
-* request:  ``{"id": <int>, "spec": <JobSpec.to_payload()>,
-  "key": <cache key or null>}``
-* response: ``{"id": <int>, "record": {...}, "hit": <bool>}`` on
-  success, ``{"id": <int>, "error": "<repr>"}`` on failure.
+* **stdio** (the async backend): newline-delimited JSON over
+  stdin/stdout, one worker per subprocess, spawned and owned by the
+  orchestrator (:mod:`repro.runtime.async_backend`);
+* **TCP** (``--connect host:port``, also ``repro-planarity worker``):
+  the worker dials a :class:`~repro.runtime.remote.RemoteBackend`
+  sweep server, handshakes (protocol version, job-kind registry,
+  store dir), then serves jobs until the server says ``exit`` or the
+  connection drops.  Connection attempts retry for ``--retry-seconds``
+  so workers can be started before the sweep server is listening.
 
-When launched with ``--store DIR``, the worker consults the shared
+When a worker has a sharded store (``--store DIR``, or the directory
+adopted from the server's ``welcome`` frame), it consults the shared
 :class:`~repro.runtime.store.ShardedStore` *before* executing a job
 whose request carries a ``key``, and appends fresh records back --
-that is the cross-process cache sharing: two concurrent sweeps (or two
-shard runs) with overlapping grids serve each other's results through
-one fcntl-locked on-disk index instead of each missing cold.
+that is the cross-process cache sharing: concurrent sweeps and fleet
+workers with overlapping grids serve each other's results through one
+fcntl-locked on-disk index instead of each missing cold.
 
 Everything a record needs to be reproducible travels in the spec
-(``seed`` drives all randomness), so a worker is stateless: killing and
-respawning one mid-batch loses nothing but the in-flight job.
+(``seed`` drives all randomness), so a worker is stateless: killing
+and respawning one mid-batch loses nothing but the in-flight job
+(which the remote server requeues).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import socket
 import sys
+import time
 import traceback
+from pathlib import Path
 from typing import Optional
 
-from .jobs import JobSpec, run_job
+from .jobs import JobSpec, job_kinds, run_job_timed
 from .store import ShardedStore
 
 
+def handle_request(message: dict, store: Optional[ShardedStore]) -> dict:
+    """Execute one job request; returns the response frame (sans id).
+
+    Probes *store* first when the request carries a cache ``key``;
+    fresh records are appended back (``stored`` reports whether that
+    happened, so a server can persist on behalf of storeless workers).
+    """
+    key = message.get("key")
+    try:
+        record = None
+        hit = False
+        seconds: Optional[float] = None
+        stored = False
+        if store is not None and key:
+            record = store.get(key)
+            hit = record is not None
+            stored = hit
+        if record is None:
+            spec = JobSpec.from_payload(message["spec"])
+            record, seconds = run_job_timed(spec)
+            if store is not None and key:
+                store.put(key, record)
+                stored = True
+        return {
+            "record": record,
+            "hit": hit,
+            "seconds": seconds,
+            "stored": stored,
+        }
+    except Exception as exc:  # report, don't die: the batch goes on
+        return {
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
 def serve(stdin=None, stdout=None, store_dir: Optional[str] = None) -> int:
-    """Serve job requests until EOF or an explicit ``{"op": "exit"}``."""
+    """Serve job requests over stdio until EOF or ``{"op": "exit"}``."""
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     store = ShardedStore(store_dir) if store_dir else None
@@ -47,42 +94,149 @@ def serve(stdin=None, stdout=None, store_dir: Optional[str] = None) -> int:
             continue
         if message.get("op") == "exit":
             break
-        job_id = message.get("id")
-        key = message.get("key")
-        try:
-            record = None
-            hit = False
-            if store is not None and key:
-                record = store.get(key)
-                hit = record is not None
-            if record is None:
-                spec = JobSpec.from_payload(message["spec"])
-                record = run_job(spec)
-                if store is not None and key:
-                    store.put(key, record)
-            response = {"id": job_id, "record": record, "hit": hit}
-        except Exception as exc:  # report, don't die: the batch goes on
-            response = {
-                "id": job_id,
-                "error": f"{type(exc).__name__}: {exc}",
-                "traceback": traceback.format_exc(),
-            }
+        response = {"id": message.get("id")}
+        response.update(handle_request(message, store))
         stdout.write(json.dumps(response, separators=(",", ":")) + "\n")
         stdout.flush()
     return 0
 
 
+def _connect_with_retry(
+    host: str, port: int, retry_seconds: float
+) -> socket.socket:
+    """Dial the sweep server, retrying while it is not yet listening."""
+    deadline = time.monotonic() + retry_seconds
+    delay = 0.1
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            # Blocking mode from here on: a worker legitimately sits
+            # idle for arbitrary stretches (another worker holds the
+            # last long job), and the server's heartbeat keeps the
+            # connection observable -- a read timeout would kill idle
+            # workers instead.
+            sock.settimeout(None)
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 1.5, 1.0)
+
+
+def _adopt_store(store_dir: Optional[str]) -> Optional[ShardedStore]:
+    """Open a store the server advertised, if this host can reach *it*.
+
+    Adoption requires the server's already-initialized store
+    (``store.json`` written at bind time) to be visible at the path --
+    a bare ``mkdir`` succeeding proves nothing on a host without the
+    shared filesystem and would silently fork a fresh local store.
+    Workers that cannot see the server's store run storeless; the
+    server persists their records itself (``stored: false``).
+    """
+    if not store_dir:
+        return None
+    try:
+        if not (Path(store_dir) / "store.json").is_file():
+            return None  # not the server's store: run storeless
+        return ShardedStore(store_dir)
+    except OSError:
+        return None  # different filesystem: run storeless
+
+
+def serve_remote(
+    host: str,
+    port: int,
+    store_dir: Optional[str] = None,
+    retry_seconds: float = 30.0,
+) -> int:
+    """Join a remote sweep server and serve jobs until it says exit.
+
+    Returns 0 on a clean exit (``exit`` frame or server EOF), 1 when
+    the server rejected the handshake.
+    """
+    from .remote import PROTOCOL_VERSION, decode_frame, encode_frame
+
+    sock = _connect_with_retry(host, port, retry_seconds)
+    store = ShardedStore(store_dir) if store_dir else None
+    try:
+        reader = sock.makefile("rb")
+        hello = {
+            "op": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "kinds": list(job_kinds()),
+            "store": store_dir,
+            "pid": os.getpid(),
+        }
+        sock.sendall(encode_frame(hello))
+        line = reader.readline()
+        if not line:
+            print("worker: server closed during handshake", file=sys.stderr)
+            return 1
+        welcome = decode_frame(line)
+        if welcome.get("op") != "welcome":
+            print(
+                f"worker: rejected: {welcome.get('reason', welcome)}",
+                file=sys.stderr,
+            )
+            return 1
+        if store is None:
+            store = _adopt_store(welcome.get("store"))
+        for line in reader:
+            frame = decode_frame(line)
+            op = frame.get("op")
+            if op == "exit":
+                break
+            if op == "ping":
+                sock.sendall(encode_frame({"op": "pong"}))
+                continue
+            if op != "job":
+                continue
+            response = {"op": "result", "id": frame.get("id")}
+            response.update(handle_request(frame, store))
+            sock.sendall(encode_frame(response))
+        return 0
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.runtime.worker",
-        description="async-backend job worker (JSON lines over stdio)",
+        description=(
+            "job worker: JSON lines over stdio (async backend) or TCP "
+            "(remote backend)"
+        ),
     )
     parser.add_argument(
         "--store",
         default=None,
         help="shared sharded-store directory for cross-process cache hits",
     )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="join a remote sweep server instead of serving stdio",
+    )
+    parser.add_argument(
+        "--retry-seconds",
+        type=float,
+        default=30.0,
+        help="how long to retry the initial --connect dial (default 30)",
+    )
     args = parser.parse_args(argv)
+    if args.connect:
+        from .remote import parse_endpoint
+
+        host, port = parse_endpoint(args.connect)
+        return serve_remote(
+            host, port, store_dir=args.store,
+            retry_seconds=args.retry_seconds,
+        )
     return serve(store_dir=args.store)
 
 

@@ -21,7 +21,6 @@ when the partition misses its cut target (probability <= delta).
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Any, List, Optional, Tuple
 

@@ -181,7 +181,9 @@ def test_hereditary_property(
 
     target = epsilon * graph.number_of_edges() / 2
     if method == "deterministic":
-        stage1 = partition_stage1(graph, epsilon=epsilon, alpha=alpha, target_cut=target)
+        stage1 = partition_stage1(
+            graph, epsilon=epsilon, alpha=alpha, target_cut=target
+        )
     elif method == "randomized":
         stage1 = partition_randomized(
             graph, epsilon=epsilon, delta=delta, alpha=alpha,

@@ -18,12 +18,12 @@ edges).  Guarantees reproduced:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import networkx as nx
 
-from ..congest.ledger import RoundLedger, TreeCostModel
+from ..congest.ledger import TreeCostModel
 from ..graphs.utils import require_simple
 from ..partition.stage1 import partition_stage1
 from ..runtime.seeding import derive_rng

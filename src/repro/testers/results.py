@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
-from ..congest.ledger import RoundLedger
 from ..partition.stage1 import Stage1Result
 
 

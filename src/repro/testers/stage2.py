@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Optional
 
 import networkx as nx
 

@@ -140,7 +140,9 @@ class TestTreeCostModel:
 
     def test_aux_relay_roundtrip(self):
         model = TreeCostModel()
-        assert model.aux_message_relay(3) == model.broadcast(3) + 1 + model.convergecast(3)
+        assert model.aux_message_relay(3) == (
+            model.broadcast(3) + 1 + model.convergecast(3)
+        )
 
     def test_costs_monotone_in_height(self):
         model = TreeCostModel()

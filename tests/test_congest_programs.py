@@ -63,7 +63,9 @@ class TestBFS:
 class TestBarenboimElkin:
     def test_budget_grows_logarithmically(self):
         assert barenboim_elkin_round_budget(1) == 1
-        assert barenboim_elkin_round_budget(2**16) < 2 * barenboim_elkin_round_budget(2**8)
+        assert barenboim_elkin_round_budget(2**16) < (
+            2 * barenboim_elkin_round_budget(2**8)
+        )
 
     def test_succeeds_on_planar(self, planar_zoo):
         for name, graph in planar_zoo:

@@ -81,7 +81,10 @@ class TestCycleFreeness:
         assert cycle_freeness_farness(graph) > 0.5
 
     def test_disconnected(self):
-        graph = nx.union(nx.cycle_graph(3), nx.relabel_nodes(nx.cycle_graph(3), {i: i + 5 for i in range(3)}))
+        graph = nx.union(
+            nx.cycle_graph(3),
+            nx.relabel_nodes(nx.cycle_graph(3), {i: i + 5 for i in range(3)}),
+        )
         assert cycle_freeness_distance(graph) == 2
 
     def test_empty(self):

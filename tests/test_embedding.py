@@ -105,7 +105,10 @@ class TestEuler:
         verify_planar_embedding(rs, graph)
 
     def test_disconnected_components(self):
-        graph = nx.union(nx.cycle_graph(3), nx.relabel_nodes(nx.cycle_graph(3), {0: 3, 1: 4, 2: 5}))
+        graph = nx.union(
+            nx.cycle_graph(3),
+            nx.relabel_nodes(nx.cycle_graph(3), {0: 3, 1: 4, 2: 5}),
+        )
         rs = RotationSystem()
         for v in graph.nodes():
             rs.set_rotation(v, sorted(graph.neighbors(v)))

@@ -37,7 +37,9 @@ class TestEmulated:
         assert nx.is_directed_acyclic_graph(dg)
 
     def test_rejects_high_arboricity(self):
-        fd = forest_decomposition_emulated(singleton_aux(nx.complete_graph(14)), alpha=1)
+        fd = forest_decomposition_emulated(
+            singleton_aux(nx.complete_graph(14)), alpha=1
+        )
         assert not fd.success
         assert len(fd.rejecting_parts) == 14
 

@@ -4,10 +4,9 @@ together, checked end-to-end on single instances."""
 from __future__ import annotations
 
 import networkx as nx
-import pytest
 
 from repro.congest.programs import bfs_tree
-from repro.graphs import make_far, make_planar, planarity_farness_lower_bound
+from repro.graphs import make_far, make_planar
 from repro.partition import AuxiliaryGraph, partition_stage1
 from repro.planarity import check_planarity, verify_planar_embedding
 from repro.testers import PlanarityTestConfig

@@ -11,7 +11,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.congest.programs import bfs_tree
-from repro.graphs import make_far, make_planar
 from repro.planarity import check_planarity, identity_rotation
 from repro.testers import (
     count_violating,
@@ -105,7 +104,10 @@ class TestClaimTen:
             emb = check_planarity(graph).embedding
             parents, _ = deterministic_bfs_tree(graph, 0)
             positions, total = euler_tour_positions(graph, 0, emb, parents)
-            intervals = [(a, b) for a, b, _u, _v in corner_intervals(graph, parents, positions)]
+            intervals = [
+                (a, b)
+                for a, b, _u, _v in corner_intervals(graph, parents, positions)
+            ]
             assert count_violating(intervals, universe=total) == 0, name
 
     def test_preorder_criterion_incomplete_on_3x3_grid(self):
@@ -113,7 +115,10 @@ class TestClaimTen:
         emb = check_planarity(graph).embedding
         parents, _ = deterministic_bfs_tree(graph, 0)
         ranks = embedding_ranks(graph, 0, emb, parents)
-        intervals = [(a, b) for a, b, _u, _v in non_tree_intervals(graph, parents, ranks)]
+        intervals = [
+            (a, b)
+            for a, b, _u, _v in non_tree_intervals(graph, parents, ranks)
+        ]
         # the paper-literal criterion flags violations on a planar graph
         assert count_violating(intervals, universe=9) > 0
 
@@ -122,7 +127,10 @@ class TestClaimTen:
         emb = check_planarity(graph).embedding
         parents, _ = deterministic_bfs_tree(graph, 0)
         positions, total = euler_tour_positions(graph, 0, emb, parents)
-        intervals = [(a, b) for a, b, _u, _v in corner_intervals(graph, parents, positions)]
+        intervals = [
+            (a, b)
+            for a, b, _u, _v in corner_intervals(graph, parents, positions)
+        ]
         assert count_violating(intervals, universe=total) == 0
 
     def test_far_graphs_have_many_violations(self, far_zoo):
@@ -131,7 +139,10 @@ class TestClaimTen:
             rot = identity_rotation(graph)
             parents, _ = deterministic_bfs_tree(graph, 0)
             positions, total = euler_tour_positions(graph, 0, rot, parents)
-            intervals = [(a, b) for a, b, _u, _v in corner_intervals(graph, parents, positions)]
+            intervals = [
+                (a, b)
+                for a, b, _u, _v in corner_intervals(graph, parents, positions)
+            ]
             violating = count_violating(intervals, universe=total)
             m = graph.number_of_edges()
             assert violating >= certified * m - 1e-9, (name, violating, certified * m)

@@ -106,7 +106,10 @@ class TestEdgeCases:
         assert_agrees_with_oracle(graph)
 
     def test_disconnected_with_nonplanar_component(self, k5):
-        graph = nx.union(nx.path_graph(3), nx.relabel_nodes(k5, {i: i + 10 for i in range(5)}))
+        graph = nx.union(
+            nx.path_graph(3),
+            nx.relabel_nodes(k5, {i: i + 10 for i in range(5)}),
+        )
         assert not is_planar(graph)
 
     def test_deep_path_no_recursion_error(self):
@@ -134,7 +137,11 @@ class TestEdgeCases:
 
 
 class TestRandomizedOracle:
-    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
     @given(
         n=st.integers(1, 14),
         seed=st.integers(0, 10_000),

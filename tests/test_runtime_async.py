@@ -132,7 +132,8 @@ def test_process_stream_matches_serial_records():
 
     backend = ProcessPoolBackend(max_workers=2, chunksize=1)
     streamed = {}
-    for index, record in backend.run_stream(SPECS):
+    for index, record, seconds in backend.run_stream(SPECS):
         streamed[index] = record
+        assert seconds >= 0  # workers report per-job wall-time
     serial = SerialBackend().run(SPECS)
     assert [streamed[i] for i in range(len(SPECS))] == serial

@@ -6,11 +6,8 @@ import json
 import multiprocessing
 import os
 
-import pytest
-
 from repro.runtime import JobSpec, ResultCache, ShardedStore, run_jobs
 from repro.runtime.store import shard_of_key
-
 
 def test_round_trip_and_miss(tmp_path):
     store = ShardedStore(tmp_path / "s")
@@ -20,7 +17,6 @@ def test_round_trip_and_miss(tmp_path):
     assert len(store) == 1
     assert store.stats.appends == 1
     assert store.stats.hits == 1
-
 
 def test_newest_wins_and_compaction(tmp_path):
     store = ShardedStore(tmp_path / "s", shards=1)
@@ -36,7 +32,6 @@ def test_newest_wins_and_compaction(tmp_path):
     assert len(lines) == 1
     assert store.get("k") == {"v": 4}
 
-
 def test_eviction_cap_reports_counts(tmp_path):
     store = ShardedStore(tmp_path / "s", shards=1, max_entries=3)
     for index in range(8):
@@ -48,14 +43,12 @@ def test_eviction_cap_reports_counts(tmp_path):
     # The *newest* entries survive (recency order eviction).
     assert store.get("key-7") == {"v": 7}
 
-
 def test_fresh_instance_reads_existing_store(tmp_path):
     first = ShardedStore(tmp_path / "s", shards=4)
     first.put("a", {"v": 1})
     second = ShardedStore(tmp_path / "s")
     assert second.shards == 4  # persisted in store.json
     assert second.get("a") == {"v": 1}
-
 
 def test_incremental_refresh_sees_other_writers(tmp_path):
     writer = ShardedStore(tmp_path / "s", shards=1)
@@ -64,7 +57,6 @@ def test_incremental_refresh_sees_other_writers(tmp_path):
     assert reader.get("a") == {"v": 1}
     writer.put("b", {"v": 2})  # appended after the reader's first scan
     assert reader.get("b") == {"v": 2}
-
 
 def test_corrupt_lines_degrade_to_misses(tmp_path):
     store = ShardedStore(tmp_path / "s", shards=1)
@@ -77,7 +69,6 @@ def test_corrupt_lines_degrade_to_misses(tmp_path):
     assert fresh.get("good") == {"v": 1}
     assert fresh.get("torn") is None
 
-
 def test_clear_reports_entries_and_bytes(tmp_path):
     store = ShardedStore(tmp_path / "s")
     for index in range(6):
@@ -88,13 +79,11 @@ def test_clear_reports_entries_and_bytes(tmp_path):
     assert len(store) == 0
     assert store.get("k0") is None
 
-
 def _writer_process(root, start, barrier, count):
     store = ShardedStore(root, shards=2)
     barrier.wait()  # maximize interleaving
     for index in range(start, start + count):
         store.put(f"key-{index}", {"writer": start, "v": index})
-
 
 def test_concurrent_writers_share_one_index(tmp_path):
     """Two processes appending to the same shards: no torn or lost lines."""
@@ -124,8 +113,7 @@ def test_concurrent_writers_share_one_index(tmp_path):
     for shard_file in sorted(root.glob("shard-*.jsonl")):
         for line in shard_file.read_bytes().splitlines():
             payload = json.loads(line)
-            assert set(payload) == {"k", "r"}
-
+            assert set(payload) == {"k", "r", "t"}
 
 def _sweep_process(root, queue):
     specs = [
@@ -135,7 +123,6 @@ def _sweep_process(root, queue):
     ]
     batch = run_jobs(specs, cache=ResultCache(disk_dir=root))
     queue.put((batch.executed, batch.cache_stats.hits))
-
 
 def test_two_pool_workers_share_hits_from_one_disk_index(tmp_path):
     """Acceptance: a second process is served from the first's entries."""
@@ -155,12 +142,178 @@ def test_two_pool_workers_share_hits_from_one_disk_index(tmp_path):
     executed, hits = queue.get()
     assert executed == 0 and hits == 2  # shared via the on-disk index
 
-
 def test_shard_placement_is_stable():
     assert shard_of_key("abc", 8) == shard_of_key("abc", 8)
     spread = {shard_of_key(f"key-{i}", 8) for i in range(64)}
     assert len(spread) > 1  # keys actually spread over shards
 
+class TestGC:
+    def _clocked_store(self, tmp_path, monkeypatch, shards=1):
+        import repro.runtime.store as store_mod
+
+        clock = {"t": 1000.0}
+        monkeypatch.setattr(store_mod, "_now", lambda: clock["t"])
+        return ShardedStore(tmp_path / "s", shards=shards), clock
+
+    def test_ttl_expires_old_entries(self, tmp_path, monkeypatch):
+        store, clock = self._clocked_store(tmp_path, monkeypatch, shards=2)
+        store.put("old-a", {"v": 1})
+        store.put("old-b", {"v": 2})
+        clock["t"] = 2000.0
+        store.put("fresh", {"v": 3})
+        report = store.gc(ttl=500.0, now=2100.0)
+        assert report.entries_removed == 2
+        assert report.expired_entries == 2
+        assert report.bytes_reclaimed > 0
+        assert store.get("old-a") is None
+        assert store.get("old-b") is None
+        assert store.get("fresh") == {"v": 3}
+        # A fresh process agrees (the rewrite is on disk, not in-index).
+        assert ShardedStore(tmp_path / "s").get("old-a") is None
+
+    def test_max_bytes_keeps_newest_first(self, tmp_path, monkeypatch):
+        store, clock = self._clocked_store(tmp_path, monkeypatch)
+        for index in range(10):
+            clock["t"] = 1000.0 + index
+            store.put(f"k{index}", {"v": index})
+        live = store._scan_live(store._shards[0])
+        budget = sum(live[f"k{i}"][1] for i in (9, 8, 7))
+        report = store.gc(max_bytes=budget, now=2000.0)
+        assert report.evicted_entries == 7
+        assert report.entries_kept == 3
+        # Newest-wins retention: exactly the three youngest survive.
+        assert sorted(store.keys()) == ["k7", "k8", "k9"]
+        assert report.bytes_kept == budget
+
+    def test_gc_without_bounds_is_compaction(self, tmp_path):
+        store = ShardedStore(tmp_path / "s", shards=1)
+        for version in range(5):
+            store.put("k", {"v": version})
+        report = store.gc()
+        assert report.entries_removed == 0
+        assert report.bytes_reclaimed > 0  # four dead duplicates dropped
+        assert store.get("k") == {"v": 4}
+
+    def test_concurrent_writer_during_gc_loses_nothing(self, tmp_path):
+        import threading
+
+        store = ShardedStore(tmp_path / "s", shards=2)
+        store.put("seed", {"v": -1})
+        stop = threading.Event()
+        written = []
+
+        def writer():
+            peer = ShardedStore(tmp_path / "s")
+            index = 0
+            while not stop.is_set() and index < 300:
+                peer.put(f"w{index}", {"v": index})
+                written.append(f"w{index}")
+                index += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(10):
+                store.gc(ttl=3600.0)
+        finally:
+            stop.set()
+            thread.join()
+        store.gc(ttl=3600.0)
+        reader = ShardedStore(tmp_path / "s")
+        for key in written:
+            assert reader.get(key) is not None, f"gc lost {key}"
+
+    def test_entries_appended_mid_gc_survive_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        """An entry stamped after the GC snapshot is always retained,
+        even when the TTL would nominally cover it."""
+        store = ShardedStore(tmp_path / "s", shards=1)
+        store.put("early", {"v": 0})
+        # now= places the snapshot before the append's real timestamp.
+        report = store.gc(ttl=0.000001, now=0.5)
+        assert report.entries_removed == 0
+        assert store.get("early") == {"v": 0}
+
+    def test_gc_updates_store_stats(self, tmp_path, monkeypatch):
+        store, clock = self._clocked_store(tmp_path, monkeypatch)
+        store.put("a", {"v": 1})
+        clock["t"] = 5000.0
+        store.put("b", {"v": 2})
+        report = store.gc(ttl=10.0, now=5001.0)
+        assert report.entries_removed == 1
+        assert store.stats.evicted_entries >= 1
+        assert store.stats.bytes_reclaimed >= report.bytes_reclaimed
+
+    def test_grace_window_shields_recent_entries(self, tmp_path, monkeypatch):
+        """Entries inside the grace window survive any TTL/byte bound:
+        the cross-host clock-skew guard for concurrent fleet writers."""
+        store, clock = self._clocked_store(tmp_path, monkeypatch)
+        store.put("recent", {"v": 1})
+        # TTL nominally condemns it, but it is only 5s old vs grace=60.
+        report = store.gc(ttl=0.001, now=1005.0)
+        assert report.entries_removed == 0
+        assert store.get("recent") == {"v": 1}
+        # Outside the grace window the same TTL collects it.
+        report = store.gc(ttl=0.001, now=2000.0)
+        assert report.entries_removed == 1
+        assert store.get("recent") is None
+
+    def test_gc_compacts_meta_shard(self, tmp_path):
+        store = ShardedStore(tmp_path / "s", shards=1)
+        for version in range(20):
+            store.put_meta("cost:k:10", {"count": version})
+        meta_path = tmp_path / "s" / "meta-00.jsonl"
+        grown = meta_path.stat().st_size
+        report = store.gc()
+        assert meta_path.stat().st_size < grown
+        assert report.bytes_reclaimed > 0
+        assert store.get_meta("cost:k:10") == {"count": 19}
+        assert list(store.meta_keys()) == ["cost:k:10"]
+
+    def test_usage_reports_live_and_reclaimable(self, tmp_path):
+        # compact_factor high enough that the duplicates stay on disk.
+        store = ShardedStore(tmp_path / "s", shards=1, compact_factor=100.0)
+        for version in range(4):
+            store.put("dup", {"v": version})
+        usage = store.usage()
+        assert usage["entries"] == 1
+        assert usage["file_bytes"] > usage["live_bytes"] > 0
+        assert usage["reclaimable_bytes"] == (
+            usage["file_bytes"] - usage["live_bytes"]
+        )
+        assert usage["newest_t"] >= usage["oldest_t"] > 0
+
+class TestMetaShard:
+    def test_round_trip_and_isolation(self, tmp_path):
+        store = ShardedStore(tmp_path / "s", shards=2)
+        store.put("data-key", {"v": 1})
+        store.put_meta("cost:test:64", {"count": 2, "mean_s": 0.5})
+        assert store.get_meta("cost:test:64") == {"count": 2, "mean_s": 0.5}
+        assert list(store.meta_keys()) == ["cost:test:64"]
+        # Meta entries never leak into the data surface, or vice versa.
+        assert len(store) == 1
+        assert list(store.keys()) == ["data-key"]
+        assert store.get("cost:test:64") is None
+        assert store.get_meta("data-key") is None
+
+    def test_newest_wins_and_cross_process(self, tmp_path):
+        first = ShardedStore(tmp_path / "s")
+        first.put_meta("cell", {"count": 1})
+        first.put_meta("cell", {"count": 2})
+        second = ShardedStore(tmp_path / "s")
+        assert second.get_meta("cell") == {"count": 2}
+
+    def test_meta_survives_gc(self, tmp_path, monkeypatch):
+        import repro.runtime.store as store_mod
+
+        monkeypatch.setattr(store_mod, "_now", lambda: 100.0)
+        store = ShardedStore(tmp_path / "s")
+        store.put("data", {"v": 1})
+        store.put_meta("cost:k:10", {"mean_s": 1.0})
+        report = store.gc(ttl=1.0, now=10_000.0)
+        assert report.entries_removed == 1  # the data entry expired
+        assert store.get_meta("cost:k:10") == {"mean_s": 1.0}
 
 class TestResultCacheIntegration:
     def test_disk_round_trip_through_cache(self, tmp_path):
@@ -188,3 +341,19 @@ class TestResultCacheIntegration:
         assert report.entries_removed == 1
         assert report.bytes_reclaimed == 0
         assert cache.lookup("k") == {"v": 1}  # still on disk
+
+    def test_cache_gc_collects_disk_store(self, tmp_path, monkeypatch):
+        import repro.runtime.store as store_mod
+
+        clock = {"t": 100.0}
+        monkeypatch.setattr(store_mod, "_now", lambda: clock["t"])
+        cache = ResultCache(disk_dir=tmp_path / "store")
+        cache.store("stale", {"v": 1})
+        clock["t"] = 10_000.0
+        report = cache.gc(ttl=1.0)
+        assert report.entries_removed == 1
+        assert cache.stats.disk_evictions >= 1
+        assert cache.stats.disk_bytes_reclaimed > 0
+        # Other processes miss immediately.
+        assert ResultCache(disk_dir=tmp_path / "store").lookup("stale") is None
+        assert ResultCache().gc(ttl=1.0) is None  # memory-only: no-op
