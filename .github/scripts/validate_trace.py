@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Validate a telemetry trace directory (zero-dependency).
+
+Checks every ``trace-*.jsonl`` line in a directory written by
+``repro-planarity sweep --trace DIR`` against the span/event schema:
+
+* required fields and types per line (span: name/id/pid/tid/t0/dur/attrs,
+  event: the same minus ``dur``); ``dur`` must be non-negative;
+* span/event ids globally unique across every file (i.e. across every
+  participating process);
+* every non-null ``parent`` resolves to an id present in the merged
+  trace (the cross-process ``REPRO_TRACE_PARENT`` links must close);
+* any ``metrics-*.json`` registries parse and carry the
+  counters/gauges/histograms sections.
+
+Torn lines (a worker killed mid-write) are tolerated and counted, the
+same durability stance the readers take.  ``--chrome FILE`` additionally
+validates a Chrome ``trace_event`` export; ``--require-span`` /
+``--require-event`` assert specific names appear.  Exit 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SPAN_FIELDS = {
+    "name": str,
+    "id": str,
+    "pid": int,
+    "tid": str,
+    "t0": (int, float),
+    "dur": (int, float),
+    "attrs": dict,
+}
+EVENT_FIELDS = {key: SPAN_FIELDS[key] for key in SPAN_FIELDS if key != "dur"}
+
+
+def fail(message: str) -> None:
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_line(payload, where: str):
+    if not isinstance(payload, dict):
+        fail(f"{where}: line is not a JSON object")
+    kind = payload.get("ev")
+    if kind not in ("span", "event"):
+        fail(f"{where}: ev must be 'span' or 'event', got {kind!r}")
+    fields = SPAN_FIELDS if kind == "span" else EVENT_FIELDS
+    for field, types in fields.items():
+        if field not in payload:
+            fail(f"{where}: {kind} is missing {field!r}")
+        if not isinstance(payload[field], types):
+            fail(
+                f"{where}: {field!r} has type "
+                f"{type(payload[field]).__name__}, wanted {types}"
+            )
+        if isinstance(payload[field], bool):
+            fail(f"{where}: {field!r} must not be a bool")
+    if kind == "span" and payload["dur"] < 0:
+        fail(f"{where}: negative span duration {payload['dur']}")
+    parent = payload.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        fail(f"{where}: parent must be null or a span id, got {parent!r}")
+    return payload
+
+
+def validate_directory(directory: Path, args) -> None:
+    trace_files = sorted(directory.glob("trace-*.jsonl"))
+    if not trace_files:
+        fail(f"no trace-*.jsonl files under {directory}")
+    records = []
+    torn = 0
+    for path in trace_files:
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                torn += 1  # worker killed mid-write: tolerated, counted
+                continue
+            records.append(check_line(payload, f"{path.name}:{number}"))
+    if not records:
+        fail("every line was torn; the trace carries no events")
+
+    ids = [record["id"] for record in records]
+    if len(ids) != len(set(ids)):
+        seen, dupes = set(), set()
+        for value in ids:
+            (dupes if value in seen else seen).add(value)
+        fail(f"duplicate ids across processes: {sorted(dupes)[:5]}")
+    known = set(ids)
+    unresolved = [
+        record["id"]
+        for record in records
+        if record.get("parent") and record["parent"] not in known
+    ]
+    if unresolved:
+        fail(
+            f"{len(unresolved)} events have parents outside the merged "
+            f"trace (first: {unresolved[0]})"
+        )
+
+    spans = [record for record in records if record["ev"] == "span"]
+    events = [record for record in records if record["ev"] == "event"]
+    span_names = {span["name"] for span in spans}
+    event_names = {event["name"] for event in events}
+    for name in args.require_span:
+        if name not in span_names:
+            fail(f"required span {name!r} absent (saw {sorted(span_names)})")
+    for name in args.require_event:
+        if name not in event_names:
+            fail(f"required event {name!r} absent (saw {sorted(event_names)})")
+
+    registries = 0
+    for path in sorted(directory.glob("metrics-*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            fail(f"{path.name}: not valid JSON")
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(payload.get(section), dict):
+                fail(f"{path.name}: missing {section!r} section")
+        registries += 1
+
+    processes = {record["pid"] for record in records}
+    print(
+        f"validate_trace: OK: {len(trace_files)} trace file(s), "
+        f"{len(spans)} spans + {len(events)} events from "
+        f"{len(processes)} process(es), {registries} metrics "
+        f"registr{'y' if registries == 1 else 'ies'}, {torn} torn line(s)"
+    )
+
+
+def validate_chrome(path: Path) -> None:
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError:
+        fail(f"{path}: not valid JSON")
+    entries = payload.get("traceEvents")
+    if not isinstance(entries, list) or not entries:
+        fail(f"{path}: traceEvents must be a non-empty array")
+    for position, entry in enumerate(entries):
+        where = f"{path.name}: traceEvents[{position}]"
+        if not isinstance(entry, dict):
+            fail(f"{where}: not an object")
+        if entry.get("ph") not in ("X", "i"):
+            fail(f"{where}: ph must be 'X' or 'i', got {entry.get('ph')!r}")
+        if not isinstance(entry.get("name"), str):
+            fail(f"{where}: missing name")
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: ts must be a non-negative number, got {ts!r}")
+        if entry["ph"] == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where}: complete event needs dur >= 0, got {dur!r}")
+    print(f"validate_trace: OK: {path} holds {len(entries)} Chrome events")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace_dir", help="trace directory to validate")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a span with this name is present (repeatable)",
+    )
+    parser.add_argument(
+        "--require-event",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless an event with this name is present (repeatable)",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="FILE",
+        help="also validate a Chrome trace_event export file",
+    )
+    args = parser.parse_args(argv)
+    directory = Path(args.trace_dir)
+    if not directory.is_dir():
+        fail(f"{directory} is not a directory")
+    validate_directory(directory, args)
+    if args.chrome:
+        validate_chrome(Path(args.chrome))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

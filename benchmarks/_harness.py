@@ -52,6 +52,46 @@ def _environment() -> dict:
     }
 
 
+def _telemetry_block() -> dict:
+    """This process's tracer counters, embedded in every BENCH record.
+
+    Benchmarks are expected to run with telemetry *disabled* (enabled
+    false, zero spans); a non-zero span count in a BENCH record flags a
+    leaked ``REPRO_TELEMETRY``/``REPRO_TRACE_DIR`` in the bench
+    environment, which would taint the timings.
+    """
+    from repro.telemetry import get_tracer
+
+    tracer = get_tracer()
+    return {
+        "enabled": tracer.enabled,
+        "spans": tracer.span_count,
+        "events": tracer.event_count,
+        "traced_s": round(max(tracer.traced_seconds, 0.0), 6),
+    }
+
+
+def _sanitize_metrics(metrics) -> dict:
+    """Clamp negative ``*_s`` duration metrics to zero.
+
+    Durations come from paired ``perf_counter`` reads; a suspended VM
+    or a buggy experiment can only ever produce a nonsense *negative*
+    value, and a negative wall-time would silently invert speedup
+    ratios in the perf-trajectory diff.
+    """
+    clean = {}
+    for key, value in dict(metrics or {}).items():
+        if (
+            key.endswith("_s")
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value < 0
+        ):
+            value = 0.0
+        clean[key] = value
+    return clean
+
+
 def record_bench(filename: str, table: Table, metrics=None) -> pathlib.Path:
     """Write/merge the ``BENCH_eXX.json`` record for one saved table.
 
@@ -69,6 +109,7 @@ def record_bench(filename: str, table: Table, metrics=None) -> pathlib.Path:
         payload = {"schema": 1, "experiment": filename.split("_", 1)[0]}
     payload.update(_environment())
     payload["generated_unix"] = round(time.time(), 3)
+    payload["telemetry"] = _telemetry_block()
     tables = payload.setdefault("tables", {})
     stem = filename.rsplit(".", 1)[0]
     tables[stem] = {
@@ -76,7 +117,7 @@ def record_bench(filename: str, table: Table, metrics=None) -> pathlib.Path:
         "title": table.title,
         "columns": list(table.headers),
         "rows": [list(row) for row in table.rows],
-        "metrics": dict(metrics or {}),
+        "metrics": _sanitize_metrics(metrics),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     _WRITTEN_THIS_RUN.add(path)

@@ -154,3 +154,78 @@ def test_benchmark_fast_profile_storm(benchmark, throughput_table):
     network = CongestNetwork(graph, seed=0)
     result = benchmark(lambda: _storm(network, "fast"))
     assert result.halted
+
+
+TELEMETRY_GATE = 1.03  # disabled-telemetry overhead budget: <= 3%
+
+
+def _storm_hooked(network: CongestNetwork, sink: list):
+    def hook(round_index, active, prof):
+        sink.append((round_index, active, prof.total_messages))
+
+    return network.run(
+        BroadcastStormProgram,
+        max_rounds=STORM_ROUNDS + 2,
+        config={"storm_rounds": STORM_ROUNDS},
+        profile="fast",
+        round_hook=hook,
+    )
+
+
+def test_disabled_telemetry_overhead_gate(throughput_table):
+    """The telemetry seams must be free when telemetry is off.
+
+    A/B-interleaved best-of-{REPEATS+3}: the production disabled path
+    (``round_hook=None`` -- one predicted branch per round) against the
+    same storm with a live per-round hook, on one network.  The
+    disabled side must run within :data:`TELEMETRY_GATE` of the hooked
+    side (small absolute slack absorbs timer noise at quick-mode
+    sizes); in a sane world it is strictly faster, so the gate catches
+    any accidental always-on instrumentation in the delivery loop.
+    """
+    from repro.telemetry import telemetry_enabled
+
+    assert not telemetry_enabled(), (
+        "benchmarks must run with telemetry disabled -- is "
+        "REPRO_TELEMETRY or REPRO_TRACE_DIR leaking into the bench "
+        "environment?"
+    )
+    graph = nx.gnp_random_graph(N, EDGE_PROB, seed=0)
+    network = CongestNetwork(graph, seed=0)
+    _storm(network, "fast")  # warm the topology/plane caches
+    disabled_s = float("inf")
+    hooked_s = float("inf")
+    rows: list = []
+    for _ in range(REPEATS + 3):
+        start = time.perf_counter()
+        _storm(network, "fast")
+        disabled_s = min(disabled_s, time.perf_counter() - start)
+        rows.clear()
+        start = time.perf_counter()
+        hooked = _storm_hooked(network, rows)
+        hooked_s = min(hooked_s, time.perf_counter() - start)
+    assert hooked.halted
+    assert len(rows) == hooked.rounds  # the hook fired once per round
+    overhead = disabled_s / hooked_s
+    table = Table(
+        f"E15: telemetry overhead on G(n={N}, p={EDGE_PROB}), "
+        f"{STORM_ROUNDS} storm rounds (fast profile)",
+        ["mode", "wall s", "vs hooked"],
+    )
+    table.add_row("telemetry disabled", round(disabled_s, 4), round(overhead, 3))
+    table.add_row("round hook active", round(hooked_s, 4), 1.0)
+    save_table(
+        table,
+        "e15_telemetry_overhead.md",
+        metrics={
+            "disabled_s": round(disabled_s, 6),
+            "hooked_s": round(hooked_s, 6),
+            "disabled_over_hooked": round(overhead, 4),
+            "gate": TELEMETRY_GATE,
+        },
+    )
+    assert disabled_s <= hooked_s * TELEMETRY_GATE + 0.01, (
+        f"disabled-telemetry storm took {disabled_s:.4f}s vs {hooked_s:.4f}s "
+        "with the round hook active -- the disabled path is paying for "
+        "instrumentation"
+    )

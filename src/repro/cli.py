@@ -15,6 +15,9 @@ Subcommands:
 * ``worker``      -- join a ``sweep --backend remote`` server over TCP
 * ``cache``       -- inspect (``stats``) or garbage-collect (``gc``)
   a sharded result store
+* ``trace``       -- inspect a telemetry trace directory written by
+  ``sweep --trace DIR``: ``view`` (span tree), ``top`` (slowest span
+  groups), ``export --chrome`` (Chrome ``trace_event`` JSON)
 
 The ``sweep`` subcommand takes comma-separated axis lists and executes
 their cartesian product; repeated invocations with ``--cache-dir`` are
@@ -253,6 +256,17 @@ def _parse_shard(raw: Optional[str]):
 
 def _cmd_sweep(args) -> int:
     kind = SWEEP_KINDS[args.kind]
+    if args.trace:
+        # Enable tracing for this process and everything it spawns
+        # (pool forks, async worker env, remote welcome frames).
+        from .telemetry import configure
+
+        configure(trace_dir=args.trace)
+    progress = None
+    if args.progress:
+        from .telemetry.dashboard import SweepProgress
+
+        progress = SweepProgress()
     if kind == "simulate_program":
         # Simulator sweeps iterate over protocols, not epsilons.
         params = {"program": _parse_axis(args.programs, str)}
@@ -323,7 +337,7 @@ def _cmd_sweep(args) -> int:
         )
     result = run_sweep(
         sweep, backend=backend, cache=cache, shard=shard, resume=args.resume,
-        balance=args.balance,
+        balance=args.balance, progress=progress,
     )
     shard_label = f" [shard {shard[0]}/{shard[1]}]" if shard else ""
     table = result.to_table(
@@ -343,6 +357,51 @@ def _cmd_sweep(args) -> int:
         with open(args.markdown, "w") as handle:
             handle.write(table.to_markdown() + "\n")
         print(f"markdown table written to {args.markdown}")
+    if args.trace:
+        print(
+            f"trace written to {args.trace} (inspect with: "
+            f"repro-planarity trace view {args.trace})"
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from .telemetry import chrome_trace, read_events, render_tree, top_spans
+
+    events = read_events(args.trace_dir)
+    if not events:
+        print(f"no trace events under {args.trace_dir}", file=sys.stderr)
+        return 1
+    if args.trace_command == "view":
+        for line in render_tree(events, max_lines=args.max_lines):
+            print(line)
+        return 0
+    if args.trace_command == "top":
+        rows = top_spans(events, name=args.name)
+        table = Table(
+            f"top spans in {args.trace_dir} ({len(events)} events)",
+            ["span", "kind", "count", "total s", "mean s", "max s"],
+        )
+        for row in rows[: args.limit]:
+            table.add_row(
+                row["name"],
+                row["kind"],
+                row["count"],
+                f"{row['total_s']:.4f}",
+                f"{row['mean_s']:.4f}",
+                f"{row['max_s']:.4f}",
+            )
+        table.print()
+        return 0
+    # export
+    payload = chrome_trace(events) if args.chrome else events
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.write("\n")
+    label = "Chrome trace_event" if args.chrome else "merged event list"
+    print(f"wrote {label} ({len(events)} events) to {args.out}")
     return 0
 
 
@@ -601,6 +660,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--markdown", default=None, help="also write the table as markdown"
     )
+    p_sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="write a structured trace (spans/events, one JSONL per "
+        "participating process) under this directory; inspect with "
+        "`repro-planarity trace view DIR`",
+    )
+    p_sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="live stderr dashboard: done/total, cache hits, workers, "
+        "throughput, CostModel ETA, straggler flags",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_worker = sub.add_parser(
@@ -626,6 +699,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long to retry the initial connection (default 30)",
     )
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect a telemetry trace directory (sweep --trace)"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tview = trace_sub.add_parser(
+        "view", help="render the merged span tree as indented text"
+    )
+    p_tview.add_argument("trace_dir", help="trace directory to read")
+    p_tview.add_argument(
+        "--max-lines",
+        type=int,
+        default=200,
+        help="truncate the rendering after this many lines (default 200)",
+    )
+    p_tview.set_defaults(func=_cmd_trace)
+    p_ttop = trace_sub.add_parser(
+        "top", help="rank span groups by total time (slowest first)"
+    )
+    p_ttop.add_argument("trace_dir", help="trace directory to read")
+    p_ttop.add_argument(
+        "--name",
+        default=None,
+        help="restrict to one span name (e.g. job)",
+    )
+    p_ttop.add_argument(
+        "--limit", type=int, default=20, help="rows to print (default 20)"
+    )
+    p_ttop.set_defaults(func=_cmd_trace)
+    p_texport = trace_sub.add_parser(
+        "export", help="write the merged trace to one JSON file"
+    )
+    p_texport.add_argument("trace_dir", help="trace directory to read")
+    p_texport.add_argument(
+        "--out", required=True, help="output JSON file path"
+    )
+    p_texport.add_argument(
+        "--chrome",
+        action="store_true",
+        help="emit Chrome trace_event format (load in chrome://tracing "
+        "or Perfetto) instead of the raw merged event list",
+    )
+    p_texport.set_defaults(func=_cmd_trace)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or garbage-collect a sharded result store"

@@ -175,6 +175,7 @@ class CongestNetwork:
         raise_on_limit: bool = False,
         profile: Union[None, str, InstrumentationProfile] = None,
         plane: Optional[str] = None,
+        round_hook: Optional[Callable[[int, int, InstrumentationProfile], None]] = None,
     ) -> SimulationResult:
         """Run the protocol until all programs halt or *max_rounds* elapse.
 
@@ -197,6 +198,15 @@ class CongestNetwork:
                 (the seed's per-node dict inboxes, retained as the
                 differential-testing reference), or ``None`` to consult
                 ``REPRO_SIM_PLANE``.  Planes never change results.
+            round_hook: optional per-round observer, called **once per
+                executed round** (never per message) after the round's
+                deliveries as ``hook(round_index, active_count,
+                profile)`` -- *active_count* is the number of programs
+                stepped this round and *profile* exposes the running
+                ``total_messages`` / ``total_bits`` counters, so a
+                hook can compute per-round deltas.  ``None`` (the
+                default) costs one branch per round; hooks must not
+                mutate the network or the profile.
         """
         prof = resolve_profile(profile)
         prof.bind(self.topology, self.bandwidth_bits, strict_bandwidth)
@@ -208,11 +218,11 @@ class CongestNetwork:
         )
         if resolve_plane(plane) == "dict" or not dense_capable:
             rounds_executed, active = self._run_dict_plane(
-                programs, prof, max_rounds
+                programs, prof, max_rounds, round_hook
             )
         else:
             rounds_executed, active = self._run_dense_plane(
-                programs, prof, max_rounds
+                programs, prof, max_rounds, round_hook
             )
 
         halted = not active
@@ -235,7 +245,7 @@ class CongestNetwork:
             programs=programs,
         )
 
-    def _run_dict_plane(self, programs, prof, max_rounds):
+    def _run_dict_plane(self, programs, prof, max_rounds, round_hook=None):
         """The seed delivery loop: per-node dict inboxes rebuilt per round.
 
         Kept verbatim as the reference implementation the dense plane is
@@ -267,10 +277,12 @@ class CongestNetwork:
                 if outbox:
                     deliver(node, outbox, next_inboxes)
             inboxes = next_inboxes
+            if round_hook is not None:
+                round_hook(round_index, len(active), prof)
             active = [item for item in active if not item[1].halted]
         return rounds_executed, active
 
-    def _run_dense_plane(self, programs, prof, max_rounds):
+    def _run_dense_plane(self, programs, prof, max_rounds, round_hook=None):
         """Dense delivery loop: flat edge-slot buffers, CSR row scans.
 
         Payloads move through a
@@ -312,5 +324,7 @@ class CongestNetwork:
                 if outbox:
                     deliver(idx, node, outbox, plane, token)
             plane.swap()
+            if round_hook is not None:
+                round_hook(round_index, len(active), prof)
             active = [item for item in active if not item[2].halted]
         return rounds_executed, active

@@ -59,6 +59,7 @@ class DenseMessagePlane:
         "next_mark",
         "cur_count",
         "next_count",
+        "swaps",
     )
 
     def __init__(self, topology: CompiledTopology):
@@ -83,6 +84,9 @@ class DenseMessagePlane:
         self.next_mark = [-1] * topology.n
         self.cur_count = [0] * topology.n
         self.next_count = [0] * topology.n
+        # Rounds this plane has been swapped through -- a free progress
+        # counter for diagnostics and the telemetry round hook's tests.
+        self.swaps = 0
 
     def swap(self) -> None:
         """Promote next-round buffers to current (end of one round)."""
@@ -90,6 +94,19 @@ class DenseMessagePlane:
         self.cur_stamp, self.next_stamp = self.next_stamp, self.cur_stamp
         self.cur_mark, self.next_mark = self.next_mark, self.cur_mark
         self.cur_count, self.next_count = self.next_count, self.cur_count
+        self.swaps += 1
+
+    def occupancy(self, token: int) -> "tuple[int, int]":
+        """Diagnostic probe: ``(receivers, live slots)`` for *token*.
+
+        Scans the *current* buffers for slots stamped with *token* --
+        an O(n + 2m) walk intended for opt-in telemetry and tests, not
+        the delivery loop (which relies on the per-node marks/counts
+        precisely to avoid this scan).
+        """
+        receivers = sum(1 for mark in self.cur_mark if mark == token)
+        slots = sum(1 for stamp in self.cur_stamp if stamp == token)
+        return receivers, slots
 
     # -- receive side ---------------------------------------------------------
 

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..telemetry.metrics import get_metrics
+from ..telemetry.spans import telemetry_enabled
 from .async_backend import AsyncBackend
 from .cache import CacheStats, KeyDeriver, ResultCache
 from .jobs import JobSpec, Record, run_job, run_job_timed, spec_needs_graph
@@ -295,8 +297,15 @@ def iter_jobs(
         backend = SerialBackend()
     elif isinstance(backend, str):
         backend = make_backend(backend)
+    if getattr(backend, "accepts_cost_book", False):
+        # Backends that observe job costs out-of-band (the remote
+        # backend logs partial elapsed time for requeued jobs) get the
+        # live book for the duration of the batch -- including ``None``,
+        # so a reused backend never writes into a stale book.
+        backend.cost_book = cost_book
     specs = list(specs)
     batch_stats = stats if stats is not None else CacheStats()
+    traced = telemetry_enabled()
 
     if cache is None:
         # No cache: still deduplicate identical specs within the batch.
@@ -332,9 +341,13 @@ def iter_jobs(
         hit = cache.lookup(key)
         if hit is not None:
             batch_stats.hits += 1
+            if traced:
+                get_metrics().inc("cache.hits")
             yield index, hit, True
         else:
             batch_stats.misses += 1
+            if traced:
+                get_metrics().inc("cache.misses")
             miss_indices.append(index)
             pending[key] = [index]
 

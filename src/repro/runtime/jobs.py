@@ -28,6 +28,8 @@ import networkx as nx
 
 from ..graphs.far_from_planar import make_far
 from ..graphs.generators import make_planar
+from ..telemetry.metrics import get_metrics
+from ..telemetry.spans import get_tracer, telemetry_enabled
 
 Record = Dict[str, Any]
 Runner = Callable[["JobSpec", nx.Graph], Record]
@@ -270,10 +272,34 @@ def run_job_timed(
     scheduler actually pays for dispatching the spec cold.  Every
     backend reports these seconds back so the cost-balanced sharder
     (:mod:`repro.runtime.scheduler`) can learn per-kind/per-n costs.
+
+    This is also the telemetry chokepoint: every backend (serial run,
+    chunked pool dispatch, async/remote workers) funnels executed jobs
+    through here, so one ``job`` span covers them all.  When the
+    tracer is on, the record is tagged with its span id and wall-time
+    (``trace_span`` / ``trace_s``); when it is off, the record is
+    byte-identical to the untraced build.
     """
-    start = time.perf_counter()
-    record = run_job(spec, graph)
-    return record, time.perf_counter() - start
+    tracer = get_tracer()
+    if not tracer.enabled:
+        start = time.perf_counter()
+        record = run_job(spec, graph)
+        return record, max(0.0, time.perf_counter() - start)
+    with tracer.span(
+        "job",
+        kind=spec.kind,
+        family=spec.far or spec.family,
+        n=spec.n,
+        seed=spec.seed,
+    ) as span:
+        start = time.perf_counter()
+        record = run_job(spec, graph)
+        seconds = max(0.0, time.perf_counter() - start)
+    record["trace_span"] = span.id
+    record["trace_s"] = round(seconds, 6)
+    get_metrics().observe("job.seconds", seconds)
+    get_metrics().inc("job.executed")
+    return record, seconds
 
 
 # -- builtin runners ---------------------------------------------------------
@@ -489,6 +515,13 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
     ``storm``), ``profile`` (instrumentation profile name; defaults to
     the ``REPRO_SIM_PROFILE`` environment knob), plus per-program
     parameters (``alpha`` for forest, ``storm_rounds`` for storm).
+
+    When telemetry is on, the network's per-round profile hook
+    collects ``(round, active nodes, messages, bits)`` deltas and the
+    record carries them as a compact ``round_profile`` JSON string --
+    the per-phase round/message accounting that doubles as a fidelity
+    check on the paper's complexity claims.  Untraced records are
+    unchanged.
     """
     from ..congest import CongestNetwork
     from ..congest.programs import (
@@ -506,6 +539,16 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
     profile = params.get("profile")
     network = CongestNetwork(graph, seed=spec.seed)
     root = min(graph.nodes())
+    round_rows: list = []
+    round_hook = None
+    if telemetry_enabled():
+        # One list append per executed round (never per message): the
+        # deltas against the profile's running totals give per-round
+        # message/bit counts under both faithful and fast profiles.
+        def round_hook(round_index, active, prof, _rows=round_rows):
+            _rows.append(
+                (round_index, active, prof.total_messages, prof.total_bits)
+            )
     if program == "bfs":
         result = network.run(
             BFSTreeProgram,
@@ -513,6 +556,7 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
             config={"root": root},
             strict_bandwidth=True,
             profile=profile,
+            round_hook=round_hook,
         )
     elif program == "flood":
         result = network.run(
@@ -521,6 +565,7 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
             config={"root": root},
             strict_bandwidth=True,
             profile=profile,
+            round_hook=round_hook,
         )
     elif program == "forest":
         budget = barenboim_elkin_round_budget(network.n)
@@ -530,6 +575,7 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
             config={"alpha": params.get("alpha", 3), "budget": budget},
             strict_bandwidth=True,
             profile=profile,
+            round_hook=round_hook,
         )
     elif program == "storm":
         rounds = int(params.get("storm_rounds", 8))
@@ -538,10 +584,11 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
             max_rounds=rounds + 2,
             config={"storm_rounds": rounds},
             profile=profile,
+            round_hook=round_hook,
         )
     else:
         raise ValueError(f"unknown simulator program {program!r}")
-    return {
+    record = {
         "program": program,
         "profile": result.profile,
         "rounds": result.rounds,
@@ -551,6 +598,23 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
         "max_message_bits": result.max_message_bits,
         "over_budget": result.over_budget_messages,
     }
+    if round_rows:
+        # Per-round deltas as one compact JSON string: records stay
+        # flat primitive dicts, and untraced runs never pay for this.
+        deltas = []
+        prev_messages = prev_bits = 0
+        for round_index, active, messages, bits in round_rows:
+            deltas.append(
+                [
+                    round_index,
+                    active,
+                    messages - prev_messages,
+                    bits - prev_bits,
+                ]
+            )
+            prev_messages, prev_bits = messages, bits
+        record["round_profile"] = json.dumps(deltas, separators=(",", ":"))
+    return record
 
 
 register_kind("test_planarity", _run_test_planarity)

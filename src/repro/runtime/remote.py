@@ -17,7 +17,10 @@ frame          fields
                (worker's registered job kinds), ``store`` (worker's
                store dir or ``null``), ``pid``
 ``welcome``    server -> worker: ``protocol``, ``store`` (the
-               orchestrator's store dir, for same-host adoption)
+               orchestrator's store dir, for same-host adoption),
+               optional ``trace`` (``{"dir", "parent"}`` -- the trace
+               sink same-host workers adopt; see
+               :func:`repro.telemetry.adopt_trace`)
 ``reject``     server -> worker on a failed handshake: ``reason``;
                the connection closes immediately after
 ``job``        server -> worker: ``id``, ``spec``
@@ -34,9 +37,17 @@ frame          fields
 
 Fault model: a worker that dies mid-job (socket EOF/reset) has its
 in-flight job **requeued** for the next worker, so killing a worker
-never loses work; a worker whose *job* raises reports an ``error``
+never loses work -- and the partial elapsed time is observed into the
+batch's :class:`~repro.runtime.scheduler.CostBook` (when one is
+attached via ``accepts_cost_book``), so requeues still feed the cost
+model; a worker whose *job* raises reports an ``error``
 frame, which aborts the batch with :class:`RemoteWorkerError` (the
 failure is deterministic -- retrying it elsewhere would fail again).
+With telemetry enabled (:mod:`repro.telemetry`) the server also emits
+``remote.connect`` / ``remote.disconnect`` / ``remote.requeue`` /
+``remote.heartbeat`` / ``remote.abort`` events, per-worker utilization
+gauges, and advertises its trace sink in the ``welcome`` frame so
+same-host workers join the merged trace.
 Handshakes reject protocol-version mismatches, workers missing job
 kinds the batch needs, and workers pointed at a *different* store
 (split-brain caches).  Records stream back in completion order; specs
@@ -50,8 +61,11 @@ import json
 import queue
 import socket
 import threading
+import time
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..telemetry.metrics import get_metrics
+from ..telemetry.spans import get_tracer
 from .jobs import JobSpec, Record
 from .store import ShardedStore
 
@@ -99,7 +113,10 @@ def parse_endpoint(raw: str) -> Tuple[str, int]:
 class _Connection:
     """Server-side state for one connected worker."""
 
-    __slots__ = ("reader", "writer", "name", "read_task")
+    __slots__ = (
+        "reader", "writer", "name", "read_task",
+        "connected_at", "jobs_done", "busy_s", "ping_sent",
+    )
 
     def __init__(self, reader, writer, name: str):
         self.reader = reader
@@ -108,6 +125,17 @@ class _Connection:
         # The persistent readline task: lets the dispatch loop wait on
         # "next frame OR next job" without two readers racing.
         self.read_task: Optional[asyncio.Task] = None
+        # Telemetry bookkeeping: per-worker utilization gauges and
+        # heartbeat round-trip measurement.
+        self.connected_at = time.monotonic()
+        self.jobs_done = 0
+        self.busy_s = 0.0
+        self.ping_sent: Optional[float] = None
+
+    def utilization(self) -> float:
+        """Fraction of this worker's connected time spent on jobs."""
+        alive = max(time.monotonic() - self.connected_at, 1e-9)
+        return min(self.busy_s / alive, 1.0)
 
     def next_frame_task(self) -> asyncio.Task:
         if self.read_task is None or self.read_task.done():
@@ -137,6 +165,11 @@ class RemoteBackend:
     name = "remote"
     wants_graph_hints = False
     wants_keys = True
+    # run_jobs/iter_jobs attach their CostBook here for the duration of
+    # a batch: the backend observes *partial* elapsed time for jobs
+    # whose worker died mid-flight (the stream only reports completed
+    # jobs, so requeue costs would otherwise be dropped on the floor).
+    accepts_cost_book = True
 
     def __init__(
         self,
@@ -151,10 +184,18 @@ class RemoteBackend:
         self.heartbeat = heartbeat
         self.bound_port: Optional[int] = None
         self.ready = threading.Event()
+        self.cost_book = None
         self._socket: Optional[socket.socket] = None
         self._store: Optional[ShardedStore] = None
         self._abort_loop = None
         self._abort_event = None
+        self._connections: Set[_Connection] = set()
+
+    @property
+    def active_workers(self) -> int:
+        """Live worker connections (the ``--progress`` dashboard reads
+        this from the consumer thread; a plain ``len`` is safe)."""
+        return len(self._connections)
 
     # -- public API -----------------------------------------------------------
 
@@ -263,7 +304,8 @@ class RemoteBackend:
         }
         finished = asyncio.Event()
         kinds_needed = sorted({spec.kind for spec in specs})
-        connections: Set[_Connection] = set()
+        connections = self._connections
+        connections.clear()
         if self.store_dir and self._store is None:
             self._store = ShardedStore(self.store_dir)
         if self._store is not None:
@@ -283,12 +325,31 @@ class RemoteBackend:
                 if conn is None:
                     return
                 connections.add(conn)
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "remote.connect",
+                        worker=conn.name,
+                        workers=len(connections),
+                    )
+                    get_metrics().gauge("remote.workers", len(connections))
                 try:
                     await self._dispatch_loop(
                         conn, pending, out, state, finished
                     )
                 finally:
                     connections.discard(conn)
+                    if tracer.enabled:
+                        tracer.event(
+                            "remote.disconnect",
+                            worker=conn.name,
+                            jobs_done=conn.jobs_done,
+                            busy_s=round(conn.busy_s, 6),
+                            workers=len(connections),
+                        )
+                        get_metrics().gauge(
+                            "remote.workers", len(connections)
+                        )
                     conn.writer.close()
             except asyncio.CancelledError:
                 pass
@@ -319,6 +380,7 @@ class RemoteBackend:
         """Validate a connecting worker; ``None`` means rejected."""
 
         async def reject(reason: str) -> None:
+            get_tracer().event("remote.reject", reason=reason)
             try:
                 writer.write(encode_frame({"op": "reject", "reason": reason}))
                 await writer.drain()
@@ -359,15 +421,29 @@ class RemoteBackend:
                 f"worker uses {worker_store}"
             )
             return None
-        writer.write(
-            encode_frame(
-                {
-                    "op": "welcome",
-                    "protocol": PROTOCOL_VERSION,
-                    "store": self.store_dir,
+        welcome = {
+            "op": "welcome",
+            "protocol": PROTOCOL_VERSION,
+            "store": self.store_dir,
+        }
+        tracer = get_tracer()
+        if tracer.enabled and tracer.trace_dir is not None:
+            # Advertise the trace context: same-host workers adopt the
+            # sink directory and parent span, so their job spans land
+            # in the merged trace under the orchestrator's sweep span.
+            # The directory must exist *before* the worker's visibility
+            # probe runs -- the tracer only creates it on first write,
+            # and an early-joining worker would lose that race and
+            # silently decline adoption.
+            try:
+                tracer.trace_dir.mkdir(parents=True, exist_ok=True)
+                welcome["trace"] = {
+                    "dir": str(tracer.trace_dir),
+                    "parent": tracer.current_span_id(),
                 }
-            )
-        )
+            except OSError:
+                pass  # unwritable sink: workers run untraced
+        writer.write(encode_frame(welcome))
         await writer.drain()
         name = f"worker-pid{hello.get('pid', '?')}"
         return _Connection(reader, writer, name)
@@ -412,6 +488,7 @@ class RemoteBackend:
                 if frame.get("op") not in ("pong",):
                     # Unexpected chatter; drop the worker.
                     return
+                self._note_pong(conn)
                 continue
             if getter not in done:
                 # Idle heartbeat window elapsed: ping the worker (a
@@ -422,6 +499,7 @@ class RemoteBackend:
                         conn.writer.write(encode_frame({"op": "ping"}))
                         await conn.writer.drain()
                         last_ping = loop.time()
+                        conn.ping_sent = time.monotonic()
                     except (OSError, ConnectionError):
                         return
                 continue
@@ -455,29 +533,34 @@ class RemoteBackend:
         except (OSError, ConnectionError):
             pending.put_nowait(item)  # never dispatched: requeue
             return False
+        dispatched = time.perf_counter()
         while True:
             line = await conn.next_frame_task()
             conn.read_task = None
             if not line:
                 # Worker died mid-job: requeue for the next worker.
-                pending.put_nowait(item)
+                self._requeue_inflight(conn, item, pending, dispatched)
                 return False
             try:
                 frame = decode_frame(line)
             except RemoteProtocolError:
-                pending.put_nowait(item)
+                self._requeue_inflight(conn, item, pending, dispatched)
                 return False
             op = frame.get("op")
             if op == "pong":
+                self._note_pong(conn)
                 continue
             if op != "result" or frame.get("id") != index:
-                pending.put_nowait(item)
+                self._requeue_inflight(conn, item, pending, dispatched)
                 return False
             break
         if "error" in frame:
             detail = frame.get("traceback") or frame["error"]
             state["failed"] = RemoteWorkerError(
                 f"job #{index} ({spec.kind}) failed on {conn.name}: {detail}"
+            )
+            get_tracer().event(
+                "remote.abort", worker=conn.name, index=index, kind=spec.kind
             )
             return False
         record = frame["record"]
@@ -491,8 +574,71 @@ class RemoteBackend:
             # still find every record on disk.
             self._store.put(key, record)
         state["remaining"] -= 1
-        out.put((index, record, frame.get("seconds")))
+        seconds = frame.get("seconds")
+        conn.jobs_done += 1
+        if isinstance(seconds, (int, float)):
+            conn.busy_s += max(seconds, 0.0)
+        tracer = get_tracer()
+        if tracer.enabled:
+            metrics = get_metrics()
+            metrics.gauge("remote.queue_depth", pending.qsize())
+            metrics.gauge(f"remote.worker.{conn.name}.jobs_done", conn.jobs_done)
+            metrics.gauge(
+                f"remote.worker.{conn.name}.busy_s", round(conn.busy_s, 6)
+            )
+            metrics.gauge(
+                f"remote.worker.{conn.name}.utilization",
+                round(conn.utilization(), 4),
+            )
+        out.put((index, record, seconds))
         return True
+
+    def _requeue_inflight(
+        self,
+        conn: _Connection,
+        item: Tuple[int, JobSpec, Optional[str]],
+        pending: "asyncio.Queue",
+        dispatched: float,
+    ) -> None:
+        """Requeue a dispatched job whose worker died or spoke junk.
+
+        The partial elapsed time is *observed into the cost book*: a
+        worker that died ``elapsed`` seconds into a job still bounds
+        that job's cost from below, and silently dropping the sample
+        starved the CostModel of exactly the slow-job evidence that
+        matters most for shard balancing.
+        """
+        index, spec, key = item
+        pending.put_nowait(item)
+        elapsed = max(0.0, time.perf_counter() - dispatched)
+        if self.cost_book is not None:
+            self.cost_book.observe(spec.kind, spec.n, elapsed)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "remote.requeue",
+                worker=conn.name,
+                index=index,
+                kind=spec.kind,
+                n=spec.n,
+                elapsed_s=round(elapsed, 6),
+            )
+            get_metrics().inc("remote.requeues")
+
+    def _note_pong(self, conn: _Connection) -> None:
+        """Record the heartbeat round-trip for a pong just received."""
+        if conn.ping_sent is None:
+            return
+        rtt = max(0.0, time.monotonic() - conn.ping_sent)
+        conn.ping_sent = None
+        tracer = get_tracer()
+        if tracer.enabled:
+            get_metrics().observe("remote.heartbeat_rtt_s", rtt)
+            tracer.event(
+                "remote.heartbeat",
+                worker=conn.name,
+                rtt_s=round(rtt, 6),
+            )
 
 
 async def _requeue_cancelled(getter: "asyncio.Task", pending) -> None:

@@ -32,9 +32,12 @@ cost-split) at worst overlap (cache hits) or leave gaps that a final
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry.metrics import get_metrics
+from ..telemetry.spans import telemetry_enabled
 from .jobs import JobSpec
 from .store import ShardedStore
 
@@ -55,25 +58,48 @@ class CostBook:
     read-modify-write of its ``cost:<kind>:<n>`` record.  Concurrent
     orchestrators can race on a cell; the loser's increment is lost,
     which is acceptable for an advisory cost table.
+
+    ``observe`` is thread-safe: the remote backend logs requeued jobs'
+    partial elapsed time from its pump thread while ``iter_jobs``
+    observes completed jobs from the consumer thread.  When telemetry
+    is enabled and a :class:`CostModel` is attached (``model``), every
+    observation also feeds the ``scheduler.cost_rel_error`` histogram
+    with ``|actual - predicted| / predicted`` -- the model-quality
+    signal the sweep dashboard's ETA depends on.
     """
 
     store: Optional[ShardedStore] = None
+    model: Optional["CostModel"] = None
     _pending: Dict[Tuple[str, int], List[float]] = field(
         default_factory=dict, repr=False
+    )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
     )
 
     def observe(self, kind: str, n: int, seconds: float) -> None:
         """Record one executed job's wall-time."""
         if seconds is None or seconds < 0:
             return
-        cell = self._pending.setdefault((kind, int(n)), [0.0, 0.0])
-        cell[0] += 1
-        cell[1] += float(seconds)
+        with self._lock:
+            cell = self._pending.setdefault((kind, int(n)), [0.0, 0.0])
+            cell[0] += 1
+            cell[1] += float(seconds)
+        if self.model is not None and telemetry_enabled():
+            predicted = self.model.predict(kind, n)
+            if predicted:
+                get_metrics().observe(
+                    "scheduler.cost_rel_error",
+                    abs(float(seconds) - predicted) / predicted,
+                )
 
     @property
     def observations(self) -> int:
         """Jobs observed since the last flush."""
-        return int(sum(count for count, _total in self._pending.values()))
+        with self._lock:
+            return int(
+                sum(count for count, _total in self._pending.values())
+            )
 
     def flush(self) -> int:
         """Merge pending observations into the store's metadata shard.
@@ -82,10 +108,12 @@ class CostBook:
         without a store keeps aggregating in memory (``flush`` is a
         no-op returning 0) so cache-less runs stay cheap.
         """
-        if self.store is None or not self._pending:
-            return 0
+        with self._lock:
+            if self.store is None or not self._pending:
+                return 0
+            pending, self._pending = self._pending, {}
         updated = 0
-        for (kind, n), (count, total) in sorted(self._pending.items()):
+        for (kind, n), (count, total) in sorted(pending.items()):
             key = cost_meta_key(kind, n)
             existing = self.store.get_meta(key) or {}
             merged_count = float(existing.get("count", 0)) + count
@@ -101,7 +129,6 @@ class CostBook:
                 },
             )
             updated += 1
-        self._pending.clear()
         return updated
 
 

@@ -50,6 +50,9 @@ try:  # POSIX advisory locks; other platforms use an O_EXCL lock file.
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
+from ..telemetry.metrics import get_metrics
+from ..telemetry.spans import telemetry_enabled
+
 Record = Dict[str, object]
 
 DEFAULT_SHARDS = 8
@@ -361,6 +364,8 @@ class ShardedStore:
         if offset == shard.scanned:
             shard.scanned = offset + len(line)
         self.stats.appends += 1
+        if telemetry_enabled():
+            get_metrics().inc("store.appends")
         self._maybe_compact(shard_id)
 
     def __len__(self) -> int:
@@ -435,6 +440,11 @@ class ShardedStore:
                 reclaimed = max(0, old_size - new_size)
                 self.stats.bytes_reclaimed += reclaimed
                 report += ClearReport(evicted, reclaimed)
+        if telemetry_enabled():
+            metrics = get_metrics()
+            metrics.inc("store.compactions")
+            metrics.inc("store.evicted_entries", report.entries_removed)
+            metrics.inc("store.bytes_reclaimed", report.bytes_reclaimed)
         return report
 
     # -- garbage collection ---------------------------------------------------
@@ -588,6 +598,11 @@ class ShardedStore:
         self.stats.compactions += 1
         self.stats.evicted_entries += report.entries_removed
         self.stats.bytes_reclaimed += report.bytes_reclaimed
+        if telemetry_enabled():
+            metrics = get_metrics()
+            metrics.inc("store.gc_runs")
+            metrics.inc("store.gc_entries_removed", report.entries_removed)
+            metrics.inc("store.bytes_reclaimed", report.bytes_reclaimed)
         return report
 
     def _compact_meta(self) -> GCReport:

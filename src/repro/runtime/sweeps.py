@@ -33,12 +33,16 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import os
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import Table
-from .cache import ResultCache
-from .executor import BatchResult, run_jobs
+from ..telemetry.metrics import get_metrics
+from ..telemetry.spans import TRACE_PARENT_ENV_VAR, get_tracer
+from .cache import CacheStats, ResultCache
+from .executor import BatchResult, iter_jobs, make_backend, run_jobs
 from .jobs import JobSpec, Record
 from .scheduler import CostBook, CostModel, assign_shards
 
@@ -310,6 +314,13 @@ class SweepResult:
         return summary
 
 
+def _set_env(name: str, value: Optional[str]) -> None:
+    if value is None:
+        os.environ.pop(name, None)
+    else:
+        os.environ[name] = value
+
+
 def run_sweep(
     spec: SweepSpec,
     backend=None,
@@ -318,6 +329,7 @@ def run_sweep(
     resume: bool = False,
     balance: str = "hash",
     cost_model: Optional[CostModel] = None,
+    progress=None,
 ) -> SweepResult:
     """Expand *spec* and execute it via :func:`repro.runtime.run_jobs`.
 
@@ -339,16 +351,28 @@ def run_sweep(
         cost_model: explicit :class:`~repro.runtime.scheduler.CostModel`
             for ``balance="cost"``; defaults to the history in the
             cache's disk store.
+        progress: optional
+            :class:`~repro.telemetry.dashboard.SweepProgress` fed one
+            update per landing record (the CLI's ``--progress`` live
+            line); switches execution to the streaming
+            :func:`~repro.runtime.iter_jobs` path.
 
     Runs with a disk store feed their measured wall-times back into
     the store's metadata shard, so later ``balance="cost"`` splits
-    have history to work from.
+    have history to work from.  With telemetry enabled
+    (:mod:`repro.telemetry`) the whole batch runs under a ``sweep``
+    span (plus a nested ``shard`` span for sharded legs) whose id is
+    exported as ``REPRO_TRACE_PARENT`` for the duration, so every
+    backend's job spans -- including remote workers' -- link under it
+    in the merged trace.
     """
     if resume and cache is None:
         raise ValueError(
             "resume=True needs a cache (e.g. ResultCache(disk_dir=...)); "
             "without one there is nothing to resume from"
         )
+    if isinstance(backend, str):
+        backend = make_backend(backend)
     store = cache.store_backend if cache is not None else None
     if shard is not None:
         index, count = shard
@@ -359,15 +383,96 @@ def run_sweep(
         ).shard_specs(index)
     else:
         specs = spec.expand()
+    backend_name = (
+        getattr(backend, "name", type(backend).__name__)
+        if backend is not None
+        else "serial"
+    )
     cost_book = CostBook(store) if store is not None else None
-    try:
-        batch = run_jobs(
-            specs, backend=backend, cache=cache, cost_book=cost_book
+    tracer = get_tracer()
+    if cost_book is not None and tracer.enabled:
+        # Attach the pre-sweep model: every observation then feeds the
+        # predicted-vs-actual error histogram (scheduler.cost_rel_error).
+        cost_book.model = CostModel.from_store(store)
+    with ExitStack() as stack:
+        sweep_span = stack.enter_context(
+            tracer.span(
+                "sweep", kind=spec.kind, jobs=len(specs), backend=backend_name
+            )
         )
-    finally:
-        # Flush even when the batch aborts: the wall-times of every
-        # job that *did* complete are exactly the history a retry's
-        # cost-balanced split needs.
-        if cost_book is not None:
-            cost_book.flush()
+        if shard is not None:
+            stack.enter_context(
+                tracer.span(
+                    "shard", index=shard[0], count=shard[1], balance=balance
+                )
+            )
+        if tracer.enabled:
+            parent_id = tracer.current_span_id()
+            if parent_id:
+                # Export the batch's parent span for child processes
+                # (pool forks, async worker env, remote welcome frame);
+                # restored on exit so nested sweeps stay coherent.
+                stack.callback(
+                    _set_env,
+                    TRACE_PARENT_ENV_VAR,
+                    os.environ.get(TRACE_PARENT_ENV_VAR),
+                )
+                os.environ[TRACE_PARENT_ENV_VAR] = parent_id
+        try:
+            if progress is not None:
+                eta_model = cost_model
+                if eta_model is None and cost_book is not None:
+                    eta_model = cost_book.model or CostModel.from_store(store)
+                batch = _run_streaming(
+                    specs, backend, cache, cost_book, progress, eta_model,
+                    backend_name,
+                )
+            else:
+                batch = run_jobs(
+                    specs, backend=backend, cache=cache, cost_book=cost_book
+                )
+        finally:
+            # Flush even when the batch aborts: the wall-times of every
+            # job that *did* complete are exactly the history a retry's
+            # cost-balanced split needs.
+            if cost_book is not None:
+                cost_book.flush()
+        sweep_span.set(
+            executed=batch.executed, hits=batch.cache_stats.hits
+        )
+    if tracer.enabled and tracer.trace_dir is not None:
+        get_metrics().flush_to(tracer.trace_dir)
     return SweepResult(spec=spec, batch=batch)
+
+
+def _run_streaming(
+    specs: List[JobSpec],
+    backend,
+    cache: Optional[ResultCache],
+    cost_book: Optional[CostBook],
+    progress,
+    eta_model: Optional[CostModel],
+    backend_name: str,
+) -> BatchResult:
+    """The ``--progress`` execution path: stream records through the
+    dashboard as they land, then assemble the same :class:`BatchResult`
+    :func:`~repro.runtime.run_jobs` would have returned."""
+    stats = CacheStats()
+    records: List[Optional[Record]] = [None] * len(specs)
+    progress.start(specs, cost_model=eta_model, backend=backend)
+    try:
+        for index, record, from_cache in iter_jobs(
+            specs, backend=backend, cache=cache, stats=stats,
+            cost_book=cost_book,
+        ):
+            records[index] = record
+            progress.update(index, record, from_cache)
+    finally:
+        progress.finish()
+    executed = stats.misses if cache is not None else len(set(specs))
+    return BatchResult(
+        records=[r for r in records if r is not None],
+        cache_stats=stats,
+        backend=backend_name,
+        executed=executed,
+    )

@@ -43,6 +43,15 @@ from .jobs import JobSpec, job_kinds, run_job_timed
 from .store import ShardedStore
 
 
+def _flush_telemetry() -> None:
+    """Snapshot this worker's metrics next to its trace file, if any."""
+    from ..telemetry import get_metrics, get_tracer
+
+    tracer = get_tracer()
+    if tracer.enabled and tracer.trace_dir is not None:
+        get_metrics().flush_to(tracer.trace_dir)
+
+
 def handle_request(message: dict, store: Optional[ShardedStore]) -> dict:
     """Execute one job request; returns the response frame (sans id).
 
@@ -98,6 +107,7 @@ def serve(stdin=None, stdout=None, store_dir: Optional[str] = None) -> int:
         response.update(handle_request(message, store))
         stdout.write(json.dumps(response, separators=(",", ":")) + "\n")
         stdout.flush()
+    _flush_telemetry()
     return 0
 
 
@@ -182,6 +192,13 @@ def serve_remote(
             return 1
         if store is None:
             store = _adopt_store(welcome.get("store"))
+        if welcome.get("trace"):
+            # The server is tracing: adopt its sink directory and
+            # parent span (same-host check inside), so this worker's
+            # job spans land in the merged trace under the sweep span.
+            from ..telemetry import adopt_trace
+
+            adopt_trace(welcome["trace"])
         for line in reader:
             frame = decode_frame(line)
             op = frame.get("op")
@@ -197,6 +214,7 @@ def serve_remote(
             sock.sendall(encode_frame(response))
         return 0
     finally:
+        _flush_telemetry()
         try:
             sock.close()
         except OSError:

@@ -1,0 +1,82 @@
+"""Observability core: structured tracing, fleet metrics, dashboards.
+
+Zero-dependency telemetry every runtime layer emits into -- off by
+default, enabled with ``REPRO_TELEMETRY=1`` / ``REPRO_TRACE_DIR`` /
+``sweep --trace DIR``:
+
+* :mod:`repro.telemetry.spans` -- the :class:`Tracer`: nested timed
+  spans (sweep -> shard -> job -> round) and point events with a
+  per-process JSONL sink that merges across process boundaries;
+* :mod:`repro.telemetry.metrics` -- counters / gauges / histograms
+  (queue depth, cache hit ratio, heartbeat RTT, requeues, CostModel
+  error) snapshotted to a JSON registry per process;
+* :mod:`repro.telemetry.analysis` -- trace readers: merge, Chrome
+  ``trace_event`` export, hotspot ranking, span trees (the
+  ``repro-planarity trace`` CLI family);
+* :mod:`repro.telemetry.dashboard` -- the live ``sweep --progress``
+  line (workers, throughput, CostModel ETA, straggler flags).
+
+Typical use::
+
+    from repro.telemetry import configure, get_tracer
+
+    configure(trace_dir="/tmp/trace")        # this process + children
+    with get_tracer().span("phase", kind="demo"):
+        ...
+    # then: repro-planarity trace view /tmp/trace
+"""
+
+from .analysis import (
+    chrome_trace,
+    read_events,
+    render_tree,
+    span_tree,
+    top_spans,
+)
+from .dashboard import STRAGGLER_FACTOR, SweepProgress
+from .metrics import (
+    HISTOGRAM_BOUNDS,
+    Histogram,
+    Metrics,
+    get_metrics,
+    read_metrics,
+    reset_metrics,
+)
+from .spans import (
+    TELEMETRY_ENV_VAR,
+    TRACE_DIR_ENV_VAR,
+    TRACE_PARENT_ENV_VAR,
+    Span,
+    Tracer,
+    adopt_trace,
+    configure,
+    get_tracer,
+    reset,
+    telemetry_enabled,
+)
+
+__all__ = [
+    "HISTOGRAM_BOUNDS",
+    "Histogram",
+    "Metrics",
+    "STRAGGLER_FACTOR",
+    "Span",
+    "SweepProgress",
+    "TELEMETRY_ENV_VAR",
+    "TRACE_DIR_ENV_VAR",
+    "TRACE_PARENT_ENV_VAR",
+    "Tracer",
+    "adopt_trace",
+    "chrome_trace",
+    "configure",
+    "get_metrics",
+    "get_tracer",
+    "read_events",
+    "read_metrics",
+    "render_tree",
+    "reset",
+    "reset_metrics",
+    "span_tree",
+    "telemetry_enabled",
+    "top_spans",
+]

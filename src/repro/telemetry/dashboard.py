@@ -1,0 +1,147 @@
+"""Live line-mode sweep dashboard (``sweep --progress``).
+
+One ``\\r``-rewritten stderr line tracks a sweep in flight::
+
+    sweep 37/96 | hits 12 | workers 3 | 4.1 jobs/s | eta 14s | stragglers 1
+
+* progress and hit counts come from the executor's streaming path
+  (:func:`repro.runtime.iter_jobs` yields results as they land);
+* ``workers`` is the remote backend's live connection count (omitted
+  for backends without one);
+* the ETA comes from the :class:`~repro.runtime.scheduler.CostModel`:
+  predicted seconds of unfinished jobs divided by the observed
+  predicted-seconds-per-wall-second rate, so it accounts for both
+  parallelism and model bias; with no cost history it falls back to a
+  jobs-per-second extrapolation;
+* a job is flagged a **straggler** when its measured wall-time exceeds
+  3x its predicted cost -- the flag the scalability-lab roadmap item
+  needs for re-dispatch experiments.
+
+The dashboard never touches the records themselves, writes only to the
+stream it was given, and throttles rendering, so it is safe to leave
+on for huge sweeps.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+STRAGGLER_FACTOR = 3.0
+"""A job whose wall-time exceeds predicted * factor is a straggler."""
+
+
+class SweepProgress:
+    """Streaming progress renderer for one sweep run."""
+
+    def __init__(
+        self,
+        stream=None,
+        min_interval: float = 0.1,
+        label: str = "sweep",
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.label = label
+        self.total = 0
+        self.done = 0
+        self.hits = 0
+        self.executed = 0
+        self.stragglers = 0
+        self.straggler_indices: List[int] = []
+        self._predicted: List[Optional[float]] = []
+        self._predicted_done = 0.0
+        self._predicted_total = 0.0
+        self._predicted_known = False
+        self._backend = None
+        self._started = 0.0
+        self._last_render = 0.0
+        self._width = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, specs: Sequence, cost_model=None, backend=None) -> None:
+        self.total = len(specs)
+        self._backend = backend
+        self._predicted = [
+            cost_model.predict(spec.kind, spec.n)
+            if cost_model is not None
+            else None
+            for spec in specs
+        ]
+        known = [cost for cost in self._predicted if cost]
+        self._predicted_known = bool(known)
+        self._predicted_total = sum(known)
+        self._started = time.perf_counter()
+        self._render(force=True)
+
+    def update(self, index: int, record: Dict[str, Any], from_cache: bool) -> None:
+        self.done += 1
+        if from_cache:
+            self.hits += 1
+        else:
+            self.executed += 1
+        predicted = (
+            self._predicted[index] if index < len(self._predicted) else None
+        )
+        if predicted:
+            self._predicted_done += predicted
+            seconds = record.get("trace_s")
+            if (
+                isinstance(seconds, (int, float))
+                and seconds > predicted * STRAGGLER_FACTOR
+            ):
+                self.stragglers += 1
+                self.straggler_indices.append(index)
+        self._render()
+
+    def finish(self) -> None:
+        self._render(force=True)
+        try:
+            self.stream.write("\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+
+    # -- rendering -------------------------------------------------------------
+
+    def eta_seconds(self) -> Optional[float]:
+        elapsed = max(time.perf_counter() - self._started, 1e-9)
+        if self._predicted_known and self._predicted_done > 0:
+            remaining = max(self._predicted_total - self._predicted_done, 0.0)
+            rate = self._predicted_done / elapsed  # predicted-s per wall-s
+            if rate > 0:
+                return remaining / rate
+        if self.done:
+            return (self.total - self.done) * elapsed / self.done
+        return None
+
+    def line(self) -> str:
+        elapsed = max(time.perf_counter() - self._started, 1e-9)
+        parts = [f"{self.label} {self.done}/{self.total}"]
+        parts.append(f"hits {self.hits}")
+        workers = getattr(self._backend, "active_workers", None)
+        if workers is not None:
+            parts.append(f"workers {workers}")
+        parts.append(f"{self.done / elapsed:.1f} jobs/s")
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        if self.stragglers:
+            parts.append(f"stragglers {self.stragglers}")
+        return " | ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        now = time.perf_counter()
+        if not force and now - self._last_render < self.min_interval:
+            return
+        self._last_render = now
+        text = self.line()
+        pad = " " * max(0, self._width - len(text))
+        self._width = len(text)
+        try:
+            self.stream.write("\r" + text + pad)
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass

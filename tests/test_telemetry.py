@@ -1,0 +1,298 @@
+"""Telemetry core: tracer, metrics registry, trace analysis
+(repro.telemetry)."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.telemetry import (
+    HISTOGRAM_BOUNDS,
+    SweepProgress,
+    TELEMETRY_ENV_VAR,
+    TRACE_DIR_ENV_VAR,
+    TRACE_PARENT_ENV_VAR,
+    adopt_trace,
+    chrome_trace,
+    configure,
+    get_metrics,
+    get_tracer,
+    read_events,
+    read_metrics,
+    render_tree,
+    reset,
+    span_tree,
+    telemetry_enabled,
+    top_spans,
+)
+
+
+@pytest.fixture
+def telemetry_env(monkeypatch):
+    """A clean telemetry environment; whatever the test turns on is torn
+    back down (env knobs popped, tracer + metrics registry reset)."""
+    for var in (TELEMETRY_ENV_VAR, TRACE_DIR_ENV_VAR, TRACE_PARENT_ENV_VAR):
+        monkeypatch.delenv(var, raising=False)
+    reset()
+    yield monkeypatch
+    configure(enabled=False)
+
+
+def test_disabled_by_default(telemetry_env):
+    assert not telemetry_enabled()
+    tracer = get_tracer()
+    span = tracer.span("anything", kind="demo")
+    assert span.id is None
+    with span as inner:
+        inner.set(outcome="ignored")  # chainable no-op
+        tracer.event("ping", x=1)
+    assert tracer.span_count == 0
+    assert tracer.event_count == 0
+    assert tracer.drain() == []
+    assert tracer.current_span_id() is None
+
+
+def test_truthy_env_values(telemetry_env):
+    for value in ("1", "true", "YES", "on"):
+        telemetry_env.setenv(TELEMETRY_ENV_VAR, value)
+        reset()
+        assert telemetry_enabled(), value
+    for value in ("0", "", "off", "nope"):
+        telemetry_env.setenv(TELEMETRY_ENV_VAR, value)
+        reset()
+        assert not telemetry_enabled(), value
+    # A trace dir implies enablement even without REPRO_TELEMETRY.
+    telemetry_env.delenv(TELEMETRY_ENV_VAR, raising=False)
+    telemetry_env.setenv(TRACE_DIR_ENV_VAR, "/tmp/anywhere")
+    reset()
+    assert telemetry_enabled()
+
+
+def test_in_memory_buffer_without_sink(telemetry_env):
+    telemetry_env.setenv(TELEMETRY_ENV_VAR, "1")
+    reset()
+    tracer = get_tracer()
+    with tracer.span("phase", kind="demo") as span:
+        tracer.event("ping", x=1)
+    assert tracer.span_count == 1
+    assert tracer.event_count == 1
+    buffered = tracer.drain()
+    assert [ev["name"] for ev in buffered] == ["ping", "phase"]
+    event, emitted = buffered
+    assert event["parent"] == span.id == emitted["id"]
+    assert emitted["dur"] >= 0.0
+    assert emitted["attrs"] == {"kind": "demo"}
+    assert tracer.drain() == []  # drain clears
+
+
+def test_span_nesting_and_jsonl_sink(telemetry_env, tmp_path):
+    configure(trace_dir=str(tmp_path))
+    tracer = get_tracer()
+    with tracer.span("outer", kind="demo") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.current_span_id() == inner.id
+            tracer.event("mark", note="deep")
+        assert tracer.current_span_id() == outer.id
+    assert len(list(tmp_path.glob("trace-*.jsonl"))) == 1
+    events = read_events(tmp_path)
+    by_name = {ev["name"]: ev for ev in events}
+    assert set(by_name) == {"outer", "inner", "mark"}
+    assert by_name["outer"]["parent"] is None
+    assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+    assert by_name["mark"]["parent"] == by_name["inner"]["id"]
+    ids = [ev["id"] for ev in events]
+    assert len(ids) == len(set(ids))
+    assert all(ev["id"].startswith(tracer.token + ".") for ev in events)
+
+
+def test_root_span_adopts_env_parent(telemetry_env):
+    telemetry_env.setenv(TELEMETRY_ENV_VAR, "1")
+    telemetry_env.setenv(TRACE_PARENT_ENV_VAR, "feed-1.7")
+    reset()
+    tracer = get_tracer()
+    with tracer.span("root") as root:
+        assert root.parent == "feed-1.7"
+        with tracer.span("child") as child:
+            assert child.parent == root.id
+
+
+def test_negative_duration_clamped(telemetry_env):
+    telemetry_env.setenv(TELEMETRY_ENV_VAR, "1")
+    reset()
+    tracer = get_tracer()
+    with tracer.span("warp") as span:
+        span._start = time.perf_counter() + 100.0  # simulated clock hiccup
+    assert span.duration == 0.0
+    assert tracer.drain()[0]["dur"] == 0.0
+    assert tracer.traced_seconds == 0.0
+
+
+def test_chrome_trace_export(telemetry_env, tmp_path):
+    configure(trace_dir=str(tmp_path))
+    tracer = get_tracer()
+    with tracer.span("sweep", kind="demo"):
+        tracer.event("connect", worker="w0")
+        with tracer.span("job", kind="demo"):
+            pass
+    doc = chrome_trace(read_events(tmp_path))
+    json.dumps(doc)  # must be JSON-serializable as-is
+    assert doc["displayTimeUnit"] == "ms"
+    entries = doc["traceEvents"]
+    assert len(entries) == 3
+    spans = [entry for entry in entries if entry["ph"] == "X"]
+    instants = [entry for entry in entries if entry["ph"] == "i"]
+    assert len(spans) == 2 and len(instants) == 1
+    assert instants[0]["s"] == "p"
+    assert all(entry["ts"] >= 0.0 for entry in entries)
+    assert min(entry["ts"] for entry in entries) == 0.0  # origin-shifted
+    assert all(span["dur"] >= 0.0 for span in spans)
+    assert all(entry["args"]["id"] for entry in entries)
+
+
+def test_top_spans_ranking():
+    events = [
+        {"ev": "span", "name": "job", "dur": 0.5, "attrs": {"kind": "slow"}},
+        {"ev": "span", "name": "job", "dur": 0.2, "attrs": {"kind": "slow"}},
+        {"ev": "span", "name": "job", "dur": 0.1, "attrs": {"kind": "quick"}},
+        {"ev": "event", "name": "noise", "attrs": {}},
+        {"ev": "span", "name": "sweep", "dur": 9.0, "attrs": {}},
+    ]
+    rows = top_spans(events)
+    assert [(row["name"], row["kind"]) for row in rows] == [
+        ("sweep", "-"), ("job", "slow"), ("job", "quick"),
+    ]
+    slow = rows[1]
+    assert slow["count"] == 2
+    assert slow["total_s"] == pytest.approx(0.7)
+    assert slow["mean_s"] == pytest.approx(0.35)
+    assert slow["max_s"] == pytest.approx(0.5)
+    named = top_spans(events, name="job")
+    assert [row["kind"] for row in named] == ["slow", "quick"]
+
+
+def test_span_tree_orphan_becomes_root():
+    events = [
+        {"ev": "span", "name": "root", "id": "a.1", "parent": None,
+         "t0": 1.0, "dur": 1.0, "attrs": {}},
+        {"ev": "span", "name": "child", "id": "a.2", "parent": "a.1",
+         "t0": 1.1, "dur": 0.5, "attrs": {}},
+        {"ev": "span", "name": "orphan", "id": "b.1", "parent": "gone.9",
+         "t0": 1.2, "dur": 0.1, "attrs": {}},
+    ]
+    roots, children = span_tree(events)
+    assert [root["name"] for root in roots] == ["root", "orphan"]
+    assert [child["name"] for child in children["a.1"]] == ["child"]
+    lines = render_tree(events)
+    assert lines[0].startswith("root")
+    assert lines[1].startswith("  child")
+    truncated = render_tree(events, max_lines=1)
+    assert truncated[-1].startswith("... (truncated")
+
+
+def test_read_events_skips_torn_lines(tmp_path):
+    path = tmp_path / "trace-dead.jsonl"
+    good = {"ev": "span", "name": "ok", "id": "x.1", "parent": None,
+            "t0": 1.0, "dur": 0.1, "attrs": {}}
+    path.write_text(
+        json.dumps(good) + "\n"
+        + '{"ev": "span", "na'  # worker killed mid-write
+        + "\n42\n\n"
+    )
+    events = read_events(tmp_path)
+    assert [ev["name"] for ev in events] == ["ok"]
+
+
+def test_metrics_registry(telemetry_env):
+    metrics = get_metrics()
+    metrics.inc("remote.requeues")
+    metrics.inc("remote.requeues")
+    metrics.inc("store.bytes_reclaimed", 512)
+    metrics.gauge("remote.workers", 3)
+    metrics.gauge("remote.workers", 2)  # last write wins
+    metrics.observe("job.seconds", 0.05)
+    metrics.observe("job.seconds", -1.0)  # clock artifact: clamps to 0
+    metrics.observe("job.seconds", 5e6)  # beyond the last bound
+    assert metrics.counter_value("remote.requeues") == 2
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["store.bytes_reclaimed"] == 512
+    assert isinstance(snapshot["counters"]["remote.requeues"], int)
+    assert snapshot["gauges"]["remote.workers"] == 2.0
+    histogram = snapshot["histograms"]["job.seconds"]
+    assert histogram["count"] == 3
+    assert histogram["min"] == 0.0
+    assert histogram["max"] == 5e6
+    assert histogram["bounds"] == list(HISTOGRAM_BOUNDS)
+    assert sum(histogram["buckets"]) == histogram["count"]
+    assert histogram["buckets"][-1] == 1  # the +inf overflow bucket
+
+
+def test_metrics_flush_and_read(telemetry_env, tmp_path):
+    metrics = get_metrics()
+    assert metrics.flush_to(tmp_path) is None  # empty registry: no file
+    metrics.inc("cache.hits", 7)
+    path = metrics.flush_to(tmp_path)
+    assert path is not None
+    assert path.name == f"metrics-{get_tracer().token}.json"
+    registries = read_metrics(tmp_path)
+    assert list(registries) == [get_tracer().token]
+    assert registries[get_tracer().token]["counters"]["cache.hits"] == 7
+
+
+def test_adopt_trace(telemetry_env, tmp_path):
+    assert not adopt_trace(None)
+    assert not adopt_trace({"parent": "x.1"})  # no dir
+    missing = {"dir": str(tmp_path / "never-created"), "parent": "x.1"}
+    assert not adopt_trace(missing)
+    assert not telemetry_enabled()
+    assert adopt_trace({"dir": str(tmp_path), "parent": "srv-1.3"})
+    assert telemetry_enabled()
+    tracer = get_tracer()
+    assert str(tracer.trace_dir) == str(tmp_path)
+    with tracer.span("job") as span:
+        assert span.parent == "srv-1.3"
+
+
+class _FixedCost:
+    def predict(self, _kind, _n):
+        return 1.0
+
+
+class _Fleet:
+    active_workers = 2
+
+
+def test_sweep_progress_line(telemetry_env):
+    stream = io.StringIO()
+    specs = [
+        type("S", (), {"kind": "test_planarity", "n": 36})() for _ in range(3)
+    ]
+    progress = SweepProgress(stream=stream, min_interval=0.0)
+    progress.start(specs, cost_model=_FixedCost(), backend=_Fleet())
+    progress.update(0, {"trace_s": 5.0}, from_cache=False)  # 5x predicted
+    progress.update(1, {}, from_cache=True)
+    line = progress.line()
+    assert "sweep 2/3" in line
+    assert "hits 1" in line
+    assert "workers 2" in line
+    assert "stragglers 1" in line
+    assert progress.straggler_indices == [0]
+    assert progress.eta_seconds() is not None
+    progress.finish()
+    assert stream.getvalue().endswith("\n")
+
+
+def test_sweep_progress_without_cost_history(telemetry_env):
+    stream = io.StringIO()
+    specs = [type("S", (), {"kind": "k", "n": 8})() for _ in range(2)]
+    progress = SweepProgress(stream=stream, min_interval=0.0)
+    progress.start(specs)  # no model, no backend
+    assert progress.eta_seconds() is None  # nothing landed yet
+    progress.update(0, {}, from_cache=False)
+    assert progress.eta_seconds() is not None  # jobs/s fallback
+    line = progress.line()
+    assert "workers" not in line  # backend has no worker count
+    assert progress.stragglers == 0
+    progress.finish()
