@@ -28,9 +28,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
-    install_requires=["networkx>=2.6"],
+    install_requires=["networkx>=2.6", "numpy>=1.22"],
     extras_require={
         "delaunay": ["scipy"],
+        "cuda": ["cupy"],
         "bench": ["pytest", "pytest-benchmark", "hypothesis"],
     },
     entry_points={

@@ -337,7 +337,7 @@ def _cmd_sweep(args) -> int:
         )
     result = run_sweep(
         sweep, backend=backend, cache=cache, shard=shard, resume=args.resume,
-        balance=args.balance, progress=progress,
+        balance=args.balance, progress=progress, batch=args.batch,
     )
     shard_label = f" [shard {shard[0]}/{shard[1]}]" if shard else ""
     table = result.to_table(
@@ -673,6 +673,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="live stderr dashboard: done/total, cache hits, workers, "
         "throughput, CostModel ETA, straggler flags",
+    )
+    p_sweep.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="B",
+        help="coalesce up to B same-cell simulator trials into one "
+        "graph-batched tensor-plane job (simulate kind with --profile "
+        "fast; records are identical to unbatched runs; default "
+        "REPRO_SIM_BATCH or 1)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -1,5 +1,14 @@
 """CONGEST model substrate: simulator, cost ledger, and node programs."""
 
+from .batch import (
+    BatchAccounting,
+    BatchKernel,
+    BatchTopology,
+    batch_kernels,
+    pad_groups,
+    register_batch_kernel,
+    run_batched,
+)
 from .instrumentation import (
     PROFILES,
     FaithfulProfile,
@@ -13,15 +22,23 @@ from .message import bit_size, default_bandwidth_bits
 from .network import CongestNetwork, SimulationResult, resolve_plane
 from .node import BROADCAST, NodeContext, NodeProgram
 from .plane import PLANE_ENV_VAR, PLANES, DenseMessagePlane, SlotInbox
+from .plane_batched import BatchedMessagePlane
 from .topology import (
+    BatchArrays,
     CompiledTopology,
     compile_topology,
     reset_topology_stats,
     topology_stats,
 )
+from .xp import XP_ENV_VAR, asnumpy, get_xp, xp_available
 
 __all__ = [
     "BROADCAST",
+    "BatchAccounting",
+    "BatchArrays",
+    "BatchKernel",
+    "BatchTopology",
+    "BatchedMessagePlane",
     "ChargeRecord",
     "CompiledTopology",
     "CongestNetwork",
@@ -38,12 +55,20 @@ __all__ = [
     "SimulationResult",
     "SlotInbox",
     "TreeCostModel",
+    "XP_ENV_VAR",
+    "asnumpy",
+    "batch_kernels",
     "resolve_plane",
     "bit_size",
     "compile_topology",
     "default_bandwidth_bits",
+    "get_xp",
+    "pad_groups",
+    "register_batch_kernel",
     "register_profile",
     "reset_topology_stats",
     "resolve_profile",
+    "run_batched",
     "topology_stats",
+    "xp_available",
 ]

@@ -195,9 +195,11 @@ class CongestNetwork:
                 depth for throughput.
             plane: message-plane implementation -- ``"dense"`` (flat
                 per-round edge-slot buffers, the default), ``"dict"``
-                (the seed's per-node dict inboxes, retained as the
-                differential-testing reference), or ``None`` to consult
-                ``REPRO_SIM_PLANE``.  Planes never change results.
+                (the seed's per-node dict inboxes, now a
+                differential-testing fixture living in
+                :mod:`repro.congest._differential`), or ``None`` to
+                consult ``REPRO_SIM_PLANE``.  Planes never change
+                results.
             round_hook: optional per-round observer, called **once per
                 executed round** (never per message) after the round's
                 deliveries as ``hook(round_index, active_count,
@@ -217,7 +219,11 @@ class CongestNetwork:
             type(prof).deliver_dense is not InstrumentationProfile.deliver_dense
         )
         if resolve_plane(plane) == "dict" or not dense_capable:
-            rounds_executed, active = self._run_dict_plane(
+            # The dict plane is a differential-testing fixture now, not
+            # a production path; load it only when actually requested.
+            from ._differential import run_dict_plane
+
+            rounds_executed, active = run_dict_plane(
                 programs, prof, max_rounds, round_hook
             )
         else:
@@ -244,43 +250,6 @@ class CongestNetwork:
             round_stats=prof.round_stats(),
             programs=programs,
         )
-
-    def _run_dict_plane(self, programs, prof, max_rounds, round_hook=None):
-        """The seed delivery loop: per-node dict inboxes rebuilt per round.
-
-        Kept verbatim as the reference implementation the dense plane is
-        differentially tested against.
-        """
-        # Active set: only unhalted programs are stepped; the list
-        # shrinks as programs halt (replacing the old twice-per-round
-        # all(p.halted) scans over every program).
-        active = [item for item in programs.items() if not item[1].halted]
-        inboxes: Dict[Any, Dict[Any, Any]] = {}
-        rounds_executed = 0
-
-        deliver = prof.deliver
-        for round_index in range(max_rounds):
-            if not active:
-                break
-            rounds_executed += 1
-            prof.begin_round(round_index)
-            next_inboxes: Dict[Any, Dict[Any, Any]] = {}
-            get_inbox = inboxes.get
-            for node, program in active:
-                outbox = program.step(round_index, get_inbox(node, _EMPTY_INBOX))
-                if outbox is None:
-                    continue
-                if not isinstance(outbox, Mapping):
-                    raise ProtocolError(
-                        f"node {node!r} returned a non-mapping outbox: {outbox!r}"
-                    )
-                if outbox:
-                    deliver(node, outbox, next_inboxes)
-            inboxes = next_inboxes
-            if round_hook is not None:
-                round_hook(round_index, len(active), prof)
-            active = [item for item in active if not item[1].halted]
-        return rounds_executed, active
 
     def _run_dense_plane(self, programs, prof, max_rounds, round_hook=None):
         """Dense delivery loop: flat edge-slot buffers, CSR row scans.

@@ -12,9 +12,12 @@ from typing import Any, Dict, Optional, Tuple
 
 import networkx as nx
 
+from ..batch import BIG, BatchKernel, register_batch_kernel
+from ..message import bit_size
 from ..network import CongestNetwork
 from .tags import MSG_BFS
 from ..node import Inbox, NodeContext, NodeProgram, Outbox
+from ..xp import asnumpy, int_bit_length
 
 
 class BFSTreeProgram(NodeProgram):
@@ -51,6 +54,71 @@ class BFSTreeProgram(NodeProgram):
                 self._announced = True
                 return self.broadcast((MSG_BFS, self._depth))
         return self.silence()
+
+
+class BFSBatchKernel(BatchKernel):
+    """Array-state :class:`BFSTreeProgram`: depth lane + sender min-reduce.
+
+    All of a node's first-round arrivals carry the same depth (BFS
+    invariant: only depth ``d-1`` neighbors have announced when the
+    token reaches depth ``d``), so the scalar's ``sorted((depth,
+    sender))[0]`` collapses to two independent min-reductions -- the
+    arrived depth lane and the static sender table.  Dense indices
+    follow sorted-id order, so the minimum dense index *is* the
+    minimum-id parent.  Root is dense index 0 (minimum node id).
+    """
+
+    lanes = 1
+    strict = True
+
+    def __init__(self, batch, params):  # noqa: D107
+        super().__init__(batch, params)
+        self.announced = batch.node_zeros(dtype=bool)
+        self.depth = batch.node_full(-1)
+        self.parent = batch.node_full(-1)
+        self.base_bits = bit_size((MSG_BFS, 0))
+
+    def max_rounds(self):
+        return self.batch.n_np + 2
+
+    def step(self, round_index, live, plane):
+        xp = self.xp
+        batch = self.batch
+        halt_now = live[:, None] & self.announced & ~self.halted
+        self.halted = self.halted | halt_now
+        if round_index == 0:
+            send = xp.zeros_like(self.announced)
+            send[:, 0] = live
+            self.depth = xp.where(send, 0, self.depth)
+        else:
+            depths = xp.where(plane.cur_arrived, plane.cur_lanes[0], BIG)
+            nearest = batch.reduce_min(depths)
+            senders = xp.where(plane.cur_arrived, batch.sender, BIG)
+            min_sender = batch.reduce_min(senders)
+            send = live[:, None] & ~self.announced & (nearest < BIG)
+            self.depth = xp.where(send, nearest + 1, self.depth)
+            self.parent = xp.where(send, min_sender, self.parent)
+        self.announced = self.announced | send
+        bits = self.base_bits + int_bit_length(xp.maximum(self.depth, 0), xp)
+        return send, (self.depth,), bits
+
+    def outputs(self, trial):
+        topology = self.batch.topologies[trial]
+        nodes = topology.nodes
+        halted = asnumpy(self.halted)[trial]
+        depth = asnumpy(self.depth)[trial]
+        parent = asnumpy(self.parent)[trial]
+        out = {}
+        for v, node in enumerate(nodes):
+            if not halted[v]:
+                out[node] = None
+                continue
+            p = int(parent[v])
+            out[node] = (nodes[p] if p >= 0 else None, int(depth[v]))
+        return out
+
+
+register_batch_kernel("bfs", BFSBatchKernel)
 
 
 def bfs_tree(

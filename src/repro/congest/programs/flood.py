@@ -11,9 +11,12 @@ from typing import Any, Optional, Tuple
 
 import networkx as nx
 
+from ..batch import BIG, BatchKernel, register_batch_kernel
+from ..message import bit_size
 from ..network import CongestNetwork
 from .tags import MSG_FLOOD
 from ..node import Inbox, NodeContext, NodeProgram, Outbox
+from ..xp import asnumpy, int_bit_length
 
 
 class FloodProgram(NodeProgram):
@@ -45,6 +48,61 @@ class FloodProgram(NodeProgram):
             self._distance = min(dist for _tag, dist in arrivals) + 1
             return self.broadcast((MSG_FLOOD, self._distance))
         return self.silence()
+
+
+class FloodBatchKernel(BatchKernel):
+    """Array-state :class:`FloodProgram`: one distance lane, min-reduce.
+
+    Mirrors the scalar step exactly: the root (dense index 0 -- each
+    trial's minimum node id, as ``simulate_program`` jobs choose it)
+    broadcasts in round 0; a node adopts ``min(arrived distances) + 1``
+    the round the token reaches it, forwards once, and halts the round
+    after.  Unreached nodes never halt, so disconnected trials run to
+    their ``n + 2`` limit just like the scalar entry point.
+    """
+
+    lanes = 1
+    strict = True
+
+    def __init__(self, batch, params):  # noqa: D107
+        super().__init__(batch, params)
+        self.announced = batch.node_zeros(dtype=bool)
+        self.dist = batch.node_full(-1)
+        # Payload is (MSG_FLOOD, dist); bit_length(0) == 0, so sizing the
+        # zero-distance payload yields the distance-free base cost.
+        self.base_bits = bit_size((MSG_FLOOD, 0))
+
+    def max_rounds(self):
+        return self.batch.n_np + 2
+
+    def step(self, round_index, live, plane):
+        xp = self.xp
+        halt_now = live[:, None] & self.announced & ~self.halted
+        self.halted = self.halted | halt_now
+        if round_index == 0:
+            send = xp.zeros_like(self.announced)
+            send[:, 0] = live
+            self.dist = xp.where(send, 0, self.dist)
+        else:
+            arrived = xp.where(plane.cur_arrived, plane.cur_lanes[0], BIG)
+            nearest = self.batch.reduce_min(arrived)
+            send = live[:, None] & ~self.announced & (nearest < BIG)
+            self.dist = xp.where(send, nearest + 1, self.dist)
+        self.announced = self.announced | send
+        bits = self.base_bits + int_bit_length(xp.maximum(self.dist, 0), xp)
+        return send, (self.dist,), bits
+
+    def outputs(self, trial):
+        topology = self.batch.topologies[trial]
+        halted = asnumpy(self.halted)[trial]
+        dist = asnumpy(self.dist)[trial]
+        return {
+            node: int(dist[v]) if halted[v] else None
+            for v, node in enumerate(topology.nodes)
+        }
+
+
+register_batch_kernel("flood", FloodBatchKernel)
 
 
 def flood_eccentricity(

@@ -22,9 +22,12 @@ from typing import Any, Dict, Optional, Tuple
 
 import networkx as nx
 
+from ..batch import BatchKernel, register_batch_kernel
+from ..message import bit_size
 from ..network import CongestNetwork
 from .tags import MSG_ACTIVE, MSG_INACTIVE
 from ..node import Inbox, NodeContext, NodeProgram, Outbox
+from ..xp import asnumpy
 
 
 def barenboim_elkin_round_budget(n: int) -> int:
@@ -108,6 +111,123 @@ class BarenboimElkinProgram(NodeProgram):
                 "out_neighbors": tuple(sorted(out)),
             }
         )
+
+
+class ForestBatchKernel(BatchKernel):
+    """Array-state :class:`BarenboimElkinProgram`: tag + round lanes.
+
+    Per-slot ``neighbor_inactive_round`` state (``-1`` for "still
+    active") is refreshed from arrivals at the top of every step --
+    exactly where the scalar's ``_record`` runs -- so the final
+    orientation sees deactivations announced in the last super-round.
+    Each trial uses its own ``barenboim_elkin_round_budget(n)``, like
+    ``simulate_program`` jobs do; all nodes finish (halt) together in
+    round ``budget + 1``.
+    """
+
+    lanes = 2  # lane 0: message tag, lane 1: deactivation super-round
+    strict = True
+
+    def __init__(self, batch, params):  # noqa: D107
+        super().__init__(batch, params)
+        import numpy as np
+
+        xp = self.xp
+        self.alpha = int(params.get("alpha", 3))
+        self.budget_np = np.array(
+            [barenboim_elkin_round_budget(int(n)) for n in batch.n_np],
+            dtype=np.int64,
+        )
+        self.budget = xp.asarray(self.budget_np)
+        self.active = batch.node_mask.copy()
+        self.inactive_round = batch.node_full(-1)
+        # Per-slot view of each node's neighbor deactivation rounds.
+        self.neighbor_inactive = xp.full(
+            (batch.B, batch.slots_alloc), -1, dtype=xp.int64
+        )
+        self.active_bits = bit_size((MSG_ACTIVE,))
+        self.inactive_base = bit_size((MSG_INACTIVE, 0))
+
+    def max_rounds(self):
+        return self.budget_np + 3
+
+    def step(self, round_index, live, plane):
+        xp = self.xp
+        batch = self.batch
+        # Record phase (scalar `_record`): fold last round's INACTIVE
+        # announcements into the per-slot neighbor table first.
+        announced = plane.cur_arrived & (plane.cur_lanes[0] == MSG_INACTIVE)
+        self.neighbor_inactive = xp.where(
+            announced, plane.cur_lanes[1], self.neighbor_inactive
+        )
+        if round_index == 0:
+            # Initial status exchange; everyone starts active.
+            send = live[:, None] & batch.node_mask
+            return (
+                send,
+                (batch.node_full(MSG_ACTIVE), batch.node_zeros()),
+                batch.node_full(self.active_bits),
+            )
+        finishing = live & (round_index > self.budget)
+        if bool(finishing.any()):
+            halt_now = finishing[:, None] & batch.node_mask & ~self.halted
+            self.halted = self.halted | halt_now
+        deciding = live & (round_index <= self.budget)
+        inactive_count = batch.reduce_sum(
+            (self.neighbor_inactive != -1).astype(xp.int64)
+        )
+        active_neighbors = batch.degrees - inactive_count
+        eligible = deciding[:, None] & self.active & batch.node_mask
+        deact = eligible & (active_neighbors <= 3 * self.alpha)
+        stay = eligible & ~deact
+        self.active = self.active & ~deact
+        self.inactive_round = xp.where(deact, round_index, self.inactive_round)
+        send = deact | stay
+        tag = xp.where(deact, MSG_INACTIVE, MSG_ACTIVE)
+        ell = xp.where(deact, round_index, 0)
+        bits = xp.where(
+            deact,
+            self.inactive_base + int(round_index).bit_length(),
+            self.active_bits,
+        )
+        return send, (tag, ell), bits
+
+    def outputs(self, trial):
+        topology = self.batch.topologies[trial]
+        nodes = topology.nodes
+        arrays = topology.batch_arrays()
+        halted = asnumpy(self.halted)[trial]
+        active = asnumpy(self.active)[trial]
+        inactive_round = asnumpy(self.inactive_round)[trial]
+        neighbor_inactive = asnumpy(self.neighbor_inactive)[trial]
+        out = {}
+        for v, node in enumerate(nodes):
+            if not halted[v]:
+                out[node] = None
+                continue
+            if active[v]:
+                out[node] = {
+                    "active": True,
+                    "inactive_round": None,
+                    "out_neighbors": (),
+                }
+                continue
+            mine = int(inactive_round[v])
+            oriented = []
+            for slot in range(arrays.indptr[v], arrays.indptr[v + 1]):
+                w = int(arrays.indices[slot])
+                theirs = int(neighbor_inactive[slot])
+                if theirs == -1 or theirs > mine or (theirs == mine and w > v):
+                    oriented.append(nodes[w])
+            out[node] = {
+                "active": False,
+                "inactive_round": mine,
+                "out_neighbors": tuple(sorted(oriented)),
+            }
+        return out
+
+
+register_batch_kernel("forest", ForestBatchKernel)
 
 
 @dataclass

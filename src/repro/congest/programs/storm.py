@@ -19,8 +19,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..batch import BatchKernel, register_batch_kernel
+from ..message import bit_size
 from .tags import MSG_STORM
 from ..node import Inbox, NodeContext, NodeProgram, Outbox
+from ..xp import asnumpy
 
 PAYLOAD_WINDOW = 4
 """Distinct payloads each node cycles through (memo realism knob)."""
@@ -47,3 +50,69 @@ class BroadcastStormProgram(NodeProgram):
         return self.broadcast(
             (MSG_STORM, self.ctx.node, round_index % PAYLOAD_WINDOW)
         )
+
+
+class StormBatchKernel(BatchKernel):
+    """Array-state :class:`BroadcastStormProgram`: receive-count only.
+
+    No payload lanes -- the only observable state is how many messages
+    arrived, which the boolean plane already carries.  Payload sizes
+    depend on the sender's id, so the per-node base cost vector is
+    computed once via the scalar :func:`bit_size` (memoized per
+    topology object: the pinned-graph benchmark batches B copies of one
+    topology) and the round counter's contribution is a scalar per
+    round.  Non-strict, matching the scalar entry point.
+    """
+
+    lanes = 0
+    strict = False
+
+    def __init__(self, batch, params):  # noqa: D107
+        super().__init__(batch, params)
+        import numpy as np
+
+        xp = self.xp
+        self.storm_rounds = int(params.get("storm_rounds", 8))
+        self.received = batch.node_zeros()
+        base = np.zeros((batch.B, batch.n_pad + 1), dtype=np.int64)
+        memo = {}
+        for b, topology in enumerate(batch.topologies):
+            row = memo.get(id(topology))
+            if row is None:
+                row = memo[id(topology)] = np.array(
+                    [
+                        bit_size((MSG_STORM, node, 0))
+                        for node in topology.nodes
+                    ],
+                    dtype=np.int64,
+                )
+            base[b, : topology.n] = row
+        self.base_bits = xp.asarray(base)
+
+    def max_rounds(self):
+        import numpy as np
+
+        return np.full(self.batch.B, self.storm_rounds + 2, dtype=np.int64)
+
+    def step(self, round_index, live, plane):
+        xp = self.xp
+        listening = live[:, None] & ~self.halted
+        counts = self.batch.reduce_sum(plane.cur_arrived.astype(xp.int64))
+        self.received = self.received + xp.where(listening, counts, 0)
+        halt_now = listening & (round_index >= self.storm_rounds)
+        self.halted = self.halted | halt_now
+        send = listening & ~halt_now
+        window = (round_index % PAYLOAD_WINDOW).bit_length()
+        return send, (), self.base_bits + window
+
+    def outputs(self, trial):
+        topology = self.batch.topologies[trial]
+        halted = asnumpy(self.halted)[trial]
+        received = asnumpy(self.received)[trial]
+        return {
+            node: int(received[v]) if halted[v] else None
+            for v, node in enumerate(topology.nodes)
+        }
+
+
+register_batch_kernel("storm", StormBatchKernel)

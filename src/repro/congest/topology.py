@@ -79,6 +79,7 @@ class CompiledTopology:
         "bandwidth_bits",
         "_plane_arrays",
         "_edge_arrays",
+        "_batch_arrays",
         "__weakref__",
     )
 
@@ -121,6 +122,7 @@ class CompiledTopology:
         self.bandwidth_bits = default_bandwidth_bits(self.n)
         self._plane_arrays = None
         self._edge_arrays = None
+        self._batch_arrays = None
 
     # -- dense-index accessors ------------------------------------------------
 
@@ -164,6 +166,37 @@ class CompiledTopology:
             arrays = self._edge_arrays = (
                 np.asarray(eu, dtype=np.int64),
                 np.asarray(ev, dtype=np.int64),
+            )
+        return arrays
+
+    def batch_arrays(self) -> "BatchArrays":
+        """Numpy views of the CSR structure for the batched tensor plane.
+
+        Zero-copy where possible: ``indptr``/``indices`` are
+        ``np.frombuffer`` views over the compiled ``array('q')``
+        buffers, ``degrees`` and ``row_owner`` are derived from them at
+        C speed.  Lazily built and cached per topology, so every trial
+        of a batch over the same graph shares one export (mirroring
+        :meth:`plane_arrays` on the scalar side).  Raises
+        :class:`ImportError` when numpy is unavailable -- the runtime's
+        batch coalescer probes for numpy before forming batch jobs.
+        """
+        arrays = self._batch_arrays
+        if arrays is None:
+            import numpy as np
+
+            indptr = np.frombuffer(self.indptr, dtype=np.int64)
+            if len(self.indices):
+                indices = np.frombuffer(self.indices, dtype=np.int64)
+            else:
+                indices = np.zeros(0, dtype=np.int64)
+            degrees = np.diff(indptr)
+            row_owner = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
+            arrays = self._batch_arrays = BatchArrays(
+                indptr=indptr,
+                indices=indices,
+                degrees=degrees,
+                row_owner=row_owner,
             )
         return arrays
 
@@ -242,6 +275,25 @@ class PlaneArrays:
         self.send_slot = tuple(send_slot)
         self.broadcast_slots = tuple(broadcast_slots)
         self.broadcast_targets = tuple(broadcast_targets)
+
+
+@dataclass(frozen=True)
+class BatchArrays:
+    """Numpy CSR views of one topology (see ``batch_arrays``).
+
+    Attributes:
+        indptr: row pointers, length ``n + 1`` (int64 view).
+        indices: per-slot dense index of the slot's *sender* -- for slot
+            ``s`` in receiver ``row_owner[s]``'s row, ``indices[s]`` is
+            the dense index of the neighbor whose broadcast lands there.
+        degrees: dense degree table (``np.diff(indptr)``).
+        row_owner: per-slot dense index of the row's owner (receiver).
+    """
+
+    indptr: Any
+    indices: Any
+    degrees: Any
+    row_owner: Any
 
 
 @dataclass

@@ -41,6 +41,16 @@ Grid sweeps (the benchmark/CLI entry point) layer on top::
 """
 
 from .async_backend import AsyncBackend, AsyncWorkerError
+from .batching import (
+    BATCH_ENV_VAR,
+    BATCHABLE_PROGRAMS,
+    batchable,
+    batching_available,
+    coalesce,
+    expand_batch_record,
+    make_batch_spec,
+    resolve_batch,
+)
 from .remote import (
     PROTOCOL_VERSION,
     RemoteBackend,
@@ -99,6 +109,8 @@ __all__ = [
     "AsyncBackend",
     "AsyncWorkerError",
     "BACKENDS",
+    "BATCHABLE_PROGRAMS",
+    "BATCH_ENV_VAR",
     "BatchResult",
     "CacheStats",
     "ClearReport",
@@ -121,19 +133,25 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "assign_shards",
+    "batchable",
+    "batching_available",
     "cache_key",
+    "coalesce",
     "config_digest",
     "coord_keys_enabled",
     "coordinate_fingerprint",
     "derive_rng",
     "derive_seed",
+    "expand_batch_record",
     "graph_fingerprint",
     "iter_jobs",
     "job_kinds",
     "job_shard",
     "kind_needs_graph",
     "make_backend",
+    "make_batch_spec",
     "register_kind",
+    "resolve_batch",
     "run_job",
     "run_job_timed",
     "run_jobs",

@@ -39,6 +39,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..telemetry.metrics import get_metrics
 from ..telemetry.spans import telemetry_enabled
 from .async_backend import AsyncBackend
+from .batching import coalesce, expand_batch_record
 from .cache import CacheStats, KeyDeriver, ResultCache
 from .jobs import JobSpec, Record, run_job, run_job_timed, spec_needs_graph
 from .remote import RemoteBackend
@@ -273,6 +274,7 @@ def iter_jobs(
     cache: Optional[ResultCache] = None,
     stats: Optional[CacheStats] = None,
     cost_book=None,
+    batch: Optional[int] = None,
 ) -> Iterator[Tuple[int, Record, bool]]:
     """Execute *specs*, yielding ``(index, record, from_cache)`` as they land.
 
@@ -291,7 +293,14 @@ def iter_jobs(
             hit/miss/store counters (what :func:`run_jobs` reports).
         cost_book: optional :class:`~repro.runtime.scheduler.CostBook`
             fed one ``(kind, n, seconds)`` observation per executed
-            job (cache hits are never observed).
+            job (cache hits are never observed; a coalesced trial is
+            observed under its own ``simulate_program`` kind at its
+            amortized ``seconds / B`` share).
+        batch: coalesce eligible same-cell simulator trials into
+            ``simulate_batch`` jobs of at most this many members
+            (``None`` consults ``REPRO_SIM_BATCH``; 1 disables).  The
+            expansion is transparent: yielded records, cache contents,
+            and cost observations are per-trial regardless.
     """
     if backend is None:
         backend = SerialBackend()
@@ -313,19 +322,30 @@ def iter_jobs(
         for index, spec in enumerate(specs):
             unique.setdefault(spec, []).append(index)
         ordered = list(unique)
+        dispatch, sources = coalesce(ordered, batch)
         graphs = (
-            _graph_hints(ordered)
+            _graph_hints(dispatch)
             if getattr(backend, "wants_graph_hints", False)
             else None
         )
         for position, record, seconds in _backend_stream(
-            backend, ordered, graphs, None
+            backend, dispatch, graphs, None
         ):
-            if cost_book is not None and seconds is not None:
-                spec = ordered[position]
-                cost_book.observe(spec.kind, spec.n, seconds)
-            for index in unique[ordered[position]]:
-                yield index, dict(record), False
+            members = sources[position]
+            if dispatch[position].kind == "simulate_batch":
+                per_trial = (
+                    seconds / len(members) if seconds is not None else None
+                )
+                expanded = zip(members, expand_batch_record(record))
+            else:
+                per_trial = seconds
+                expanded = ((members[0], record),)
+            for source, trial_record in expanded:
+                spec = ordered[source]
+                if cost_book is not None and per_trial is not None:
+                    cost_book.observe(spec.kind, spec.n, per_trial)
+                for index in unique[spec]:
+                    yield index, dict(trial_record), False
         return
 
     deriver = KeyDeriver()
@@ -355,26 +375,35 @@ def iter_jobs(
         return
     miss_specs = [specs[i] for i in miss_indices]
     miss_keys = [keys[i] for i in miss_indices]
-    miss_graphs = None
+    dispatch, sources = coalesce(miss_specs, batch)
+    dispatch_keys = [
+        miss_keys[srcs[0]]
+        if dspec.kind != "simulate_batch"
+        else deriver.key_for(dspec)
+        for dspec, srcs in zip(dispatch, sources)
+    ]
+    dispatch_graphs = None
     if getattr(backend, "wants_graph_hints", False):
-        miss_graphs = [deriver.graph_for(spec) for spec in miss_specs]
+        dispatch_graphs = [deriver.graph_for(spec) for spec in dispatch]
         # Coordinate-keyed derivers never build graphs; fill the gaps so
         # in-process misses still share one instance (and one compiled
         # topology) per distinct input.
         built: Dict = {}
         for position, (spec, graph) in enumerate(
-            zip(miss_specs, miss_graphs)
+            zip(dispatch, dispatch_graphs)
         ):
             if graph is None and spec_needs_graph(spec):
                 key = spec.graph_coordinates
                 graph = built.get(key)
                 if graph is None:
                     graph = built[key] = spec.build_graph()
-                miss_graphs[position] = graph
+                dispatch_graphs[position] = graph
     # When the backend's workers persist to this cache's own disk store
     # (async backend sharing store_dir), the record is already on disk
     # by the time it streams back: remember it in memory only, or every
-    # line would land twice.
+    # line would land twice.  Coalesced trials are the exception: the
+    # workers persisted only the *batch* record under the batch key, so
+    # the expanded per-trial records must be stored here regardless.
     backend_store = getattr(backend, "store_dir", None)
     workers_persist = (
         backend_store is not None
@@ -383,16 +412,26 @@ def iter_jobs(
     )
     absorb = cache.remember if workers_persist else cache.store
     for position, record, seconds in _backend_stream(
-        backend, miss_specs, miss_graphs, miss_keys
+        backend, dispatch, dispatch_graphs, dispatch_keys
     ):
-        index = miss_indices[position]
-        if cost_book is not None and seconds is not None:
-            spec = miss_specs[position]
-            cost_book.observe(spec.kind, spec.n, seconds)
-        absorb(keys[index], record)
-        batch_stats.stores += 1
-        for dup_index in pending[keys[index]]:
-            yield dup_index, dict(record), False
+        members = sources[position]
+        if dispatch[position].kind == "simulate_batch":
+            per_trial = seconds / len(members) if seconds is not None else None
+            expanded = zip(members, expand_batch_record(record))
+            store_trial = cache.store
+        else:
+            per_trial = seconds
+            expanded = ((members[0], record),)
+            store_trial = absorb
+        for source, trial_record in expanded:
+            index = miss_indices[source]
+            if cost_book is not None and per_trial is not None:
+                spec = miss_specs[source]
+                cost_book.observe(spec.kind, spec.n, per_trial)
+            store_trial(keys[index], trial_record)
+            batch_stats.stores += 1
+            for dup_index in pending[keys[index]]:
+                yield dup_index, dict(trial_record), False
 
 
 def run_jobs(
@@ -400,6 +439,7 @@ def run_jobs(
     backend=None,
     cache: Optional[ResultCache] = None,
     cost_book=None,
+    batch: Optional[int] = None,
 ) -> BatchResult:
     """Execute *specs*, serving repeats from *cache*.
 
@@ -411,6 +451,9 @@ def run_jobs(
             spec executes).
         cost_book: optional :class:`~repro.runtime.scheduler.CostBook`
             collecting per-job wall-times (see :func:`iter_jobs`).
+        batch: coalesce eligible simulator trials into batches of at
+            most this many (see :func:`iter_jobs`); record contents,
+            ordering, and cache state are unaffected.
 
     Returns:
         A :class:`BatchResult` with one record per spec, in input order.
@@ -425,7 +468,7 @@ def run_jobs(
     records: List[Optional[Record]] = [None] * len(specs)
     for index, record, _from_cache in iter_jobs(
         specs, backend=backend, cache=cache, stats=batch_stats,
-        cost_book=cost_book,
+        cost_book=cost_book, batch=batch,
     ):
         records[index] = record
     executed = batch_stats.misses if cache is not None else len(set(specs))

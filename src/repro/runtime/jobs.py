@@ -617,6 +617,88 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
     return record
 
 
+def _run_simulate_batch(spec: JobSpec, graph: Optional[nx.Graph]) -> Record:
+    """Run a coalesced group of simulator trials as one array program.
+
+    The spec carries the member trial seeds in its ``seeds`` config
+    knob (everything else -- program, profile, graph coordinates --
+    is shared by construction, see
+    :func:`repro.runtime.batching.make_batch_spec`).  Graphs are built
+    here, once per distinct ``graph_coordinates`` (a graph-seed-pinned
+    sweep shares a single compiled topology across the whole batch; an
+    unpinned one becomes a ragged batch of per-trial graphs), and all
+    trials run in lockstep on the batched tensor plane.
+
+    The record packs one scalar-identical ``simulate_program`` record
+    per trial into a compact ``trials`` JSON string; the executor
+    re-expands them so downstream consumers never see the batch shape.
+    A registered graphless kind: the executor never generates a graph
+    for it (*graph* is always ``None``).
+    """
+    from ..congest.batch import run_batched
+    from ..congest.topology import compile_topology
+
+    params = dict(spec.params)
+    seeds = params.pop("seeds", None)
+    if not seeds:
+        raise ValueError("simulate_batch spec carries no member seeds")
+    if params.get("profile") != "fast":
+        raise ValueError(
+            "simulate_batch requires the explicit 'fast' profile; got "
+            f"{params.get('profile')!r}"
+        )
+    program = params.get("program", "bfs")
+    trial_specs = [
+        JobSpec.make(
+            "simulate_program",
+            family=spec.family,
+            far=spec.far,
+            n=spec.n,
+            seed=int(trial_seed),
+            graph_seed=spec.graph_seed,
+            **params,
+        )
+        for trial_seed in seeds
+    ]
+    graphs: Dict[Tuple[str, int, int], nx.Graph] = {}
+    trial_graphs = []
+    for trial_spec in trial_specs:
+        coordinates = trial_spec.graph_coordinates
+        built = graphs.get(coordinates)
+        if built is None:
+            built = graphs[coordinates] = trial_spec.build_graph()
+        trial_graphs.append(built)
+    results = run_batched(
+        program, [compile_topology(g) for g in trial_graphs], params=params
+    )
+    trials = []
+    for trial_spec, built, result in zip(trial_specs, trial_graphs, results):
+        trials.append(
+            {
+                "kind": "simulate_program",
+                "graph": trial_spec.graph_label,
+                "family": trial_spec.far or trial_spec.family,
+                "n": built.number_of_nodes(),
+                "m": built.number_of_edges(),
+                "seed": trial_spec.seed,
+                "program": program,
+                "profile": result.profile,
+                "rounds": result.rounds,
+                "halted": result.halted,
+                "messages": result.total_messages,
+                "bits": result.total_bits,
+                "max_message_bits": result.max_message_bits,
+                "over_budget": result.over_budget_messages,
+            }
+        )
+    return {
+        "program": program,
+        "profile": "fast",
+        "trials_n": len(trials),
+        "trials": json.dumps(trials, separators=(",", ":")),
+    }
+
+
 register_kind("test_planarity", _run_test_planarity)
 register_kind("partition_stage1", _run_partition_stage1)
 register_kind("partition_randomized", _run_partition_randomized)
@@ -624,3 +706,4 @@ register_kind("spanner", _run_spanner)
 register_kind("cycle_freeness", _run_cycle_freeness)
 register_kind("bipartiteness", _run_bipartiteness)
 register_kind("simulate_program", _run_simulate_program)
+register_kind("simulate_batch", _run_simulate_batch, needs_graph=False)

@@ -330,6 +330,7 @@ def run_sweep(
     balance: str = "hash",
     cost_model: Optional[CostModel] = None,
     progress=None,
+    batch: Optional[int] = None,
 ) -> SweepResult:
     """Expand *spec* and execute it via :func:`repro.runtime.run_jobs`.
 
@@ -356,6 +357,11 @@ def run_sweep(
             update per landing record (the CLI's ``--progress`` live
             line); switches execution to the streaming
             :func:`~repro.runtime.iter_jobs` path.
+        batch: coalesce eligible simulator trials of one sweep cell
+            into graph-batched ``simulate_batch`` jobs of at most this
+            many members (``None`` consults ``REPRO_SIM_BATCH``; 1
+            disables).  Transparent: records, cache state, and cost
+            accounting stay per-trial on every backend.
 
     Runs with a disk store feed their measured wall-times back into
     the store's metadata shard, so later ``balance="cost"`` splits
@@ -366,6 +372,7 @@ def run_sweep(
     backend's job spans -- including remote workers' -- link under it
     in the merged trace.
     """
+    batch_limit = batch
     if resume and cache is None:
         raise ValueError(
             "resume=True needs a cache (e.g. ResultCache(disk_dir=...)); "
@@ -425,11 +432,12 @@ def run_sweep(
                     eta_model = cost_book.model or CostModel.from_store(store)
                 batch = _run_streaming(
                     specs, backend, cache, cost_book, progress, eta_model,
-                    backend_name,
+                    backend_name, batch_limit=batch_limit,
                 )
             else:
                 batch = run_jobs(
-                    specs, backend=backend, cache=cache, cost_book=cost_book
+                    specs, backend=backend, cache=cache,
+                    cost_book=cost_book, batch=batch_limit,
                 )
         finally:
             # Flush even when the batch aborts: the wall-times of every
@@ -453,6 +461,7 @@ def _run_streaming(
     progress,
     eta_model: Optional[CostModel],
     backend_name: str,
+    batch_limit: Optional[int] = None,
 ) -> BatchResult:
     """The ``--progress`` execution path: stream records through the
     dashboard as they land, then assemble the same :class:`BatchResult`
@@ -463,7 +472,7 @@ def _run_streaming(
     try:
         for index, record, from_cache in iter_jobs(
             specs, backend=backend, cache=cache, stats=stats,
-            cost_book=cost_book,
+            cost_book=cost_book, batch=batch_limit,
         ):
             records[index] = record
             progress.update(index, record, from_cache)

@@ -1,0 +1,186 @@
+"""Runtime-side batching: coalescing, transparent expansion, accounting.
+
+The executor folds eligible same-cell simulator trials into
+``simulate_batch`` jobs and re-expands the results, so every consumer
+-- record lists, caches, cost books, all backends -- observes exactly
+what a scalar run would have produced.  These tests pin the grouping
+rules, the record/cache/cost transparency on the serial and process
+backends, the async wire round-trip of batch specs, and the env-var
+knob.
+"""
+
+from __future__ import annotations
+
+from repro.congest.plane import PLANE_ENV_VAR
+from repro.runtime import (
+    BATCH_ENV_VAR,
+    AsyncBackend,
+    CostBook,
+    JobSpec,
+    ResultCache,
+    batchable,
+    coalesce,
+    make_batch_spec,
+    run_jobs,
+    run_sweep,
+    SweepSpec,
+)
+from repro.runtime.batching import expand_batch_record
+from repro.runtime.jobs import run_job
+
+
+def sim_spec(seed=0, program="bfs", profile="fast", n=30, graph_seed=7, **kw):
+    return JobSpec.make(
+        "simulate_program",
+        family="grid",
+        n=n,
+        seed=seed,
+        graph_seed=graph_seed,
+        program=program,
+        profile=profile,
+        **kw,
+    )
+
+
+FLEET = [sim_spec(seed=s) for s in range(6)]
+
+
+# -- eligibility and grouping -------------------------------------------------
+
+
+def test_batchable_requires_fast_profile_and_known_program():
+    assert batchable(sim_spec())
+    assert not batchable(sim_spec(profile="faithful"))
+    assert not batchable(sim_spec(profile=None))
+    assert not batchable(
+        JobSpec.make("test_planarity", family="grid", n=30, seed=0)
+    )
+
+
+def test_batchable_respects_plane_env(monkeypatch):
+    monkeypatch.setenv(PLANE_ENV_VAR, "dict")
+    assert not batchable(sim_spec())
+    monkeypatch.setenv(PLANE_ENV_VAR, "dense")
+    assert batchable(sim_spec())
+
+
+def test_coalesce_groups_chunks_and_passes_singletons_through():
+    specs = (
+        [sim_spec(seed=s) for s in range(5)]
+        + [sim_spec(seed=9, profile="faithful")]  # ineligible: untouched
+        + [sim_spec(seed=s, program="storm", storm_rounds=4) for s in (0, 1)]
+        + [sim_spec(seed=99, n=60)]  # different cell: group of one
+    )
+    dispatch, sources = coalesce(specs, 4)
+    covered = sorted(i for group in sources for i in group)
+    assert covered == list(range(len(specs)))
+    kinds = [(d.kind, len(s)) for d, s in zip(dispatch, sources)]
+    assert kinds == [
+        ("simulate_batch", 4),  # seeds 0-3
+        ("simulate_program", 1),  # seed 4: a chunk of one stays scalar
+        ("simulate_program", 1),  # faithful passthrough
+        ("simulate_batch", 2),  # the storm pair
+        ("simulate_program", 1),  # the n=60 singleton
+    ]
+    batch = dispatch[0]
+    assert batch.params["seeds"] == (0, 1, 2, 3)
+    assert batch.params["program"] == "bfs"
+
+
+def test_coalesce_disabled_at_limit_one():
+    dispatch, sources = coalesce(FLEET, 1)
+    assert dispatch == FLEET
+    assert sources == [[i] for i in range(len(FLEET))]
+
+
+def test_batch_spec_survives_wire_round_trip():
+    batch = make_batch_spec(FLEET)
+    clone = JobSpec.from_payload(batch.to_payload())
+    assert clone == batch
+    assert clone.params["seeds"] == tuple(s.seed for s in FLEET)
+
+
+def test_batch_record_expands_to_scalar_records():
+    batch = make_batch_spec(FLEET)
+    record = run_job(batch)
+    trials = expand_batch_record(record)
+    assert record["trials_n"] == len(FLEET)
+    scalar = [run_job(spec) for spec in FLEET]
+    assert trials == scalar
+
+
+# -- executor transparency ----------------------------------------------------
+
+
+def test_run_jobs_batched_matches_unbatched():
+    base = run_jobs(FLEET)
+    batched = run_jobs(FLEET, batch=4)
+    assert batched.records == base.records
+    assert batched.executed == base.executed == len(FLEET)
+
+
+def test_run_jobs_batched_with_cache_then_scalar_rerun(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path / "store")
+    first = run_jobs(FLEET, cache=cache, batch=8)
+    assert first.cache_stats.misses == len(FLEET)
+    assert first.cache_stats.stores == len(FLEET)
+    # A later *unbatched* run replays entirely from the per-trial cache.
+    second = run_jobs(FLEET, cache=cache)
+    assert second.cache_stats.misses == 0
+    assert second.records == first.records
+
+
+def test_cost_book_gets_amortized_per_trial_samples():
+    book = CostBook()
+    run_jobs(FLEET, cost_book=book, batch=8)
+    count, total = book._pending[("simulate_program", 30)]
+    assert count == len(FLEET)
+    assert total > 0
+    assert ("simulate_batch", 30) not in book._pending
+
+
+def test_process_backend_ships_batches():
+    base = run_jobs(FLEET)
+    batched = run_jobs(FLEET, backend="process", batch=3)
+    assert batched.records == base.records
+
+
+def test_async_backend_ships_batches(tmp_path):
+    base = run_jobs(FLEET)
+    cache = ResultCache(disk_dir=tmp_path / "store")
+    batched = run_jobs(
+        FLEET,
+        backend=AsyncBackend(max_workers=2, store_dir=str(tmp_path / "store")),
+        cache=cache,
+        batch=3,
+    )
+    assert batched.records == base.records
+    # The expanded per-trial records landed in the cache despite the
+    # workers persisting only batch records.
+    rerun = run_jobs(FLEET, cache=cache)
+    assert rerun.cache_stats.misses == 0
+
+
+def test_env_var_enables_batching(monkeypatch):
+    monkeypatch.setenv(BATCH_ENV_VAR, "4")
+    dispatch, _sources = coalesce(FLEET)
+    assert [d.kind for d in dispatch] == ["simulate_batch", "simulate_batch"]
+    base = run_jobs(FLEET)
+    batched = run_jobs(FLEET)  # picks the env knob up inside iter_jobs
+    assert batched.records == base.records
+
+
+def test_run_sweep_batched_matches_unbatched():
+    sweep = SweepSpec.make(
+        "simulate_program",
+        families=["grid"],
+        ns=[30],
+        seeds=[0, 1, 2, 3],
+        program=["flood", "storm"],
+        profile=["fast"],
+        storm_rounds=[4],
+    )
+    base = run_sweep(sweep)
+    batched = run_sweep(sweep, batch=4)
+    assert batched.records == base.records
+    assert batched.summary()["jobs"] == base.summary()["jobs"]
