@@ -54,6 +54,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -254,6 +255,16 @@ def _parse_shard(raw: Optional[str]):
     return index, count
 
 
+def _parse_batch(raw: str):
+    """Parse ``--batch``: a positive int, or ``auto`` (cost-aware sizing)."""
+    if raw.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(f"--batch expects an integer or 'auto', got {raw!r}")
+
+
 def _cmd_sweep(args) -> int:
     kind = SWEEP_KINDS[args.kind]
     if args.trace:
@@ -435,19 +446,47 @@ def _format_bytes(count) -> str:
 
 
 def _cmd_cache(args) -> int:
-    store = ShardedStore(args.cache_dir)
+    store = ShardedStore(
+        args.cache_dir, record_format=getattr(args, "format", None)
+    )
+    if args.cache_command == "dump":
+        count = 0
+        for key, stamp, record in sorted(store.dump()):
+            if args.json:
+                print(json.dumps(
+                    {"key": key, "stamp": stamp, "record": record},
+                    sort_keys=True,
+                ))
+            else:
+                print(f"{key}  @{stamp}  {json.dumps(record, sort_keys=True)}")
+            count += 1
+        if not args.json:
+            print(f"({count} live entries)", file=sys.stderr)
+        return 0
+    if args.cache_command == "migrate":
+        report = store.migrate()
+        print(
+            f"migrate: {report.entries} entries "
+            f"(+{report.meta_entries} meta) now {report.format}; "
+            f"{_format_bytes(report.bytes_before)} -> "
+            f"{_format_bytes(report.bytes_after)} on disk"
+        )
+        return 0
     if args.cache_command == "stats":
         usage = store.usage()
         table = Table(
             f"store {usage['root']}",
-            ["shards", "entries", "live", "on disk", "reclaimable", "meta"],
+            ["format", "shards", "entries", "live", "on disk",
+             "reclaimable", "index", "meta"],
         )
         table.add_row(
+            usage["format"],
             usage["shards"],
             usage["entries"],
             _format_bytes(usage["live_bytes"]),
             _format_bytes(usage["file_bytes"]),
             _format_bytes(usage["reclaimable_bytes"]),
+            _format_bytes(usage["index_bytes"]),
             usage["meta_entries"],
         )
         table.print()
@@ -676,13 +715,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--batch",
-        type=int,
+        type=_parse_batch,
         default=None,
         metavar="B",
         help="coalesce up to B same-cell simulator trials into one "
         "graph-batched tensor-plane job (simulate kind with --profile "
-        "fast; records are identical to unbatched runs; default "
-        "REPRO_SIM_BATCH or 1)",
+        "fast; records are identical to unbatched runs; 'auto' sizes "
+        "batches from the cost table's measured per-trial wall-times; "
+        "default REPRO_SIM_BATCH or 1)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -793,6 +833,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(concurrent-writer / clock-skew guard; default 60)",
     )
     p_gc.set_defaults(func=_cmd_cache)
+    p_dump = cache_sub.add_parser(
+        "dump", help="print every live (key, stamp, record), sorted by key"
+    )
+    p_dump.add_argument(
+        "--cache-dir", required=True, help="store directory to dump"
+    )
+    p_dump.add_argument(
+        "--json",
+        action="store_true",
+        help="one canonical JSON object per line (machine-diffable; the "
+        "CI migration round-trip compares these)",
+    )
+    p_dump.set_defaults(func=_cmd_cache)
+    p_migrate = cache_sub.add_parser(
+        "migrate",
+        help="rewrite every shard into the target record format "
+        "(.jsonl <-> .rbin), dropping dead duplicates",
+    )
+    p_migrate.add_argument(
+        "--cache-dir", required=True, help="store directory to migrate"
+    )
+    p_migrate.add_argument(
+        "--format",
+        default="rbin",
+        choices=["rbin", "jsonl"],
+        help="target record format (default rbin; jsonl downgrades for "
+        "tools that still want line-oriented shards)",
+    )
+    p_migrate.set_defaults(func=_cmd_cache)
     return parser
 
 

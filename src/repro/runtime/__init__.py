@@ -42,14 +42,28 @@ Grid sweeps (the benchmark/CLI entry point) layer on top::
 
 from .async_backend import AsyncBackend, AsyncWorkerError
 from .batching import (
+    AUTO_BATCH_DEFAULT,
+    AUTO_BATCH_MAX,
+    AUTO_TARGET_SECONDS,
     BATCH_ENV_VAR,
     BATCHABLE_PROGRAMS,
+    auto_batch_size,
     batchable,
     batching_available,
     coalesce,
     expand_batch_record,
     make_batch_spec,
     resolve_batch,
+)
+from .codec import (
+    GLOBAL_SHAPES,
+    CodecError,
+    ShapeRegistry,
+    WireProtocolError,
+    decode_record,
+    encode_record,
+    encode_wire_frame,
+    read_wire_frame,
 )
 from .remote import (
     PROTOCOL_VERSION,
@@ -109,15 +123,20 @@ __all__ = [
     "AsyncBackend",
     "AsyncWorkerError",
     "BACKENDS",
+    "AUTO_BATCH_DEFAULT",
+    "AUTO_BATCH_MAX",
+    "AUTO_TARGET_SECONDS",
     "BATCHABLE_PROGRAMS",
     "BATCH_ENV_VAR",
     "BatchResult",
     "CacheStats",
     "ClearReport",
+    "CodecError",
     "COORD_KEYS_ENV_VAR",
     "CostBook",
     "CostModel",
     "GCReport",
+    "GLOBAL_SHAPES",
     "JobSpec",
     "PROTOCOL_VERSION",
     "ProcessPoolBackend",
@@ -127,12 +146,15 @@ __all__ = [
     "RemoteWorkerError",
     "ResultCache",
     "SerialBackend",
+    "ShapeRegistry",
     "ShardedStore",
     "ShardedSweep",
     "StoreStats",
     "SweepResult",
     "SweepSpec",
+    "WireProtocolError",
     "assign_shards",
+    "auto_batch_size",
     "batchable",
     "batching_available",
     "cache_key",
@@ -150,6 +172,10 @@ __all__ = [
     "kind_needs_graph",
     "make_backend",
     "make_batch_spec",
+    "decode_record",
+    "encode_record",
+    "encode_wire_frame",
+    "read_wire_frame",
     "register_kind",
     "resolve_batch",
     "run_job",

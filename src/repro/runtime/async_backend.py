@@ -9,12 +9,15 @@ lands, in completion order.  ``run_jobs`` consumes the stream to store
 fresh records into the cache eagerly; ``iter_jobs`` exposes it to
 callers that want progressive delivery (dashboards, early aborts).
 
-Because the protocol is JSON over pipes rather than pickle over a
+Because the protocol is length-prefixed binary frames over pipes
+(:mod:`repro.runtime.codec`) rather than pickle over a
 ``ProcessPoolExecutor``, workers can also consult the shared sharded
 store *themselves* (``store_dir``): concurrent orchestrators with
 overlapping grids then exchange results through the fcntl-locked
 on-disk index mid-flight -- cross-process cache sharing, not just
-cross-invocation persistence.
+cross-invocation persistence.  Specs and records travel as
+shape-packed codec payloads, so a worker's freshly-encoded record
+bytes land in the store and on the pipe without a re-encode.
 
 The event loop runs on a dedicated thread so the public surface stays
 synchronous and generator-shaped, interchangeable with the serial and
@@ -25,7 +28,6 @@ process backends (same records, same order guarantees in
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import queue
 import sys
@@ -33,6 +35,17 @@ import threading
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from .codec import (
+    FRAME_HEADER_SIZE,
+    GLOBAL_SHAPES,
+    WireProtocolError,
+    decode_record,
+    decode_wire_body,
+    encode_record,
+    encode_wire_frame,
+    frame_shapes,
+    parse_frame_header,
+)
 from .jobs import JobSpec, Record
 
 _SENTINEL = object()
@@ -186,51 +199,59 @@ class AsyncBackend:
             stderr=asyncio.subprocess.PIPE,
             env=_worker_env(),
         )
+        sent_shapes: set = set()
         try:
             while True:
                 item = await pending.get()
                 if item is None:
                     break
                 index, spec, key = item
+                spec_pkd, _shape = encode_record(spec.to_payload())
                 request = {
                     "id": index,
-                    "spec": spec.to_payload(),
+                    "spec_pkd": spec_pkd,
                     "key": key,
+                    "shapes": frame_shapes(iter((spec_pkd,)), sent_shapes),
                 }
-                proc.stdin.write(
-                    (json.dumps(request, separators=(",", ":")) + "\n").encode()
-                )
+                proc.stdin.write(encode_wire_frame(request))
                 await proc.stdin.drain()
-                line = await proc.stdout.readline()
-                if not line:
-                    stderr = (await proc.stderr.read()).decode(
-                        errors="replace"
-                    )
-                    raise AsyncWorkerError(
-                        f"worker died while running spec #{index} "
-                        f"({spec.kind}): {stderr.strip()[-2000:]}"
-                    )
-                response = json.loads(line)
+                response = await self._read_response(proc, index, spec)
                 if "error" in response:
                     detail = response.get("traceback") or response["error"]
                     raise AsyncWorkerError(
                         f"job #{index} ({spec.kind}) failed in worker: "
                         f"{detail}"
                     )
+                for block in response.get("shapes") or ():
+                    GLOBAL_SHAPES.register_block(block)
                 out.put(
                     (
                         response["id"],
-                        response["record"],
+                        decode_record(bytes(response["record_pkd"])),
                         response.get("seconds"),
                     )
                 )
         finally:
             if proc.returncode is None:
                 try:
-                    proc.stdin.write(b'{"op":"exit"}\n')
+                    proc.stdin.write(encode_wire_frame({"op": "exit"}))
                     await proc.stdin.drain()
                     proc.stdin.close()
                     await asyncio.wait_for(proc.wait(), timeout=5)
                 except (OSError, asyncio.TimeoutError, ConnectionError):
                     proc.kill()
                     await proc.wait()
+
+    @staticmethod
+    async def _read_response(proc, index: int, spec: JobSpec) -> dict:
+        """Read one binary result frame from a worker subprocess."""
+        try:
+            header = await proc.stdout.readexactly(FRAME_HEADER_SIZE)
+            body = await proc.stdout.readexactly(parse_frame_header(header))
+        except (asyncio.IncompleteReadError, WireProtocolError):
+            stderr = (await proc.stderr.read()).decode(errors="replace")
+            raise AsyncWorkerError(
+                f"worker died while running spec #{index} "
+                f"({spec.kind}): {stderr.strip()[-2000:]}"
+            ) from None
+        return decode_wire_body(body)

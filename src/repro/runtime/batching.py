@@ -30,13 +30,59 @@ BATCH_ENV_VAR = "REPRO_SIM_BATCH"
 BATCHABLE_PROGRAMS = frozenset({"bfs", "flood", "forest", "storm"})
 """Programs with a registered batch kernel (kept in sync by tests)."""
 
+AUTO_BATCH_DEFAULT = 32
+"""``--batch auto`` without cost history: a fixed, safe middle ground."""
 
-def resolve_batch(batch: Optional[int] = None) -> int:
-    """Resolve the batch limit (arg, then ``REPRO_SIM_BATCH``, then 1)."""
+AUTO_TARGET_SECONDS = 0.5
+"""``--batch auto`` sizes one batch job to about this much wall-time."""
+
+AUTO_BATCH_MAX = 256
+"""Upper bound on an auto-sized batch (bounds worker memory)."""
+
+
+def resolve_batch(batch=None) -> int:
+    """Resolve the batch limit (arg, then ``REPRO_SIM_BATCH``, then 1).
+
+    Accepts ints, numeric strings, and ``"auto"``.  ``"auto"`` here
+    resolves to :data:`AUTO_BATCH_DEFAULT` -- the cost-aware sizing
+    lives in :func:`~repro.runtime.sweeps.run_sweep`, which knows the
+    store holding the wall-time history and resolves ``auto`` *before*
+    the limit reaches this function.
+    """
     if batch is None:
-        raw = os.environ.get(BATCH_ENV_VAR)
-        batch = int(raw) if raw else 1
+        batch = os.environ.get(BATCH_ENV_VAR) or 1
+    if isinstance(batch, str):
+        if batch.strip().lower() == "auto":
+            return AUTO_BATCH_DEFAULT
+        batch = int(batch)
     return max(1, int(batch))
+
+
+def auto_batch_size(cost_model, specs: Sequence[JobSpec]) -> int:
+    """Size batches so one ``simulate_batch`` job is ~0.5 s of work.
+
+    Uses the scheduler's learned per-``(kind, n)`` wall-times (see
+    :class:`~repro.runtime.scheduler.CostModel`): with a measured mean
+    per-trial cost ``c``, a batch of ``AUTO_TARGET_SECONDS / c`` trials
+    keeps jobs long enough to amortize dispatch overhead and short
+    enough to stream progress and balance shards.  Without history (or
+    without any batchable spec to size against) the answer is the fixed
+    :data:`AUTO_BATCH_DEFAULT`; the result is always clamped to
+    ``[1, AUTO_BATCH_MAX]``.
+    """
+    candidates = [spec for spec in specs if batchable(spec)]
+    if not candidates:
+        return AUTO_BATCH_DEFAULT
+    costs = []
+    if cost_model is not None:
+        for spec in candidates:
+            predicted = cost_model.predict(spec.kind, spec.n)
+            if predicted and predicted > 0:
+                costs.append(predicted)
+    if not costs:
+        return AUTO_BATCH_DEFAULT
+    mean = sum(costs) / len(costs)
+    return max(1, min(AUTO_BATCH_MAX, int(AUTO_TARGET_SECONDS / mean)))
 
 
 def batching_available() -> bool:

@@ -8,14 +8,22 @@ processes, containers, or machines.  The orchestrator side is
 backends -- and the worker side is ``repro-planarity worker --connect
 host:port`` (see :func:`repro.runtime.worker.serve_remote`).
 
-Wire protocol (newline-delimited JSON frames, one per line):
+Wire protocol v2: **length-prefixed binary frames** (see
+:mod:`repro.runtime.codec` -- 2-byte magic + u32 body length + one
+codec-encoded message dict).  Specs and records travel as
+*shape-packed codec payloads* (``spec_pkd`` / ``record_pkd`` bytes
+fields), with each frame carrying the shape-definition blocks its
+payloads need that this connection has not seen yet (``shapes``) --
+so a worker's result bytes are appended to the store verbatim
+(:meth:`~repro.runtime.store.ShardedStore.put_raw`, zero server-side
+re-encode) and a store hit ships without a decode.
 
 =============  =========================================================
 frame          fields
 =============  =========================================================
 ``hello``      worker -> server: ``protocol`` (version int), ``kinds``
                (worker's registered job kinds), ``store`` (worker's
-               store dir or ``null``), ``pid``
+               store dir or ``None``), ``pid``
 ``welcome``    server -> worker: ``protocol``, ``store`` (the
                orchestrator's store dir, for same-host adoption),
                optional ``trace`` (``{"dir", "parent"}`` -- the trace
@@ -23,17 +31,25 @@ frame          fields
                :func:`repro.telemetry.adopt_trace`)
 ``reject``     server -> worker on a failed handshake: ``reason``;
                the connection closes immediately after
-``job``        server -> worker: ``id``, ``spec``
-               (:meth:`JobSpec.to_payload`), ``key`` (cache key or
-               ``null``)
-``result``     worker -> server: ``id``, ``record``, ``hit`` (served
-               from the worker's store), ``seconds`` (worker-side
-               wall-time, ``null`` on hits), ``stored`` (whether the
-               worker persisted the record itself) -- or ``error`` +
+``job``        server -> worker: ``id``, ``spec_pkd`` (shape-packed
+               :meth:`JobSpec.to_payload`), ``key`` (cache key or
+               ``None``), ``shapes``
+``result``     worker -> server: ``id``, ``record_pkd`` (shape-packed
+               record bytes), ``shapes``, ``hit`` (served from the
+               worker's store), ``seconds`` (worker-side wall-time,
+               ``None`` on hits), ``stored`` (whether the worker
+               persisted the record itself) -- or ``error`` +
                ``traceback`` on failure
 ``ping``       server -> worker heartbeat; worker answers ``pong``
 ``exit``       server -> worker: batch done, disconnect
 =============  =========================================================
+
+Version negotiation: a legacy JSON-lines worker (protocol 1) opens
+with ``{"op": "hello", ...}\\n``; the server detects the ``{`` where a
+frame magic should be, answers with a newline-delimited JSON
+``reject`` (the only dialect that worker can read) whose reason names
+the protocol mismatch, and closes.  A v2 hello with the wrong
+``protocol`` number is rejected symmetrically in a binary frame.
 
 Fault model: a worker that dies mid-job (socket EOF/reset) has its
 in-flight job **requeued** for the next worker, so killing a worker
@@ -60,16 +76,29 @@ import asyncio
 import json
 import queue
 import socket
+import struct
 import threading
 import time
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..telemetry.metrics import get_metrics
 from ..telemetry.spans import get_tracer
+from .codec import (
+    FRAME_HEADER_SIZE,
+    GLOBAL_SHAPES,
+    TruncatedEntry,
+    WireProtocolError,
+    decode_record,
+    decode_wire_body,
+    encode_record,
+    encode_wire_frame,
+    frame_shapes,
+    parse_frame_header,
+)
 from .jobs import JobSpec, Record
 from .store import ShardedStore
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 _SENTINEL = object()
 
@@ -83,12 +112,18 @@ class RemoteProtocolError(RuntimeError):
 
 
 def encode_frame(payload: dict) -> bytes:
-    """One wire frame: compact JSON + newline."""
+    """One *legacy* (protocol 1) wire frame: compact JSON + newline.
+
+    Kept for handshake negotiation: it is the only dialect a legacy
+    worker can read, so protocol-mismatch rejects to such workers are
+    sent this way.  All v2 traffic uses
+    :func:`~repro.runtime.codec.encode_wire_frame`.
+    """
     return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
 
 
 def decode_frame(line: bytes) -> dict:
-    """Parse one wire frame; raises :class:`RemoteProtocolError` on junk."""
+    """Parse one legacy JSON frame; :class:`RemoteProtocolError` on junk."""
     try:
         payload = json.loads(line)
     except (ValueError, UnicodeDecodeError) as exc:
@@ -96,6 +131,26 @@ def decode_frame(line: bytes) -> dict:
     if not isinstance(payload, dict):
         raise RemoteProtocolError(f"frame is not an object: {payload!r}")
     return payload
+
+
+async def read_bframe(reader) -> Optional[dict]:
+    """Read one binary frame from an asyncio stream reader.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`WireProtocolError` on a torn or malformed frame.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireProtocolError("connection closed mid-frame") from exc
+    body_len = parse_frame_header(header)
+    try:
+        body = await reader.readexactly(body_len)
+    except asyncio.IncompleteReadError as exc:
+        raise WireProtocolError("connection closed mid-frame") from exc
+    return decode_wire_body(body)
 
 
 def parse_endpoint(raw: str) -> Tuple[str, int]:
@@ -114,7 +169,7 @@ class _Connection:
     """Server-side state for one connected worker."""
 
     __slots__ = (
-        "reader", "writer", "name", "read_task",
+        "reader", "writer", "name", "read_task", "sent_shapes",
         "connected_at", "jobs_done", "busy_s", "ping_sent",
     )
 
@@ -122,9 +177,12 @@ class _Connection:
         self.reader = reader
         self.writer = writer
         self.name = name
-        # The persistent readline task: lets the dispatch loop wait on
-        # "next frame OR next job" without two readers racing.
+        # The persistent frame-read task: lets the dispatch loop wait
+        # on "next frame OR next job" without two readers racing.
         self.read_task: Optional[asyncio.Task] = None
+        # Shape-definition ids already sent down this connection (job
+        # spec payloads reference them; each def travels at most once).
+        self.sent_shapes: set = set()
         # Telemetry bookkeeping: per-worker utilization gauges and
         # heartbeat round-trip measurement.
         self.connected_at = time.monotonic()
@@ -139,7 +197,7 @@ class _Connection:
 
     def next_frame_task(self) -> asyncio.Task:
         if self.read_task is None or self.read_task.done():
-            self.read_task = asyncio.ensure_future(self.reader.readline())
+            self.read_task = asyncio.ensure_future(read_bframe(self.reader))
         return self.read_task
 
 
@@ -361,7 +419,7 @@ class RemoteBackend:
             server.close()
             for conn in list(connections):
                 try:
-                    conn.writer.write(encode_frame({"op": "exit"}))
+                    conn.writer.write(encode_wire_frame({"op": "exit"}))
                     await conn.writer.drain()
                 except (OSError, ConnectionError):
                     pass
@@ -379,22 +437,39 @@ class RemoteBackend:
     ) -> Optional[_Connection]:
         """Validate a connecting worker; ``None`` means rejected."""
 
-        async def reject(reason: str) -> None:
+        async def reject(reason: str, legacy: bool = False) -> None:
             get_tracer().event("remote.reject", reason=reason)
+            frame = {"op": "reject", "reason": reason}
             try:
-                writer.write(encode_frame({"op": "reject", "reason": reason}))
+                # A legacy JSON-lines worker cannot parse a binary
+                # frame; the reject is the one message still sent in
+                # its dialect so it can report *why* it was dropped.
+                writer.write(
+                    encode_frame(frame) if legacy else encode_wire_frame(frame)
+                )
                 await writer.drain()
             except (OSError, ConnectionError):
                 pass
             writer.close()
 
         try:
-            line = await asyncio.wait_for(
-                reader.readline(), timeout=max(self.heartbeat, 10.0)
+            hello = await asyncio.wait_for(
+                self._read_hello(reader), timeout=max(self.heartbeat, 10.0)
             )
-            hello = decode_frame(line) if line else {}
-        except (asyncio.TimeoutError, RemoteProtocolError):
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ValueError,  # covers WireProtocolError
+        ):
             writer.close()
+            return None
+        if hello.get("legacy"):
+            await reject(
+                f"protocol mismatch: server speaks {PROTOCOL_VERSION} "
+                f"(binary frames), worker speaks legacy JSON "
+                f"({hello.get('protocol', 1)!r})",
+                legacy=True,
+            )
             return None
         if hello.get("op") != "hello":
             await reject("expected hello frame")
@@ -443,10 +518,33 @@ class RemoteBackend:
                 }
             except OSError:
                 pass  # unwritable sink: workers run untraced
-        writer.write(encode_frame(welcome))
+        writer.write(encode_wire_frame(welcome))
         await writer.drain()
         name = f"worker-pid{hello.get('pid', '?')}"
         return _Connection(reader, writer, name)
+
+    @staticmethod
+    async def _read_hello(reader) -> dict:
+        """Read the opening frame, detecting legacy JSON workers.
+
+        A v2 worker opens with a binary frame (magic ``\\xa6R``); a
+        legacy JSON-lines worker opens with ``{"op": "hello", ...}\\n``.
+        The first byte tells them apart, so old workers get a readable
+        rejection instead of a silent disconnect.
+        """
+        first = await reader.readexactly(1)
+        if first == b"{":
+            line = first + await reader.readline()
+            try:
+                hello = decode_frame(line)
+            except RemoteProtocolError:
+                hello = {}
+            hello["legacy"] = True
+            return hello
+        rest = await reader.readexactly(FRAME_HEADER_SIZE - 1)
+        body_len = parse_frame_header(first + rest)
+        body = await reader.readexactly(body_len)
+        return decode_wire_body(body)
 
     async def _dispatch_loop(
         self,
@@ -472,7 +570,7 @@ class RemoteBackend:
             if finished.is_set():
                 await _requeue_cancelled(getter, pending)
                 try:
-                    conn.writer.write(encode_frame({"op": "exit"}))
+                    conn.writer.write(encode_wire_frame({"op": "exit"}))
                     await conn.writer.drain()
                 except (OSError, ConnectionError):
                     pass
@@ -481,10 +579,12 @@ class RemoteBackend:
                 # Unsolicited frame while idle: pong (fine) or EOF
                 # (worker died between jobs).
                 await _requeue_cancelled(getter, pending)
-                line = frame_task.result()
-                if not line:
+                try:
+                    frame = frame_task.result()
+                except (WireProtocolError, OSError):
+                    return  # torn frame or reset: drop the worker
+                if frame is None:
                     return  # EOF: nothing in flight, nothing to requeue
-                frame = decode_frame(line)
                 if frame.get("op") not in ("pong",):
                     # Unexpected chatter; drop the worker.
                     return
@@ -496,7 +596,7 @@ class RemoteBackend:
                 await _requeue_cancelled(getter, pending)
                 if loop.time() - last_ping >= self.heartbeat:
                     try:
-                        conn.writer.write(encode_frame({"op": "ping"}))
+                        conn.writer.write(encode_wire_frame({"op": "ping"}))
                         await conn.writer.drain()
                         last_ping = loop.time()
                         conn.ping_sent = time.monotonic()
@@ -521,29 +621,29 @@ class RemoteBackend:
     ) -> bool:
         """Send one job; collect its result.  ``False`` = drop worker."""
         index, spec, key = item
+        spec_pkd, _shape = encode_record(spec.to_payload())
         request = {
             "op": "job",
             "id": index,
-            "spec": spec.to_payload(),
+            "spec_pkd": spec_pkd,
             "key": key,
+            "shapes": frame_shapes(iter((spec_pkd,)), conn.sent_shapes),
         }
         try:
-            conn.writer.write(encode_frame(request))
+            conn.writer.write(encode_wire_frame(request))
             await conn.writer.drain()
         except (OSError, ConnectionError):
             pending.put_nowait(item)  # never dispatched: requeue
             return False
         dispatched = time.perf_counter()
         while True:
-            line = await conn.next_frame_task()
-            conn.read_task = None
-            if not line:
-                # Worker died mid-job: requeue for the next worker.
-                self._requeue_inflight(conn, item, pending, dispatched)
-                return False
             try:
-                frame = decode_frame(line)
-            except RemoteProtocolError:
+                frame = await conn.next_frame_task()
+            except (WireProtocolError, OSError):
+                frame = None  # torn frame: same as a dead worker
+            conn.read_task = None
+            if frame is None:
+                # Worker died mid-job: requeue for the next worker.
                 self._requeue_inflight(conn, item, pending, dispatched)
                 return False
             op = frame.get("op")
@@ -563,16 +663,32 @@ class RemoteBackend:
                 "remote.abort", worker=conn.name, index=index, kind=spec.kind
             )
             return False
-        record = frame["record"]
-        if (
-            key
-            and self._store is not None
-            and not frame.get("stored", False)
-        ):
-            # Storeless workers (no shared filesystem) cannot persist;
-            # the orchestrator appends on their behalf so resume runs
-            # still find every record on disk.
-            self._store.put(key, record)
+        record_pkd = frame.get("record_pkd")
+        if not isinstance(record_pkd, (bytes, bytearray)):
+            self._requeue_inflight(conn, item, pending, dispatched)
+            return False
+        try:
+            for block in frame.get("shapes") or ():
+                GLOBAL_SHAPES.register_block(block)
+            if (
+                key
+                and self._store is not None
+                and not frame.get("stored", False)
+            ):
+                # Storeless workers (no shared filesystem) cannot
+                # persist; the orchestrator appends the worker's result
+                # *bytes* on their behalf -- no decode/re-encode -- so
+                # resume runs still find every record on disk.
+                self._store.put_raw(key, bytes(record_pkd))
+            # One decode per record, for the consumer stream; the
+            # store append above never parses it.
+            record = decode_record(bytes(record_pkd))
+        except (KeyError, ValueError, TruncatedEntry, struct.error):
+            # Undecodable payload (missing shape def, corrupt bytes):
+            # treat like any other protocol violation -- requeue the
+            # job and drop the worker.
+            self._requeue_inflight(conn, item, pending, dispatched)
+            return False
         state["remaining"] -= 1
         seconds = frame.get("seconds")
         conn.jobs_done += 1

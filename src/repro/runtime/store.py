@@ -1,42 +1,67 @@
 """Sharded on-disk record store: append-only shards + a compact index.
 
-The seed cache persisted one JSON file per entry, which meant one
-``open``/``stat`` pair per lookup, unbounded directory growth, and no
-way for concurrent writers to coordinate beyond atomic renames.  This
-module replaces that layer with a **sharded single-index store**:
+The seed cache persisted one JSON file per entry; PR 3 replaced it
+with sharded JSONL files; this revision moves the payload plane to a
+**packed binary format** (``shard-SS.rbin``, see
+:mod:`repro.runtime.codec`) while keeping every operational property
+of the JSONL store:
 
-* records append to one of ``shards`` JSONL files (``shard-SS.jsonl``);
-  the shard is chosen by a stable hash of the key, so every process
-  agrees on placement without coordination;
+* records append to one of ``shards`` data files; the shard is chosen
+  by a stable hash of the key, so every process agrees on placement
+  without coordination;
 * each process keeps a **compact in-memory index** per shard (key ->
-  byte offset of the newest line), built by scanning the shard once and
-  refreshed *incrementally*: when another process appends, only the new
-  tail is read, never the whole file;
-* appends hold an ``fcntl`` exclusive lock on a per-shard lock file, so
-  any number of pool workers / CLI invocations / async workers can
-  write to one store concurrently without tearing lines;
+  ``(source file, byte offset)`` of the newest entry), built by
+  scanning the shard once and refreshed *incrementally*: when another
+  process appends, only the new tail is read, never the whole file;
+* appends hold an ``fcntl`` exclusive lock on a per-shard lock file,
+  so any number of pool workers / CLI invocations / async workers can
+  write to one store concurrently without tearing entries;
 * **compaction** rewrites a shard newest-wins, evicting the
-  least-recently-touched entries beyond ``max_entries`` (recency is
-  this process's append/lookup order -- an LRU approximation across
-  processes) and reporting entries evicted + bytes reclaimed;
-* every line carries an **append timestamp**, so long-lived fleet
-  stores can be garbage-collected: :meth:`ShardedStore.gc` expires
-  entries older than a TTL and shrinks the store to a byte budget with
-  newest-wins retention, reporting entries removed + bytes reclaimed;
-* one **metadata shard** (``meta-00.jsonl``, same locking and line
-  format, exempt from caps/GC) holds small operational records --
-  today the scheduler's per-kind/per-n wall-time cost table.
+  least-recently-touched entries beyond ``max_entries`` and reporting
+  entries evicted + bytes reclaimed;
+* every entry carries an **append timestamp** for TTL/size
+  :meth:`ShardedStore.gc`; one **metadata shard** (``meta-00``, same
+  locking, exempt from caps/GC) holds small operational records.
 
-Durability model: a line is the unit of persistence.  Torn or corrupt
-lines (crash mid-append without the lock discipline, disk trouble)
-degrade to misses at scan time, never to crashes.
+What the binary format adds on top:
+
+* **zero-parse reads**: lookups memory-map the shard file and slice
+  the record payload at its indexed offset; compaction, GC, and
+  resume merges splice entry *bytes* between files instead of
+  JSON-round-tripping every record (shape-packed payloads are
+  position-independent, so splicing is safe);
+* **zero-copy hand-off**: :meth:`ShardedStore.put_raw` appends an
+  already-encoded payload (e.g. bytes received from a remote worker)
+  without decode/re-encode, and :meth:`ShardedStore.get_raw` returns
+  the stored bytes for the symmetric send path;
+* a **memory-mapped shard index sidecar** (``shard-SS.idx``, written
+  after every compaction/GC/migration): the live entries' offset
+  table plus the shard's shape dictionary, so a fresh process seeds
+  its index without scanning entry-by-entry (telemetry counts
+  ``store.index_hits`` / ``store.index_misses``);
+* **formats coexist**: a directory may hold ``.jsonl`` and ``.rbin``
+  shards side by side (e.g. mid-migration, or a legacy writer against
+  an upgraded store); readers merge both, newest-scan-wins.  The
+  store format is resolved per store -- constructor argument, then
+  the format persisted in ``store.json``, then ``REPRO_STORE_FORMAT``,
+  then the ``rbin`` default -- and :meth:`ShardedStore.migrate`
+  rewrites everything (including the meta shard) into the resolved
+  format, so ``cache migrate`` upgrades legacy stores in place.
+
+Durability model: an entry is the unit of persistence.  Torn or
+corrupt entries (crash mid-append without the lock discipline, disk
+trouble) degrade to misses at scan time, never to crashes; binary
+scans resynchronize on the entry magic + header checksum, the
+analogue of JSONL's newline resync.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
+import struct
 import tempfile
 import time
 from collections import OrderedDict
@@ -52,6 +77,23 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from ..telemetry.metrics import get_metrics
 from ..telemetry.spans import telemetry_enabled
+from .codec import (
+    ENTRY_HEADER_SIZE,
+    GLOBAL_SHAPES,
+    CorruptEntry,
+    ShapeRegistry,
+    TruncatedEntry,
+    UnknownShapeError,
+    decode_record,
+    encode_record,
+    pack_record_entry,
+    pack_shape_entry,
+    read_entry,
+    read_uvarint,
+    scan_entries,
+    shape_of_payload,
+    write_uvarint,
+)
 
 Record = Dict[str, object]
 
@@ -60,10 +102,32 @@ DEFAULT_SHARDS = 8
 META_SHARD = "meta-00"
 """Basename of the metadata shard (cost tables, operational records)."""
 
+FORMAT_RBIN = "rbin"
+FORMAT_JSONL = "jsonl"
+FORMAT_ENV_VAR = "REPRO_STORE_FORMAT"
+"""Environment override for the store format of newly-opened stores."""
+
+SRC_BIN = 0
+SRC_JSONL = 1
+
+IDX_MAGIC = b"RIDX\x01"
+_IDX_HEAD = struct.Struct("<QB16s")
+
 
 def _now() -> float:
     """Wall-clock used for entry timestamps (monkeypatchable in tests)."""
     return time.time()
+
+
+def resolve_format(explicit: Optional[str], persisted: Optional[str]) -> str:
+    """Store format resolution: argument > ``store.json`` > env > rbin."""
+    fmt = explicit or persisted or os.environ.get(FORMAT_ENV_VAR) or FORMAT_RBIN
+    if fmt not in (FORMAT_RBIN, FORMAT_JSONL):
+        raise ValueError(
+            f"unknown store format {fmt!r} "
+            f"(expected {FORMAT_RBIN!r} or {FORMAT_JSONL!r})"
+        )
+    return fmt
 
 
 def shard_of_key(key: str, shards: int) -> int:
@@ -82,6 +146,8 @@ class StoreStats:
     compactions: int = 0
     evicted_entries: int = 0
     bytes_reclaimed: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
 
 
 @dataclass
@@ -123,58 +189,277 @@ class GCReport:
         return self
 
 
-class _Shard:
-    """One append-only JSONL file plus this process's index over it.
+@dataclass
+class MigrateReport:
+    """Outcome of one :meth:`ShardedStore.migrate` pass."""
 
-    ``index`` maps key -> byte offset of the newest line holding it,
-    ordered by recency (move-to-end on append and on lookup).
-    ``scanned`` is how far into the file the index is valid; anything
-    past it was appended by another process and is folded in lazily.
+    format: str = FORMAT_RBIN
+    entries: int = 0
+    meta_entries: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+
+class _Shard:
+    """One logical shard: up to two data files plus this process's index.
+
+    ``index`` maps key -> ``(src, offset)`` of the newest entry
+    holding it (``src`` selects the ``.rbin`` or legacy ``.jsonl``
+    file), ordered by recency (move-to-end on append and lookup).
+    ``scanned_bin`` / ``scanned_jsonl`` are how far into each file the
+    index is valid; anything past them was appended by another
+    process and is folded in lazily.  Binary reads go through a
+    persistent read-only ``mmap`` so steady-state lookups cost a
+    slice, not an ``open``/``seek``/``read`` cycle.
     """
 
-    __slots__ = ("path", "index", "scanned")
+    __slots__ = (
+        "name",
+        "bin_path",
+        "jsonl_path",
+        "idx_path",
+        "index",
+        "scanned_bin",
+        "scanned_jsonl",
+        "bin_end",
+        "shapes_written",
+        "bin_absent",
+        "jsonl_absent",
+        "idx_tried",
+        "stats",
+        "_mmap",
+    )
 
-    def __init__(self, path: Path):
-        self.path = path
-        self.index: "OrderedDict[str, int]" = OrderedDict()
-        self.scanned = 0
+    def __init__(self, root: Path, name: str, stats=None):
+        self.name = name
+        self.stats = stats  # owning store's StoreStats, if any
+        self.bin_path = root / f"{name}.rbin"
+        self.jsonl_path = root / f"{name}.jsonl"
+        self.idx_path = root / f"{name}.idx"
+        self.index: "OrderedDict[str, Tuple[int, int]]" = OrderedDict()
+        self.scanned_bin = 0
+        self.scanned_jsonl = 0
+        # Writer-side state: the binary file's size after our last
+        # locked append.  A later append that finds the file *smaller*
+        # knows another process rewrote it and re-emits shape
+        # definitions (duplicates are harmless, missing ones are not).
+        self.bin_end = 0
+        self.shapes_written: set = set()
+        # Missing-file stat caches: once a rescan-from-zero observes a
+        # data file absent, skip re-statting it on every refresh until
+        # the next reset (or until this process creates it).
+        self.bin_absent = False
+        self.jsonl_absent = False
+        self.idx_tried = False
+        self._mmap: Optional[mmap.mmap] = None
 
-    def refresh(self) -> None:
-        """Fold in lines appended since the last scan (cheap when none)."""
+    def reset(self) -> None:
+        """Forget everything scanned; the next refresh starts over."""
+        self.index.clear()
+        self.scanned_bin = 0
+        self.scanned_jsonl = 0
+        self.bin_absent = False
+        self.jsonl_absent = False
+        self.idx_tried = False
+        self.close_mmap()
+
+    # -- file plumbing ----------------------------------------------
+
+    def stat_bin(self) -> int:
+        if self.bin_absent:
+            return 0
         try:
-            size = self.path.stat().st_size
+            return os.stat(self.bin_path).st_size
         except OSError:
-            # File vanished (clear() from another process): start over.
-            self.index.clear()
-            self.scanned = 0
+            self.bin_absent = True
+            return 0
+
+    def stat_jsonl(self) -> int:
+        if self.jsonl_absent:
+            return 0
+        try:
+            return os.stat(self.jsonl_path).st_size
+        except OSError:
+            self.jsonl_absent = True
+            return 0
+
+    def close_mmap(self) -> None:
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except OSError:  # pragma: no cover - close never fails here
+                pass
+            self._mmap = None
+
+    def remap(self) -> Optional[mmap.mmap]:
+        self.close_mmap()
+        try:
+            with open(self.bin_path, "rb") as handle:
+                self._mmap = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except (OSError, ValueError):  # ValueError: empty file
+            self._mmap = None
+        return self._mmap
+
+    def ensure_mmap(self, need: int) -> Optional[mmap.mmap]:
+        """A read map covering at least ``need`` bytes, if possible."""
+        current = self._mmap
+        if current is not None and len(current) >= need:
+            return current
+        return self.remap()
+
+    def bin_entry_at(self, offset: int, registry: ShapeRegistry):
+        """Parse the record entry at *offset* via the mmap.
+
+        Returns ``(entry, buf)`` (slice ``buf`` for the payload) or
+        ``None`` when the bytes there are not a complete record entry
+        -- a stale index, a torn write, or a rewritten file; callers
+        treat all three as "rescan and retry".
+        """
+        for attempt in (0, 1):
+            buf = self.ensure_mmap(offset + ENTRY_HEADER_SIZE)
+            if buf is None:
+                return None
+            try:
+                entry, _ = read_entry(buf, offset, len(buf), registry)
+            except TruncatedEntry:
+                if attempt:
+                    return None
+                # The map may predate an append that completed this
+                # entry: remap once and retry.
+                self.close_mmap()
+                continue
+            except CorruptEntry:
+                return None
+            if entry is None:
+                return None
+            return entry, buf
+        return None  # pragma: no cover - loop always returns
+
+    # -- scanning ---------------------------------------------------
+
+    def refresh(self, prefer_bin: bool) -> None:
+        """Fold in entries appended since the last scan (cheap when none)."""
+        bin_size = self.stat_bin()
+        jsonl_size = self.stat_jsonl()
+        if bin_size < self.scanned_bin or jsonl_size < self.scanned_jsonl:
+            # A file vanished or shrank behind our back (clear or
+            # compaction in another process): rescan from scratch.
+            self.reset()
+            bin_size = self.stat_bin()
+            jsonl_size = self.stat_jsonl()
+        # Scan the losing format first: on key collisions across
+        # files, the store's own format wins within one refresh
+        # (across refreshes, whichever file grew last wins -- the
+        # chronologically newest append).
+        if prefer_bin:
+            self._scan_jsonl_tail(jsonl_size)
+            self._scan_bin_tail(bin_size)
+        else:
+            self._scan_bin_tail(bin_size)
+            self._scan_jsonl_tail(jsonl_size)
+
+    def _scan_bin_tail(self, size: int) -> None:
+        if self.scanned_bin == 0 and size > 0 and not self.idx_tried:
+            self.idx_tried = True
+            hit = self._load_idx(size)
+            if self.stats is not None:
+                if hit:
+                    self.stats.index_hits += 1
+                else:
+                    self.stats.index_misses += 1
+            if telemetry_enabled():
+                get_metrics().inc(
+                    "store.index_hits" if hit else "store.index_misses"
+                )
+        if size <= self.scanned_bin:
             return
-        if size < self.scanned:
-            # Truncated behind our back (compaction elsewhere): rescan.
-            self.index.clear()
-            self.scanned = 0
-        if size == self.scanned:
+        try:
+            with open(self.bin_path, "rb") as handle:
+                handle.seek(self.scanned_bin)
+                data = handle.read(size - self.scanned_bin)
+        except OSError:
+            self.reset()
+            return
+        base = self.scanned_bin
+        entries, scanned = scan_entries(data, 0, len(data), GLOBAL_SHAPES)
+        index = self.index
+        for entry in entries:
+            index[entry.key] = (SRC_BIN, base + entry.offset)
+            index.move_to_end(entry.key)
+        # A trailing truncated entry (writer mid-append) stays
+        # unscanned so the next refresh picks it up once complete.
+        self.scanned_bin = base + scanned
+
+    def _scan_jsonl_tail(self, size: int) -> None:
+        if size <= self.scanned_jsonl:
             return
         line = b"\n"
         try:
-            with open(self.path, "rb") as handle:
-                handle.seek(self.scanned)
-                offset = self.scanned
+            with open(self.jsonl_path, "rb") as handle:
+                handle.seek(self.scanned_jsonl)
+                offset = self.scanned_jsonl
                 for line in handle:
                     if line.endswith(b"\n"):
                         key = _key_of_line(line)
                         if key is not None:
-                            self.index[key] = offset
+                            self.index[key] = (SRC_JSONL, offset)
                             self.index.move_to_end(key)
                     offset += len(line)
         except OSError:
-            # Shard disappeared mid-read (clear/compact race): the next
-            # refresh rescans from scratch.
-            self.index.clear()
-            self.scanned = 0
+            self.reset()
             return
-        # A trailing partial line (writer mid-append) stays unscanned
-        # so the next refresh picks it up once it is complete.
-        self.scanned = offset if line_complete(line) else offset - len(line)
+        # A trailing partial line (writer mid-append) stays unscanned.
+        self.scanned_jsonl = (
+            offset if line_complete(line) else offset - len(line)
+        )
+
+    def _load_idx(self, bin_size: int) -> bool:
+        """Seed the index from the ``.idx`` sidecar; True on success.
+
+        The sidecar is a *hint*: it must cover a prefix of the
+        current data file (size + head-echo check), and every offset
+        it names must parse as a record entry in the mapped data
+        file.  Anything off falls back to a full scan; per-lookup key
+        verification keeps even a maliciously stale sidecar safe.
+        """
+        try:
+            blob = self.idx_path.read_bytes()
+        except OSError:
+            return False
+        if not blob.startswith(IDX_MAGIC):
+            return False
+        try:
+            data_size, head_len, head = _IDX_HEAD.unpack_from(
+                blob, len(IDX_MAGIC)
+            )
+            pos = len(IDX_MAGIC) + _IDX_HEAD.size
+            if data_size > bin_size or head_len > 16:
+                return False
+            buf = self.ensure_mmap(data_size)
+            if buf is None or bytes(buf[:head_len]) != head[:head_len]:
+                return False
+            n_shapes, pos = read_uvarint(blob, pos)
+            for _ in range(n_shapes):
+                length, pos = read_uvarint(blob, pos)
+                GLOBAL_SHAPES.register_block(blob[pos : pos + length])
+                pos += length
+            n_entries, pos = read_uvarint(blob, pos)
+            seeded: "OrderedDict[str, Tuple[int, int]]" = OrderedDict()
+            offset = 0
+            for _ in range(n_entries):
+                delta, pos = read_uvarint(blob, pos)
+                offset += delta
+                entry, _ = read_entry(buf, offset, data_size, GLOBAL_SHAPES)
+                if entry is None:
+                    return False
+                seeded[entry.key] = (SRC_BIN, offset)
+        except (CorruptEntry, TruncatedEntry, ValueError, struct.error):
+            return False
+        self.index.update(seeded)
+        self.scanned_bin = data_size
+        return True
 
 
 def line_complete(line: bytes) -> bool:
@@ -191,6 +476,41 @@ def _key_of_line(line: bytes) -> Optional[str]:
     return None
 
 
+def _jsonl_line(key: str, record: Record, stamp: float) -> bytes:
+    return (
+        json.dumps(
+            {"k": key, "r": record, "t": stamp},
+            separators=(",", ":"),
+        )
+        + "\n"
+    ).encode("utf-8")
+
+
+def count_record_entries(root) -> int:
+    """Physical record entries across every data shard file in *root*.
+
+    Counts one per append (newest-wins duplicates included, shape
+    definitions and the meta shard excluded) over both formats --
+    tests use it to assert how many records actually landed on disk.
+    """
+    root = Path(root)
+    total = 0
+    for path in root.glob("shard-*.jsonl"):
+        try:
+            with open(path, "rb") as handle:
+                total += sum(1 for line in handle if line.endswith(b"\n"))
+        except OSError:
+            continue
+    for path in root.glob("shard-*.rbin"):
+        try:
+            data = path.read_bytes()
+        except OSError:
+            continue
+        entries, _ = scan_entries(data, 0, len(data), ShapeRegistry())
+        total += len(entries)
+    return total
+
+
 @dataclass
 class ShardedStore:
     """Multi-process-safe sharded record store under one directory.
@@ -204,13 +524,20 @@ class ShardedStore:
             process's recency order (append/lookup), oldest first.
         compact_factor: a shard compacts automatically when its file
             holds more than ``compact_factor`` times its live entries
-            (dead newest-wins duplicates) and at least ``shards`` lines.
+            (dead newest-wins duplicates) and at least ``shards``
+            entries.
+        record_format: ``"rbin"`` (packed binary, the default) or
+            ``"jsonl"`` (legacy line format); ``None`` resolves from
+            ``store.json``, then ``REPRO_STORE_FORMAT``, then rbin.
+            Either format *reads* both; the format selects what new
+            appends and rewrites produce.
     """
 
     root: Path
     shards: int = DEFAULT_SHARDS
     max_entries: Optional[int] = None
     compact_factor: float = 4.0
+    record_format: Optional[str] = None
     stats: StoreStats = field(default_factory=StoreStats)
     _shards: List[_Shard] = field(default_factory=list, repr=False)
     _lines: List[int] = field(default_factory=list, repr=False)
@@ -218,30 +545,65 @@ class ShardedStore:
     def __post_init__(self):
         self.root = Path(self.root)
         meta = self.root / "store.json"
+        persisted_format: Optional[str] = None
         if meta.is_file():
             try:
                 persisted = json.loads(meta.read_text())
                 self.shards = int(persisted.get("shards", self.shards))
+                fmt = persisted.get("format")
+                if isinstance(fmt, str):
+                    persisted_format = fmt
             except (ValueError, OSError):
                 pass
+        self.record_format = resolve_format(
+            self.record_format, persisted_format
+        )
+        # An explicit ctor format that contradicts store.json re-points
+        # the store durably on first write: later openers must resolve
+        # the same format, or cross-format newest-wins inverts.
+        self._format_stale = (
+            persisted_format is not None
+            and self.record_format != persisted_format
+        )
         self._shards = [
-            _Shard(self.root / f"shard-{i:02d}.jsonl")
+            _Shard(self.root, f"shard-{i:02d}", stats=self.stats)
             for i in range(self.shards)
         ]
         self._lines = [0] * self.shards
 
-    # -- layout helpers -------------------------------------------------------
+    @property
+    def format(self) -> str:
+        """The resolved record format new appends use."""
+        return self.record_format or FORMAT_RBIN
+
+    @property
+    def _prefer_bin(self) -> bool:
+        return self.record_format != FORMAT_JSONL
+
+    # -- layout helpers ---------------------------------------------
 
     def _ensure_root(self) -> None:
         if not self.root.is_dir():
             self.root.mkdir(parents=True, exist_ok=True)
         meta = self.root / "store.json"
-        if not meta.is_file():
-            tmp = meta.with_suffix(".tmp")
-            tmp.write_text(
-                json.dumps({"version": 1, "shards": self.shards}) + "\n"
+        if not meta.is_file() or self._format_stale:
+            self._write_store_json()
+            self._format_stale = False
+
+    def _write_store_json(self) -> None:
+        meta = self.root / "store.json"
+        tmp = meta.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "version": 2,
+                    "shards": self.shards,
+                    "format": self.format,
+                }
             )
-            os.replace(tmp, meta)
+            + "\n"
+        )
+        os.replace(tmp, meta)
 
     def _lock(self, shard_id: int):
         """Exclusive lock for one data shard (see :meth:`_lock_named`)."""
@@ -252,10 +614,10 @@ class ShardedStore:
         """Exclusive named lock: ``flock`` on POSIX, else O_EXCL file.
 
         The fallback spins on atomically creating ``.mutex``; a mutex
-        older than 30s is presumed leaked by a dead process and broken.
-        Multi-writer appends are therefore serialized on every
-        platform, matching the rename-atomicity the per-entry JSON
-        layout used to provide.
+        older than 30s is presumed leaked by a dead process and
+        broken.  Multi-writer appends are therefore serialized on
+        every platform, matching the rename-atomicity the per-entry
+        JSON layout used to provide.
         """
         self._ensure_root()
         lock_path = self.root / f"{name}.lock"
@@ -295,21 +657,20 @@ class ShardedStore:
             except OSError:
                 pass
 
-    # -- store API ------------------------------------------------------------
+    # -- store API --------------------------------------------------
 
     def get(self, key: str) -> Optional[Record]:
         """Return the newest record stored under *key*, or ``None``."""
         self.stats.lookups += 1
         shard = self._shards[shard_of_key(key, self.shards)]
-        shard.refresh()
+        shard.refresh(self._prefer_bin)
         record = self._read_indexed(shard, key)
         if record is None and key in shard.index:
-            # The offset was stale (another process compacted the shard
-            # without shrinking it below our scan pointer): rebuild the
-            # index from scratch and retry once.
-            shard.index.clear()
-            shard.scanned = 0
-            shard.refresh()
+            # The offset was stale (another process rewrote the shard
+            # without shrinking it below our scan pointer): rebuild
+            # the index from scratch and retry once.
+            shard.reset()
+            shard.refresh(self._prefer_bin)
             record = self._read_indexed(shard, key)
         if record is None:
             return None
@@ -317,14 +678,49 @@ class ShardedStore:
         self.stats.hits += 1
         return record
 
-    @staticmethod
-    def _read_indexed(shard: _Shard, key: str) -> Optional[Record]:
-        """Read *key*'s record at its indexed offset; ``None`` if stale."""
-        offset = shard.index.get(key)
-        if offset is None:
+    def get_raw(self, key: str) -> Optional[bytes]:
+        """The stored binary payload for *key*, or ``None``.
+
+        Only binary-sourced entries have payload bytes; a key living
+        in a legacy ``.jsonl`` shard returns ``None`` and the caller
+        falls back to :meth:`get` + re-encode.  Workers use this to
+        ship cache hits over the wire without a decode/encode cycle.
+        """
+        self.stats.lookups += 1
+        shard = self._shards[shard_of_key(key, self.shards)]
+        shard.refresh(self._prefer_bin)
+        payload = self._read_indexed(shard, key, raw=True)
+        if payload is None and key in shard.index:
+            shard.reset()
+            shard.refresh(self._prefer_bin)
+            payload = self._read_indexed(shard, key, raw=True)
+        if payload is None:
             return None
+        shard.index.move_to_end(key)
+        self.stats.hits += 1
+        return payload
+
+    def _read_indexed(
+        self, shard: _Shard, key: str, raw: bool = False
+    ) -> Optional[object]:
+        entry = shard.index.get(key)
+        if entry is None:
+            return None
+        src, offset = entry
+        if src == SRC_JSONL:
+            record = self._jsonl_record_at(shard, offset, key)
+            if record is None or not raw:
+                return record
+            return None  # raw bytes only exist for binary entries
+        return self._bin_record_at(shard, offset, key, raw=raw)
+
+    @staticmethod
+    def _jsonl_record_at(
+        shard: _Shard, offset: int, key: str
+    ) -> Optional[Record]:
+        """Read *key*'s JSON line at its indexed offset; None if stale."""
         try:
-            with open(shard.path, "rb") as handle:
+            with open(shard.jsonl_path, "rb") as handle:
                 handle.seek(offset)
                 line = handle.readline()
             payload = json.loads(line)
@@ -337,50 +733,180 @@ class ShardedStore:
         record = payload.get("r")
         return record if isinstance(record, dict) else None
 
+    @staticmethod
+    def _bin_record_at(
+        shard: _Shard, offset: int, key: str, raw: bool = False
+    ) -> Optional[object]:
+        """Read *key*'s payload at its indexed binary offset."""
+        hit = shard.bin_entry_at(offset, GLOBAL_SHAPES)
+        if hit is None:
+            return None
+        entry, buf = hit
+        if entry.key != key:
+            # Entry at this offset belongs to a different key: the
+            # file was rewritten behind our back.  Never serve it.
+            return None
+        start, end = entry.payload_slice
+        payload = buf[start:end]
+        if raw:
+            return payload
+        try:
+            return decode_record(payload)
+        except (UnknownShapeError, CorruptEntry, TruncatedEntry):
+            # Shape definitions live earlier in the file; the reset +
+            # full rescan the caller performs registers them.
+            return None
+
     def put(self, key: str, record: Record) -> None:
         """Append *record* under *key* (newest-wins on repeated keys).
 
-        Each line is stamped with the append wall-clock time, which is
-        what :meth:`gc` ages entries by.
+        Each entry is stamped with the append wall-clock time, which
+        is what :meth:`gc` ages entries by.
         """
         shard_id = shard_of_key(key, self.shards)
         shard = self._shards[shard_id]
-        line = (
-            json.dumps(
-                {"k": key, "r": record, "t": round(_now(), 3)},
-                separators=(",", ":"),
-            )
-            + "\n"
-        ).encode("utf-8")
-        with self._lock(shard_id):
-            with open(shard.path, "ab") as handle:
-                offset = handle.tell()
-                handle.write(line)
-        shard.index[key] = offset
-        shard.index.move_to_end(key)
-        # Our scan pointer is only advanced past our own line when no
-        # other writer interleaved; otherwise the next refresh re-reads
-        # the gap (idempotent).
-        if offset == shard.scanned:
-            shard.scanned = offset + len(line)
+        stamp = round(_now(), 3)
+        if self._prefer_bin:
+            payload, shape = encode_record(record)
+            self._append_bin(shard, shard_id, key, stamp, payload, shape)
+        else:
+            self._append_jsonl(shard, shard_id, key, record, stamp)
         self.stats.appends += 1
         if telemetry_enabled():
             get_metrics().inc("store.appends")
         self._maybe_compact(shard_id)
 
+    def put_raw(self, key: str, payload: bytes) -> None:
+        """Append an already-encoded payload without re-encoding.
+
+        The zero-copy ingest path: bytes received from a worker (or
+        read from another store) land verbatim.  The payload's shape
+        must already be registered (wire frames and shard scans both
+        register definitions before any payload referencing them).
+        On a legacy-format store this degrades to decode + JSON
+        append, keeping the store uniform for legacy readers.
+        """
+        shape = shape_of_payload(payload)
+        if shape is None:
+            raise UnknownShapeError(bytes(payload[:8]).hex())
+        shard_id = shard_of_key(key, self.shards)
+        shard = self._shards[shard_id]
+        stamp = round(_now(), 3)
+        if self._prefer_bin:
+            self._append_bin(shard, shard_id, key, stamp, payload, shape)
+        else:
+            self._append_jsonl(
+                shard, shard_id, key, decode_record(payload), stamp
+            )
+        self.stats.appends += 1
+        if telemetry_enabled():
+            get_metrics().inc("store.appends")
+            get_metrics().inc("store.raw_appends")
+        self._maybe_compact(shard_id)
+
+    def _append_bin(
+        self,
+        shard: _Shard,
+        shard_id: int,
+        key: str,
+        stamp: float,
+        payload: bytes,
+        shape,
+    ) -> None:
+        entry = pack_record_entry(key, stamp, payload)
+        with self._lock(shard_id):
+            with open(shard.bin_path, "ab") as handle:
+                offset = handle.tell()
+                if offset < shard.bin_end:
+                    # Another process rewrote the file since our last
+                    # append: our record of which shape definitions it
+                    # holds is void.  (Rewrites only ever shrink.)
+                    shard.shapes_written.clear()
+                if offset not in (shard.bin_end, shard.scanned_bin):
+                    # Bytes we have never validated precede our append
+                    # point (another writer, a rewrite, or a crashed
+                    # writer's torn tail).  Absorb them now, while the
+                    # exclusive lock guarantees they are stable: a torn
+                    # tail MUST be neutralized before we append, or its
+                    # intact header would claim the start of our entry
+                    # as the rest of its body on the next scan.
+                    self._absorb_unscanned(shard, offset)
+                prefix = b""
+                if shape.shape_id not in shard.shapes_written:
+                    prefix = pack_shape_entry(shape.block)
+                handle.write(prefix + entry)
+                shard.bin_end = offset + len(prefix) + len(entry)
+        shard.shapes_written.add(shape.shape_id)
+        shard.bin_absent = False
+        record_offset = shard.bin_end - len(entry)
+        shard.index[key] = (SRC_BIN, record_offset)
+        shard.index.move_to_end(key)
+        # Our scan pointer advances past our own entry only when no
+        # other writer interleaved; otherwise the next refresh re-reads
+        # the gap (idempotent).
+        if offset == shard.scanned_bin:
+            shard.scanned_bin = shard.bin_end
+
+    def _absorb_unscanned(self, shard: _Shard, size: int) -> None:
+        """Validate the bytes in ``[scanned_bin, size)`` (lock held).
+
+        Entries other writers appended merge into the index; shape
+        definitions register as a side effect.  The load-bearing part:
+        a torn tail left by a crashed writer gets its first byte
+        zeroed, so the half-written entry reads as corrupt (resync
+        skips it) instead of as a complete entry whose body happens to
+        end inside whatever is appended next -- without this, a
+        fixed-column record appended right after a crash could decode
+        to silently wrong values.
+        """
+        start = shard.scanned_bin
+        if start > size or size < shard.bin_end:
+            start = 0  # the file was rewritten (shrunk) under us
+        with open(shard.bin_path, "rb") as reader:
+            reader.seek(start)
+            gap = reader.read(size - start)
+        entries, scanned = scan_entries(gap, 0, len(gap), GLOBAL_SHAPES)
+        for entry in entries:
+            shard.index[entry.key] = (SRC_BIN, start + entry.offset)
+            shard.index.move_to_end(entry.key)
+        if start + scanned < size:
+            with open(shard.bin_path, "r+b") as patcher:
+                patcher.seek(start + scanned)
+                patcher.write(b"\x00")  # kill the torn entry's magic
+        shard.scanned_bin = start + scanned
+
+    def _append_jsonl(
+        self,
+        shard: _Shard,
+        shard_id: int,
+        key: str,
+        record: Record,
+        stamp: float,
+    ) -> None:
+        line = _jsonl_line(key, record, stamp)
+        with self._lock(shard_id):
+            with open(shard.jsonl_path, "ab") as handle:
+                offset = handle.tell()
+                handle.write(line)
+        shard.jsonl_absent = False
+        shard.index[key] = (SRC_JSONL, offset)
+        shard.index.move_to_end(key)
+        if offset == shard.scanned_jsonl:
+            shard.scanned_jsonl = offset + len(line)
+
     def __len__(self) -> int:
         total = 0
         for shard in self._shards:
-            shard.refresh()
+            shard.refresh(self._prefer_bin)
             total += len(shard.index)
         return total
 
     def keys(self) -> Iterator[str]:
         for shard in self._shards:
-            shard.refresh()
+            shard.refresh(self._prefer_bin)
             yield from list(shard.index)
 
-    # -- compaction / eviction ------------------------------------------------
+    # -- compaction / eviction --------------------------------------
 
     def _live_cap_per_shard(self) -> Optional[int]:
         if self.max_entries is None:
@@ -389,15 +915,11 @@ class ShardedStore:
 
     def _maybe_compact(self, shard_id: int) -> None:
         shard = self._shards[shard_id]
-        try:
-            size = shard.path.stat().st_size
-        except OSError:
-            return
         live = max(1, len(shard.index))
         cap = self._live_cap_per_shard()
         over_cap = cap is not None and len(shard.index) > cap
-        # Estimate dead weight from line counts: scanned bytes per live
-        # entry.  Compact when the file is mostly dead or over cap.
+        # Estimate dead weight from append counts since the last
+        # rewrite: compact when the file is mostly dead or over cap.
         self._lines[shard_id] += 1
         if over_cap or (
             self._lines[shard_id] >= live * self.compact_factor
@@ -408,9 +930,12 @@ class ShardedStore:
     def compact(self, shard_id: Optional[int] = None) -> ClearReport:
         """Rewrite shards newest-wins, evicting beyond ``max_entries``.
 
-        Returns a :class:`ClearReport` of entries evicted (cap overflow
-        only -- deduplicated stale lines are not "entries") and total
-        bytes reclaimed.
+        Returns a :class:`ClearReport` of entries evicted (cap
+        overflow only -- deduplicated stale entries are not
+        "entries") and total bytes reclaimed.  Rewrites splice entry
+        bytes for binary sources and convert legacy JSONL lines into
+        the store format, so compaction doubles as incremental
+        migration; the ``.idx`` sidecar is refreshed afterwards.
         """
         report = ClearReport()
         ids = range(self.shards) if shard_id is None else (shard_id,)
@@ -418,23 +943,20 @@ class ShardedStore:
         for sid in ids:
             shard = self._shards[sid]
             with self._lock(sid):
-                shard.refresh()
-                try:
-                    old_size = shard.path.stat().st_size
-                except OSError:
+                shard.refresh(self._prefer_bin)
+                old_size = shard.stat_bin() + shard.stat_jsonl()
+                if not shard.index and old_size == 0:
                     self._lines[sid] = 0
                     continue
                 keep = list(shard.index.items())  # oldest -> newest
                 evicted = 0
                 if cap is not None and len(keep) > cap:
                     evicted = len(keep) - cap
-                    for key, _offset in keep[:evicted]:
+                    for key, _entry in keep[:evicted]:
                         del shard.index[key]
                     keep = keep[evicted:]
-                new_index, new_size = self._rewrite_shard(shard, keep)
-                shard.index = new_index
-                shard.scanned = new_size
-                self._lines[sid] = len(new_index)
+                new_size = self._rewrite_shard(shard, keep)
+                self._lines[sid] = len(shard.index)
                 self.stats.compactions += 1
                 self.stats.evicted_entries += evicted
                 reclaimed = max(0, old_size - new_size)
@@ -447,21 +969,61 @@ class ShardedStore:
             metrics.inc("store.bytes_reclaimed", report.bytes_reclaimed)
         return report
 
-    # -- garbage collection ---------------------------------------------------
+    # -- garbage collection -----------------------------------------
 
     def _scan_live(
         self, shard: _Shard
-    ) -> "OrderedDict[str, Tuple[int, int, float]]":
-        """Newest-wins scan of one shard file.
+    ) -> "OrderedDict[str, Tuple[int, int, int, float, int]]":
+        """Newest-wins scan of one shard's data files.
 
-        Returns ``key -> (offset, line_length, timestamp)`` for every
-        complete line, later lines overriding earlier ones.  Lines
-        without a timestamp (pre-GC stores) age as epoch 0, so a TTL
-        pass retires them first.
+        Returns ``key -> (src, offset, length, timestamp,
+        payload_start)`` for every complete entry, later entries
+        overriding earlier ones (the store's own format winning ties
+        across files).  Binary entries are parsed header-only -- no
+        payload decode; ``payload_start`` is the absolute file offset
+        of the entry's packed payload (``-1`` for JSONL sources), so
+        a rewrite can splice entry bytes without re-parsing them.
+        Entries without a timestamp (pre-GC stores) age as epoch 0,
+        so a TTL pass retires them first.
         """
-        live: "OrderedDict[str, Tuple[int, int, float]]" = OrderedDict()
+        live: "OrderedDict[str, Tuple[int, int, int, float, int]]" = (
+            OrderedDict()
+        )
+        if self._prefer_bin:
+            self._scan_live_jsonl(shard, live)
+            self._scan_live_bin(shard, live)
+        else:
+            self._scan_live_bin(shard, live)
+            self._scan_live_jsonl(shard, live)
+        return live
+
+    @staticmethod
+    def _scan_live_bin(
+        shard: _Shard,
+        live: "OrderedDict[str, Tuple[int, int, int, float, int]]",
+    ) -> None:
         try:
-            with open(shard.path, "rb") as handle:
+            data = shard.bin_path.read_bytes()
+        except OSError:
+            return
+        entries, _ = scan_entries(data, 0, len(data), GLOBAL_SHAPES)
+        for entry in entries:
+            live[entry.key] = (
+                SRC_BIN,
+                entry.offset,
+                entry.length,
+                entry.stamp,
+                entry.payload_slice[0],
+            )
+            live.move_to_end(entry.key)
+
+    @staticmethod
+    def _scan_live_jsonl(
+        shard: _Shard,
+        live: "OrderedDict[str, Tuple[int, int, int, float, int]]",
+    ) -> None:
+        try:
+            with open(shard.jsonl_path, "rb") as handle:
                 offset = 0
                 for line in handle:
                     if line_complete(line):
@@ -469,23 +1031,23 @@ class ShardedStore:
                             payload = json.loads(line)
                         except (ValueError, UnicodeDecodeError):
                             payload = None
-                        if (
-                            isinstance(payload, dict)
-                            and isinstance(payload.get("k"), str)
+                        if isinstance(payload, dict) and isinstance(
+                            payload.get("k"), str
                         ):
                             stamp = payload.get("t")
                             live[payload["k"]] = (
+                                SRC_JSONL,
                                 offset,
                                 len(line),
                                 float(stamp)
                                 if isinstance(stamp, (int, float))
                                 else 0.0,
+                                -1,
                             )
                             live.move_to_end(payload["k"])
                     offset += len(line)
         except OSError:
-            return OrderedDict()
-        return live
+            return
 
     def gc(
         self,
@@ -497,11 +1059,11 @@ class ShardedStore:
         """Expire old entries and shrink the store to a byte budget.
 
         Args:
-            ttl: drop entries whose newest line is older than this many
-                seconds (``None`` = no age limit).
-            max_bytes: keep only the newest entries whose lines fit in
-                this many bytes store-wide, newest-first by timestamp
-                (``None`` = no size limit).
+            ttl: drop entries whose newest entry is older than this
+                many seconds (``None`` = no age limit).
+            max_bytes: keep only the newest entries whose on-disk
+                bytes fit in this budget store-wide, newest-first by
+                timestamp (``None`` = no size limit).
             now: reference wall-clock (defaults to ``time.time()``;
                 injectable for tests).
             grace: entries stamped within this many seconds of the
@@ -512,16 +1074,16 @@ class ShardedStore:
                 without losing the fresh record.
 
         Entries appended *while* the GC runs (newer stamp than the
-        snapshot, a key the snapshot never saw, or anything inside the
-        grace window) are always retained, so concurrent writers never
-        lose fresh records.  With both limits ``None`` this
+        snapshot, a key the snapshot never saw, or anything inside
+        the grace window) are always retained, so concurrent writers
+        never lose fresh records.  With both limits ``None`` this
         degenerates to a full newest-wins compaction.  The metadata
         shard is exempt from TTL/size limits (cost history outlives
-        result TTLs) but is deduplicated newest-wins on every GC so it
-        cannot grow without bound either.
+        result TTLs) but is deduplicated newest-wins on every GC so
+        it cannot grow without bound either.
 
-        Returns a :class:`GCReport`; the removal counters also land in
-        ``stats.evicted_entries`` / ``stats.bytes_reclaimed``.
+        Returns a :class:`GCReport`; the removal counters also land
+        in ``stats.evicted_entries`` / ``stats.bytes_reclaimed``.
         """
         snapshot_now = _now() if now is None else now
         keep_floor = snapshot_now - max(0.0, grace)
@@ -533,7 +1095,7 @@ class ShardedStore:
         seen: List[set] = [set() for _ in range(self.shards)]
         expired = 0
         for sid in range(self.shards):
-            for key, (offset, length, stamp) in self._scan_live(
+            for key, (_src, _offset, length, stamp, _pay) in self._scan_live(
                 self._shards[sid]
             ).items():
                 seen[sid].add(key)
@@ -558,41 +1120,45 @@ class ShardedStore:
             for stamp, sid, length, key in candidates:
                 survivors[(sid, key)] = stamp
         # Phase 2: rewrite each shard under its lock.  A fresh rescan
-        # folds in lines appended since the snapshot; anything stamped
-        # after the snapshot is kept unconditionally.
-        report = GCReport(expired_entries=expired, evicted_entries=evicted_by_size)
+        # folds in entries appended since the snapshot; anything
+        # stamped after the snapshot is kept unconditionally.
+        report = GCReport(
+            expired_entries=expired, evicted_entries=evicted_by_size
+        )
         for sid in range(self.shards):
             shard = self._shards[sid]
             with self._lock(sid):
                 live = self._scan_live(shard)
                 if not live:
-                    self._drop_shard_file(shard, sid, report)
+                    self._drop_shard_files(shard, sid, report)
                     continue
-                try:
-                    old_size = shard.path.stat().st_size
-                except OSError:
-                    continue
+                old_size = shard.stat_bin() + shard.stat_jsonl()
                 # Keep: phase-1 survivors, anything stamped after the
                 # grace floor (covers appends during the GC, timestamp
                 # rounding, and cross-host clock skew up to *grace*),
                 # and keys phase 1 never saw.
-                keep = [
-                    (key, offset)
-                    for key, (offset, _length, stamp) in live.items()
-                    if (sid, key) in survivors
-                    or stamp > keep_floor
-                    or key not in seen[sid]
-                ]
+                keep = []
+                kept_bytes = 0
+                for key, ref in live.items():
+                    stamp = ref[3]
+                    if (
+                        (sid, key) in survivors
+                        or stamp > keep_floor
+                        or key not in seen[sid]
+                    ):
+                        keep.append((key, ref))
+                        kept_bytes += ref[2]
                 removed = len(live) - len(keep)
-                new_index, new_size = self._rewrite_shard(shard, keep)
-                shard.index = new_index
-                shard.scanned = new_size
-                self._lines[sid] = len(new_index)
+                new_size = self._rewrite_shard(shard, keep)
+                self._lines[sid] = len(shard.index)
+                # bytes_kept counts record-entry bytes (what the
+                # max_bytes budget is spent on); shape-definition
+                # entries are amortized overhead outside the budget.
                 report += GCReport(
                     entries_removed=removed,
                     bytes_reclaimed=max(0, old_size - new_size),
-                    entries_kept=len(new_index),
-                    bytes_kept=new_size,
+                    entries_kept=len(shard.index),
+                    bytes_kept=kept_bytes,
                 )
         report += self._compact_meta()
         self.stats.compactions += 1
@@ -608,93 +1174,336 @@ class ShardedStore:
     def _compact_meta(self) -> GCReport:
         """Deduplicate the metadata shard newest-wins (no TTL, no cap).
 
-        Meta cells are read-modify-write records (the scheduler's cost
-        table), so the file accumulates one dead line per update;
-        every GC rewrites it down to its live entries so the meta
-        shard cannot grow without bound either.
+        Meta cells are read-modify-write records (the scheduler's
+        cost table), so the file accumulates one dead entry per
+        update; every GC rewrites it down to its live entries so the
+        meta shard cannot grow without bound either.
         """
         meta = self._meta
         with self._lock_named(META_SHARD):
             live = self._scan_live(meta)
             if not live:
                 return GCReport()
-            try:
-                old_size = meta.path.stat().st_size
-            except OSError:
-                return GCReport()
-            keep = [(key, offset) for key, (offset, _len, _t) in live.items()]
-            new_index, new_size = self._rewrite_shard(meta, keep)
-            meta.index = new_index
-            meta.scanned = new_size
+            old_size = meta.stat_bin() + meta.stat_jsonl()
+            keep = list(live.items())
+            new_size = self._rewrite_shard(meta, keep)
             return GCReport(bytes_reclaimed=max(0, old_size - new_size))
 
-    def _drop_shard_file(
+    def _drop_shard_files(
         self, shard: _Shard, sid: int, report: GCReport
     ) -> None:
-        """Remove an all-dead shard file during GC (caller holds lock)."""
-        try:
-            size = shard.path.stat().st_size
-        except OSError:
-            size = 0
-        if size:
+        """Remove an all-dead shard's files during GC (caller locks)."""
+        size = 0
+        for path in (shard.bin_path, shard.jsonl_path):
             try:
-                shard.path.unlink()
+                file_size = path.stat().st_size
+                path.unlink()
+                size += file_size
             except OSError:
-                return
-            report += GCReport(bytes_reclaimed=size)
-        shard.index = OrderedDict()
-        shard.scanned = 0
+                continue
+        try:
+            shard.idx_path.unlink()
+        except OSError:
+            pass
+        shard.reset()
+        shard.bin_end = 0
+        shard.shapes_written.clear()
         self._lines[sid] = 0
+        if size:
+            report += GCReport(bytes_reclaimed=size)
+
+    # -- shard rewriting --------------------------------------------
 
     def _rewrite_shard(
-        self, shard: _Shard, keep: List[Tuple[str, int]]
-    ) -> Tuple["OrderedDict[str, int]", int]:
-        """Rewrite *shard* to exactly the ``(key, old_offset)`` lines.
+        self, shard: _Shard, keep: List[Tuple[str, Tuple]]
+    ) -> int:
+        """Rewrite *shard* to exactly the ``(key, source ref)``
+        entries, in the store's own format.
 
-        The shared tail of :meth:`compact` and :meth:`gc` (caller holds
-        the shard lock): copy the kept lines into a temp file and
-        atomically replace the shard.  The temp file is removed if the
-        copy fails, so an aborted rewrite leaves the shard untouched.
+        A source ref is ``(src, offset)`` (from the append index) or
+        the full :meth:`_scan_live` 5-tuple, whose length and payload
+        offset let binary entries splice with no per-entry re-parse.
+
+        The shared tail of :meth:`compact`, :meth:`gc`, and
+        :meth:`migrate` (caller holds the shard lock): binary sources
+        are spliced byte-for-byte (shape-packed payloads are position
+        independent), JSONL lines are converted, shape definitions
+        are written ahead of their first use, and the result
+        atomically replaces the shard -- the other format's file and
+        a stale ``.idx`` are removed once their live entries are
+        absorbed.  Unreadable source entries are dropped (they were
+        unreadable in place too).  Adopts the new index/scan state on
+        *shard* and returns the new data size.
         """
-        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
-        new_index: "OrderedDict[str, int]" = OrderedDict()
-        offset = 0
+        if self._prefer_bin:
+            return self._rewrite_shard_bin(shard, keep)
+        return self._rewrite_shard_jsonl(shard, keep)
+
+    @staticmethod
+    def _read_bin_source(
+        shard: _Shard, keep: List[Tuple[str, Tuple]]
+    ) -> Optional[bytes]:
+        """The shard's binary file, read once, when any keep needs it."""
+        if not any(ref[0] == SRC_BIN for _key, ref in keep):
+            return None
         try:
-            with open(shard.path, "rb") as src, os.fdopen(fd, "wb") as dst:
-                for key, old_offset in keep:
-                    src.seek(old_offset)
-                    line = src.readline()
-                    dst.write(line)
-                    new_index[key] = offset
-                    offset += len(line)
-            os.replace(tmp_name, shard.path)
+            return shard.bin_path.read_bytes()
+        except OSError:
+            return None
+
+    def _read_source_entry(
+        self,
+        shard: _Shard,
+        ref: Tuple,
+        bin_data: Optional[bytes],
+    ) -> Optional[Tuple[bytes, float, Optional[bytes]]]:
+        """Fetch one rewrite source: ``(entry_bytes, stamp, payload)``.
+
+        Binary sources are spliced out of *bin_data* -- the shard
+        file read into memory once per rewrite, so a compaction costs
+        one read per shard instead of two seeks per entry.  A full
+        scan ref (length + payload offset, produced by
+        :meth:`_scan_live` under the same lock) slices the entry out
+        directly; a bare ``(src, offset)`` ref re-parses it.
+        ``payload`` is ``None`` for JSONL sources (``entry_bytes`` is
+        then the raw line); unreadable sources return ``None``.
+        """
+        src, offset = ref[0], ref[1]
+        if src == SRC_JSONL:
+            try:
+                with open(shard.jsonl_path, "rb") as handle:
+                    handle.seek(offset)
+                    line = handle.readline()
+            except OSError:
+                return None
+            return line, 0.0, None
+        if bin_data is None:
+            return None
+        if len(ref) == 5:
+            end = offset + ref[2]
+            if end <= len(bin_data) and ref[4] >= 0:
+                return (
+                    bin_data[offset:end],
+                    ref[3],
+                    bin_data[ref[4] : end],
+                )
+        try:
+            entry, _ = read_entry(
+                bin_data, offset, len(bin_data), GLOBAL_SHAPES
+            )
+        except (CorruptEntry, TruncatedEntry):
+            return None
+        if entry is None:
+            return None
+        start, end = entry.payload_slice
+        return (
+            bin_data[offset : offset + entry.length],
+            entry.stamp,
+            bin_data[start:end],
+        )
+
+    def _rewrite_shard_bin(
+        self, shard: _Shard, keep: List[Tuple[str, Tuple]]
+    ) -> int:
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        new_index: "OrderedDict[str, Tuple[int, int]]" = OrderedDict()
+        shapes_written: set = set()
+        shape_blocks: List[bytes] = []
+        offset_out = 0
+        bin_data = self._read_bin_source(shard, keep)
+        try:
+            with os.fdopen(fd, "wb") as dst:
+                for key, ref in keep:
+                    source = self._read_source_entry(shard, ref, bin_data)
+                    if source is None:
+                        continue
+                    entry_bytes, stamp, payload = source
+                    if payload is None:
+                        converted = self._convert_jsonl_line(key, entry_bytes)
+                        if converted is None:
+                            continue
+                        entry_bytes, payload, stamp = converted
+                    shape_id = bytes(payload[:8])
+                    if shape_id not in shapes_written:
+                        shape = GLOBAL_SHAPES.get(shape_id)
+                        if shape is None:
+                            continue  # definition lost; entry unreadable
+                        block_entry = pack_shape_entry(shape.block)
+                        dst.write(block_entry)
+                        offset_out += len(block_entry)
+                        shapes_written.add(shape_id)
+                        shape_blocks.append(shape.block)
+                    dst.write(entry_bytes)
+                    new_index[key] = (SRC_BIN, offset_out)
+                    offset_out += len(entry_bytes)
+            os.replace(tmp_name, shard.bin_path)
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
-        return new_index, offset
+        try:
+            shard.jsonl_path.unlink()  # live lines absorbed above
+        except OSError:
+            pass
+        self._write_idx(shard, new_index, offset_out, shape_blocks)
+        shard.close_mmap()
+        shard.index = new_index
+        shard.scanned_bin = offset_out
+        shard.scanned_jsonl = 0
+        shard.bin_absent = False
+        shard.jsonl_absent = True
+        shard.idx_tried = True
+        shard.bin_end = offset_out
+        shard.shapes_written = shapes_written
+        return offset_out
+
+    def _rewrite_shard_jsonl(
+        self, shard: _Shard, keep: List[Tuple[str, Tuple]]
+    ) -> int:
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        new_index: "OrderedDict[str, Tuple[int, int]]" = OrderedDict()
+        offset_out = 0
+        bin_data = self._read_bin_source(shard, keep)
+        try:
+            with os.fdopen(fd, "wb") as dst:
+                for key, ref in keep:
+                    source = self._read_source_entry(shard, ref, bin_data)
+                    if source is None:
+                        continue
+                    entry_bytes, stamp, payload = source
+                    if payload is not None:
+                        try:
+                            record = decode_record(payload)
+                        except (
+                            UnknownShapeError,
+                            CorruptEntry,
+                            TruncatedEntry,
+                        ):
+                            continue
+                        entry_bytes = _jsonl_line(key, record, stamp)
+                    dst.write(entry_bytes)
+                    new_index[key] = (SRC_JSONL, offset_out)
+                    offset_out += len(entry_bytes)
+            os.replace(tmp_name, shard.jsonl_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        for path in (shard.bin_path, shard.idx_path):
+            try:
+                path.unlink()  # live entries absorbed above
+            except OSError:
+                pass
+        shard.close_mmap()
+        shard.index = new_index
+        shard.scanned_jsonl = offset_out
+        shard.scanned_bin = 0
+        shard.jsonl_absent = False
+        shard.bin_absent = True
+        shard.idx_tried = True
+        shard.bin_end = 0
+        shard.shapes_written = set()
+        return offset_out
+
+    @staticmethod
+    def _convert_jsonl_line(
+        key: str, line: bytes
+    ) -> Optional[Tuple[bytes, bytes, float]]:
+        """Convert one legacy line into a binary entry (or ``None``)."""
+        try:
+            parsed = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(parsed, dict) or parsed.get("k") != key:
+            return None
+        record = parsed.get("r")
+        if not isinstance(record, dict):
+            return None
+        stamp = parsed.get("t")
+        stamp = float(stamp) if isinstance(stamp, (int, float)) else 0.0
+        payload, _shape = encode_record(record)
+        return pack_record_entry(key, stamp, payload), payload, stamp
+
+    def _write_idx(
+        self,
+        shard: _Shard,
+        new_index: "OrderedDict[str, Tuple[int, int]]",
+        data_size: int,
+        shape_blocks: List[bytes],
+    ) -> None:
+        """Write the ``.idx`` sidecar for a freshly-rewritten shard.
+
+        Layout: magic+version, the covered data size, a head echo of
+        the data file (fast staleness check), the shard's shape
+        dictionary, then the live entries' offsets as ascending
+        varint deltas.  Keys are *not* duplicated here -- seeding
+        reads them from the memory-mapped data file, which keeps the
+        sidecar a few bytes per entry.
+        """
+        if data_size == 0 or not new_index:
+            try:
+                shard.idx_path.unlink()
+            except OSError:
+                pass
+            return
+        try:
+            with open(shard.bin_path, "rb") as handle:
+                head = handle.read(16)
+        except OSError:
+            return
+        out = bytearray(IDX_MAGIC)
+        out += _IDX_HEAD.pack(data_size, len(head), head.ljust(16, b"\x00"))
+        write_uvarint(out, len(shape_blocks))
+        for block in shape_blocks:
+            write_uvarint(out, len(block))
+            out += block
+        write_uvarint(out, len(new_index))
+        previous = 0
+        for _key, (_src, offset) in new_index.items():
+            write_uvarint(out, offset - previous)
+            previous = offset
+        tmp = shard.idx_path.with_suffix(".idx.tmp")
+        try:
+            tmp.write_bytes(out)
+            os.replace(tmp, shard.idx_path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- usage / dump / migration -----------------------------------
 
     def usage(self) -> Dict[str, object]:
         """Store-wide usage summary for ``repro-planarity cache stats``.
 
         Scans every shard (newest-wins): live entry count, live vs
         on-disk bytes (the difference is reclaimable by compaction),
-        and the age range of the live entries.
+        and the age range of the live entries.  ``index_bytes``
+        counts the ``.idx`` sidecars (not part of the data plane).
         """
         entries = 0
         live_bytes = 0
         file_bytes = 0
+        index_bytes = 0
         oldest: Optional[float] = None
         newest: Optional[float] = None
         for sid in range(self.shards):
             shard = self._shards[sid]
+            for path in (shard.bin_path, shard.jsonl_path):
+                try:
+                    file_bytes += path.stat().st_size
+                except OSError:
+                    continue
             try:
-                file_bytes += shard.path.stat().st_size
+                index_bytes += shard.idx_path.stat().st_size
             except OSError:
-                continue
-            for _key, (_offset, length, stamp) in self._scan_live(
+                pass
+            for _key, (_src, _offset, length, stamp, _pay) in self._scan_live(
                 shard
             ).items():
                 entries += 1
@@ -703,16 +1512,15 @@ class ShardedStore:
                     oldest = stamp if oldest is None else min(oldest, stamp)
                     newest = stamp if newest is None else max(newest, stamp)
         meta_entries = sum(1 for _ in self.meta_keys())
-        try:
-            meta_bytes = self._meta.path.stat().st_size
-        except OSError:
-            meta_bytes = 0
+        meta_bytes = self._meta.stat_bin() + self._meta.stat_jsonl()
         return {
             "root": str(self.root),
             "shards": self.shards,
+            "format": self.format,
             "entries": entries,
             "live_bytes": live_bytes,
             "file_bytes": file_bytes,
+            "index_bytes": index_bytes,
             "reclaimable_bytes": max(0, file_bytes - live_bytes),
             "oldest_t": oldest,
             "newest_t": newest,
@@ -720,50 +1528,125 @@ class ShardedStore:
             "meta_bytes": meta_bytes,
         }
 
-    # -- metadata shard -------------------------------------------------------
+    def dump(self) -> Iterator[Tuple[str, float, Record]]:
+        """Yield every live ``(key, stamp, record)`` (debug view).
+
+        Powers ``repro-planarity cache dump --json``: a
+        format-agnostic, human-readable view of the store contents
+        (and the migration round-trip check in CI).
+        """
+        for sid in range(self.shards):
+            shard = self._shards[sid]
+            for key, (src, offset, _length, stamp, _pay) in self._scan_live(
+                shard
+            ).items():
+                if src == SRC_JSONL:
+                    record = self._jsonl_record_at(shard, offset, key)
+                else:
+                    record = self._bin_record_at(shard, offset, key)
+                if isinstance(record, dict):
+                    yield key, stamp, record
+
+    def migrate(self) -> MigrateReport:
+        """Rewrite every shard (data + meta) into the resolved format.
+
+        Legacy ``.jsonl`` entries are converted, binary entries are
+        spliced, dead duplicates are dropped, sidecar indexes are
+        (re)written, and ``store.json`` is upgraded to persist the
+        format -- after this, openers resolve the same format without
+        needing the environment override.  Safe under concurrent
+        readers/writers (per-shard locks, same protocol as
+        compaction).
+        """
+        report = MigrateReport(format=self.format)
+        for sid in range(self.shards):
+            shard = self._shards[sid]
+            with self._lock(sid):
+                report.bytes_before += shard.stat_bin() + shard.stat_jsonl()
+                live = self._scan_live(shard)
+                if not live:
+                    continue
+                keep = list(live.items())
+                report.bytes_after += self._rewrite_shard(shard, keep)
+                report.entries += len(shard.index)
+                self._lines[sid] = len(shard.index)
+        meta = self._meta
+        with self._lock_named(META_SHARD):
+            report.bytes_before += meta.stat_bin() + meta.stat_jsonl()
+            live = self._scan_live(meta)
+            if live:
+                keep = list(live.items())
+                report.bytes_after += self._rewrite_shard(meta, keep)
+                report.meta_entries += len(meta.index)
+        self._ensure_root()
+        self._write_store_json()
+        return report
+
+    # -- metadata shard ---------------------------------------------
 
     @property
     def _meta(self) -> _Shard:
         meta = getattr(self, "_meta_shard", None)
         if meta is None:
-            meta = _Shard(self.root / f"{META_SHARD}.jsonl")
+            meta = _Shard(self.root, META_SHARD, stats=self.stats)
             self._meta_shard = meta
         return meta
 
     def put_meta(self, key: str, record: Record) -> None:
         """Append an operational record to the metadata shard.
 
-        Same line format and lock discipline as data shards; excluded
-        from ``len()`` / ``keys()`` / caps / GC.  Used by the scheduler
-        for the per-kind/per-n wall-time cost table.
+        Same entry format and lock discipline as data shards;
+        excluded from ``len()`` / ``keys()`` / caps / GC.  Used by
+        the scheduler for the per-kind/per-n wall-time cost table.
         """
         meta = self._meta
-        line = (
-            json.dumps(
-                {"k": key, "r": record, "t": round(_now(), 3)},
-                separators=(",", ":"),
-            )
-            + "\n"
-        ).encode("utf-8")
-        with self._lock_named(META_SHARD):
-            with open(meta.path, "ab") as handle:
-                offset = handle.tell()
-                handle.write(line)
-        meta.index[key] = offset
-        meta.index.move_to_end(key)
-        if offset == meta.scanned:
-            meta.scanned = offset + len(line)
+        stamp = round(_now(), 3)
+        if self._prefer_bin:
+            payload, shape = encode_record(record)
+            entry = pack_record_entry(key, stamp, payload)
+            with self._lock_named(META_SHARD):
+                with open(meta.bin_path, "ab") as handle:
+                    offset = handle.tell()
+                    if offset < meta.bin_end:
+                        meta.shapes_written.clear()
+                    prefix = b""
+                    if shape.shape_id not in meta.shapes_written:
+                        prefix = pack_shape_entry(shape.block)
+                    handle.write(prefix + entry)
+                    meta.bin_end = offset + len(prefix) + len(entry)
+            meta.shapes_written.add(shape.shape_id)
+            meta.bin_absent = False
+            meta.index[key] = (SRC_BIN, meta.bin_end - len(entry))
+            meta.index.move_to_end(key)
+            if offset == meta.scanned_bin:
+                meta.scanned_bin = meta.bin_end
+        else:
+            line = _jsonl_line(key, record, stamp)
+            with self._lock_named(META_SHARD):
+                with open(meta.jsonl_path, "ab") as handle:
+                    offset = handle.tell()
+                    handle.write(line)
+            meta.jsonl_absent = False
+            meta.index[key] = (SRC_JSONL, offset)
+            meta.index.move_to_end(key)
+            if offset == meta.scanned_jsonl:
+                meta.scanned_jsonl = offset + len(line)
 
     def get_meta(self, key: str) -> Optional[Record]:
         """Return the newest metadata record under *key*, or ``None``."""
         meta = self._meta
-        meta.refresh()
-        return self._read_indexed(meta, key)
+        meta.refresh(self._prefer_bin)
+        record = self._read_indexed(meta, key)
+        if record is None and key in meta.index:
+            meta.reset()
+            meta.refresh(self._prefer_bin)
+            record = self._read_indexed(meta, key)
+        return record if isinstance(record, dict) else None
 
     def meta_keys(self) -> Iterator[str]:
         """All keys present in the metadata shard."""
         meta = self._meta
-        meta.refresh()
+        meta.refresh(self._prefer_bin)
         yield from list(meta.index)
 
     def clear(self) -> ClearReport:
@@ -772,15 +1655,23 @@ class ShardedStore:
         for sid in range(self.shards):
             shard = self._shards[sid]
             with self._lock(sid):
-                shard.refresh()
+                shard.refresh(self._prefer_bin)
                 entries = len(shard.index)
+                size = 0
+                for path in (shard.bin_path, shard.jsonl_path):
+                    try:
+                        file_size = path.stat().st_size
+                        path.unlink()
+                        size += file_size
+                    except OSError:
+                        continue
                 try:
-                    size = shard.path.stat().st_size
-                    shard.path.unlink()
+                    shard.idx_path.unlink()
                 except OSError:
-                    size = 0
-                shard.index.clear()
-                shard.scanned = 0
+                    pass
+                shard.reset()
+                shard.bin_end = 0
+                shard.shapes_written.clear()
                 self._lines[sid] = 0
                 report += ClearReport(entries, size)
         self.stats.evicted_entries += report.entries_removed

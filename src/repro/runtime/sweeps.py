@@ -36,11 +36,12 @@ import itertools
 import os
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.tables import Table
 from ..telemetry.metrics import get_metrics
 from ..telemetry.spans import TRACE_PARENT_ENV_VAR, get_tracer
+from .batching import BATCH_ENV_VAR, auto_batch_size
 from .cache import CacheStats, ResultCache
 from .executor import BatchResult, iter_jobs, make_backend, run_jobs
 from .jobs import JobSpec, Record
@@ -330,7 +331,7 @@ def run_sweep(
     balance: str = "hash",
     cost_model: Optional[CostModel] = None,
     progress=None,
-    batch: Optional[int] = None,
+    batch: Union[int, str, None] = None,
 ) -> SweepResult:
     """Expand *spec* and execute it via :func:`repro.runtime.run_jobs`.
 
@@ -360,8 +361,12 @@ def run_sweep(
         batch: coalesce eligible simulator trials of one sweep cell
             into graph-batched ``simulate_batch`` jobs of at most this
             many members (``None`` consults ``REPRO_SIM_BATCH``; 1
-            disables).  Transparent: records, cache state, and cost
-            accounting stay per-trial on every backend.
+            disables).  ``"auto"`` sizes batches from the store's
+            measured per-trial wall-times so one batch job lands near
+            :data:`~repro.runtime.batching.AUTO_TARGET_SECONDS` of
+            work (fixed default without history).  Transparent:
+            records, cache state, and cost accounting stay per-trial
+            on every backend.
 
     Runs with a disk store feed their measured wall-times back into
     the store's metadata shard, so later ``balance="cost"`` splits
@@ -390,6 +395,14 @@ def run_sweep(
         ).shard_specs(index)
     else:
         specs = spec.expand()
+    if batch_limit == "auto" or (
+        batch_limit is None
+        and (os.environ.get(BATCH_ENV_VAR) or "").strip().lower() == "auto"
+    ):
+        # Cost-aware sizing: the store's metadata shard holds measured
+        # per-trial wall-times from earlier runs of this grid.
+        auto_model = cost_model or CostModel.from_store(store)
+        batch_limit = auto_batch_size(auto_model, specs)
     backend_name = (
         getattr(backend, "name", type(backend).__name__)
         if backend is not None

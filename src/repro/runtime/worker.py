@@ -1,17 +1,27 @@
-"""Worker process: the JSON-lines job protocol over stdio or TCP.
+"""Worker process: the binary-frame job protocol over stdio or TCP.
 
 ``python -m repro.runtime.worker`` turns a process into a job server.
 Two transports share one request handler:
 
-* **stdio** (the async backend): newline-delimited JSON over
-  stdin/stdout, one worker per subprocess, spawned and owned by the
-  orchestrator (:mod:`repro.runtime.async_backend`);
+* **stdio** (the async backend): length-prefixed binary frames (see
+  :mod:`repro.runtime.codec`) over stdin/stdout, one worker per
+  subprocess, spawned and owned by the orchestrator
+  (:mod:`repro.runtime.async_backend`);
 * **TCP** (``--connect host:port``, also ``repro-planarity worker``):
   the worker dials a :class:`~repro.runtime.remote.RemoteBackend`
   sweep server, handshakes (protocol version, job-kind registry,
   store dir), then serves jobs until the server says ``exit`` or the
   connection drops.  Connection attempts retry for ``--retry-seconds``
   so workers can be started before the sweep server is listening.
+
+Specs arrive and records leave as **shape-packed codec payloads**
+(``spec_pkd`` / ``record_pkd``), the same byte format the sharded
+store persists -- so a worker with a store appends its freshly
+encoded record *once* and ships the identical bytes over the wire,
+and a store hit is forwarded without ever being decoded
+(:meth:`~repro.runtime.store.ShardedStore.get_raw`).  Shape
+definitions travel at most once per connection, tracked by a
+per-connection sent-set on both ends.
 
 When a worker has a sharded store (``--store DIR``, or the directory
 adopted from the server's ``welcome`` frame), it consults the shared
@@ -30,7 +40,6 @@ and respawning one mid-batch loses nothing but the in-flight job
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import socket
 import sys
@@ -39,8 +48,33 @@ import traceback
 from pathlib import Path
 from typing import Optional
 
+from .codec import (
+    GLOBAL_SHAPES,
+    decode_record,
+    encode_record,
+    encode_wire_frame,
+    frame_shapes,
+    read_wire_frame,
+)
 from .jobs import JobSpec, job_kinds, run_job_timed
 from .store import ShardedStore
+
+
+def _store_payload(store: ShardedStore, key: str) -> Optional[bytes]:
+    """The stored payload bytes for *key*, or ``None`` on a miss.
+
+    Binary-sourced entries come back verbatim (zero decode); a key
+    living in a legacy ``.jsonl`` shard is decoded and re-encoded once
+    so it can still ship as packed bytes.
+    """
+    payload = store.get_raw(key)
+    if payload is not None:
+        return bytes(payload)
+    record = store.get(key)  # legacy .jsonl source, or a plain miss
+    if record is None:
+        return None
+    encoded, _shape = encode_record(record)
+    return encoded
 
 
 def _flush_telemetry() -> None:
@@ -53,30 +87,37 @@ def _flush_telemetry() -> None:
 
 
 def handle_request(message: dict, store: Optional[ShardedStore]) -> dict:
-    """Execute one job request; returns the response frame (sans id).
+    """Execute one job request; returns the response fields (sans id).
 
-    Probes *store* first when the request carries a cache ``key``;
-    fresh records are appended back (``stored`` reports whether that
-    happened, so a server can persist on behalf of storeless workers).
+    The caller has already registered any shape blocks the request
+    carried.  Probes *store* first when the request carries a cache
+    ``key``; fresh records are appended back (``stored`` reports
+    whether that happened, so a server can persist on behalf of
+    storeless workers).  The response's ``record_pkd`` holds the
+    shape-packed record bytes -- for a store hit they come straight
+    from the shard file (zero decode), for a fresh record they are
+    encoded exactly once and shared between the local append and the
+    wire.
     """
     key = message.get("key")
     try:
-        record = None
+        payload: Optional[bytes] = None
         hit = False
         seconds: Optional[float] = None
         stored = False
         if store is not None and key:
-            record = store.get(key)
-            hit = record is not None
+            payload = _store_payload(store, key)
+            hit = payload is not None
             stored = hit
-        if record is None:
-            spec = JobSpec.from_payload(message["spec"])
+        if payload is None:
+            spec = JobSpec.from_payload(decode_record(message["spec_pkd"]))
             record, seconds = run_job_timed(spec)
+            payload, _shape = encode_record(record)
             if store is not None and key:
-                store.put(key, record)
+                store.put_raw(key, payload)
                 stored = True
         return {
-            "record": record,
+            "record_pkd": payload,
             "hit": hit,
             "seconds": seconds,
             "stored": stored,
@@ -88,24 +129,32 @@ def handle_request(message: dict, store: Optional[ShardedStore]) -> dict:
         }
 
 
+def _result_frame(message: dict, store: Optional[ShardedStore],
+                  sent_shapes: set) -> bytes:
+    """One encoded result frame for one job request."""
+    for block in message.get("shapes") or ():
+        GLOBAL_SHAPES.register_block(block)
+    response = {"op": "result", "id": message.get("id")}
+    response.update(handle_request(message, store))
+    payload = response.get("record_pkd")
+    if isinstance(payload, (bytes, bytearray)):
+        response["shapes"] = frame_shapes(
+            iter((bytes(payload),)), sent_shapes
+        )
+    return encode_wire_frame(response)
+
+
 def serve(stdin=None, stdout=None, store_dir: Optional[str] = None) -> int:
-    """Serve job requests over stdio until EOF or ``{"op": "exit"}``."""
-    stdin = stdin if stdin is not None else sys.stdin
-    stdout = stdout if stdout is not None else sys.stdout
+    """Serve job frames over binary stdio until EOF or ``exit``."""
+    stdin = stdin if stdin is not None else sys.stdin.buffer
+    stdout = stdout if stdout is not None else sys.stdout.buffer
     store = ShardedStore(store_dir) if store_dir else None
-    for line in stdin:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            message = json.loads(line)
-        except ValueError:
-            continue
-        if message.get("op") == "exit":
+    sent_shapes: set = set()
+    while True:
+        message = read_wire_frame(stdin)
+        if message is None or message.get("op") == "exit":
             break
-        response = {"id": message.get("id")}
-        response.update(handle_request(message, store))
-        stdout.write(json.dumps(response, separators=(",", ":")) + "\n")
+        stdout.write(_result_frame(message, store, sent_shapes))
         stdout.flush()
     _flush_telemetry()
     return 0
@@ -165,7 +214,7 @@ def serve_remote(
     Returns 0 on a clean exit (``exit`` frame or server EOF), 1 when
     the server rejected the handshake.
     """
-    from .remote import PROTOCOL_VERSION, decode_frame, encode_frame
+    from .remote import PROTOCOL_VERSION
 
     sock = _connect_with_retry(host, port, retry_seconds)
     store = ShardedStore(store_dir) if store_dir else None
@@ -178,12 +227,11 @@ def serve_remote(
             "store": store_dir,
             "pid": os.getpid(),
         }
-        sock.sendall(encode_frame(hello))
-        line = reader.readline()
-        if not line:
+        sock.sendall(encode_wire_frame(hello))
+        welcome = read_wire_frame(reader)
+        if welcome is None:
             print("worker: server closed during handshake", file=sys.stderr)
             return 1
-        welcome = decode_frame(line)
         if welcome.get("op") != "welcome":
             print(
                 f"worker: rejected: {welcome.get('reason', welcome)}",
@@ -199,19 +247,20 @@ def serve_remote(
             from ..telemetry import adopt_trace
 
             adopt_trace(welcome["trace"])
-        for line in reader:
-            frame = decode_frame(line)
+        sent_shapes: set = set()
+        while True:
+            frame = read_wire_frame(reader)
+            if frame is None:
+                break
             op = frame.get("op")
             if op == "exit":
                 break
             if op == "ping":
-                sock.sendall(encode_frame({"op": "pong"}))
+                sock.sendall(encode_wire_frame({"op": "pong"}))
                 continue
             if op != "job":
                 continue
-            response = {"op": "result", "id": frame.get("id")}
-            response.update(handle_request(frame, store))
-            sock.sendall(encode_frame(response))
+            sock.sendall(_result_frame(frame, store, sent_shapes))
         return 0
     finally:
         _flush_telemetry()
@@ -225,8 +274,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.runtime.worker",
         description=(
-            "job worker: JSON lines over stdio (async backend) or TCP "
-            "(remote backend)"
+            "job worker: binary frames over stdio (async backend) or "
+            "TCP (remote backend)"
         ),
     )
     parser.add_argument(

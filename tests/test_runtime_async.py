@@ -82,11 +82,10 @@ def test_shared_store_records_land_once(tmp_path):
         backend=AsyncBackend(max_workers=2, store_dir=str(store_dir)),
         cache=cache,
     )
-    lines = sum(
-        len(path.read_bytes().splitlines())
-        for path in store_dir.glob("shard-*.jsonl")
-    )
-    assert lines == len(SPECS)  # one line per record, not two
+    from repro.runtime.store import count_record_entries
+
+    # One physical entry per record, not two.
+    assert count_record_entries(store_dir) == len(SPECS)
     # And the records are still served back on a fresh run.
     rerun = run_jobs(SPECS, cache=ResultCache(disk_dir=store_dir))
     assert rerun.executed == 0

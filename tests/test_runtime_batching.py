@@ -184,3 +184,63 @@ def test_run_sweep_batched_matches_unbatched():
     batched = run_sweep(sweep, batch=4)
     assert batched.records == base.records
     assert batched.summary()["jobs"] == base.summary()["jobs"]
+
+
+# -- auto batch sizing --------------------------------------------------------
+
+
+def test_auto_batch_fixed_default_without_history():
+    from repro.runtime import AUTO_BATCH_DEFAULT, auto_batch_size
+
+    assert auto_batch_size(None, FLEET) == AUTO_BATCH_DEFAULT
+    from repro.runtime.scheduler import CostModel
+
+    assert auto_batch_size(CostModel(), FLEET) == AUTO_BATCH_DEFAULT
+
+
+def test_auto_batch_sizes_from_measured_trial_cost():
+    from repro.runtime import (
+        AUTO_BATCH_MAX,
+        AUTO_TARGET_SECONDS,
+        auto_batch_size,
+    )
+    from repro.runtime.scheduler import CostModel
+
+    cheap = CostModel(samples={"simulate_program": {30: 0.01}})
+    assert auto_batch_size(cheap, FLEET) == int(AUTO_TARGET_SECONDS / 0.01)
+    slow = CostModel(samples={"simulate_program": {30: 2.0}})
+    assert auto_batch_size(slow, FLEET) == 1  # batching would not amortize
+    free = CostModel(samples={"simulate_program": {30: 1e-6}})
+    assert auto_batch_size(free, FLEET) == AUTO_BATCH_MAX
+
+
+def test_resolve_batch_tolerates_auto(monkeypatch):
+    from repro.runtime import AUTO_BATCH_DEFAULT, resolve_batch
+
+    assert resolve_batch("auto") == AUTO_BATCH_DEFAULT
+    assert resolve_batch("8") == 8
+    monkeypatch.setenv(BATCH_ENV_VAR, "auto")
+    assert resolve_batch() == AUTO_BATCH_DEFAULT
+
+
+def test_run_sweep_auto_batch_matches_unbatched(tmp_path):
+    """``batch="auto"``: first run seeds the cost table, second run
+    sizes batches from it -- records identical to scalar runs and the
+    resume is a 100% hit (auto sizing cannot perturb cache keys)."""
+    sweep = SweepSpec.make(
+        "simulate_program",
+        families=["grid"],
+        ns=[30],
+        seeds=[0, 1, 2, 3],
+        program=["bfs"],
+        profile=["fast"],
+    )
+    base = run_sweep(sweep)
+    cache = ResultCache(disk_dir=tmp_path / "store")
+    first = run_sweep(sweep, cache=cache, batch="auto")
+    assert first.records == base.records
+    assert first.batch.executed == len(first.records)
+    cache2 = ResultCache(disk_dir=tmp_path / "store")
+    second = run_sweep(sweep, cache=cache2, batch="auto", resume=True)
+    assert second.records == base.records
+    assert second.batch.executed == 0

@@ -1,0 +1,345 @@
+"""Packed binary record codec: values, shapes, entries, wire frames.
+
+Property tests pin the codec's contract: every JSON-model value --
+including the corners JSON itself fumbles (NaN/inf floats, >64-bit
+ints, unicode keys, deep nesting) -- round-trips bit-faithfully
+through ``encode_record``/``decode_record``, shape definitions are
+content-addressed (identical layouts hash identically in every
+process), and the store-entry / wire-frame framings survive garbage,
+torn tails, and concatenation.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.codec import (
+    ENTRY_HEADER_SIZE,
+    FRAME_HEADER_SIZE,
+    CodecError,
+    CorruptEntry,
+    ShapeRegistry,
+    TruncatedEntry,
+    UnknownShapeError,
+    WireProtocolError,
+    decode_record,
+    decode_value,
+    encode_record,
+    encode_value,
+    encode_wire_frame,
+    frame_shapes,
+    pack_record_entry,
+    pack_shape_entry,
+    parse_frame_header,
+    read_entry,
+    read_uvarint,
+    read_wire_frame,
+    resync,
+    scan_entries,
+    shape_of_payload,
+    write_uvarint,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+# The JSON value model the codec mirrors, plus the corners JSONL could
+# not represent: NaN/inf floats, arbitrary-precision ints, bytes.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: exercises i/q columns AND bigint varlen
+    st.floats(allow_nan=True, allow_infinity=True),  # bit-exact, incl. NaN
+    st.text(max_size=40),  # unicode, also 64-char hex via T_HEX32 below
+    st.binary(max_size=40),
+    st.sampled_from(["a" * 64, "0123456789abcdef" * 4]),  # T_HEX32 packing
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=12), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+_records = st.dictionaries(st.text(min_size=1, max_size=16), _values,
+                           min_size=0, max_size=8)
+
+
+def _canon(value):
+    """Equality helper: floats by bit pattern (NaN == NaN), tuples as
+    lists -- exactly the identifications the codec makes."""
+    if isinstance(value, float):
+        return ("f64", struct.pack("<d", value))
+    if isinstance(value, bool) or value is None or isinstance(value, int):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canon(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _canon(item) for key, item in value.items()}
+    return value
+
+
+# -- varints ------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**200))
+def test_uvarint_round_trip(value):
+    out = bytearray()
+    write_uvarint(out, value)
+    decoded, pos = read_uvarint(bytes(out), 0)
+    assert decoded == value
+    assert pos == len(out)
+
+
+def test_uvarint_truncation_raises():
+    out = bytearray()
+    write_uvarint(out, 1 << 40)
+    with pytest.raises(TruncatedEntry):
+        read_uvarint(bytes(out[:-1]), 0)
+
+
+# -- generic values -----------------------------------------------------------
+
+
+@given(_values)
+def test_value_round_trip(value):
+    out = bytearray()
+    encode_value(value, out)
+    decoded, pos = decode_value(bytes(out), 0)
+    assert pos == len(out)
+    assert _canon(decoded) == _canon(value)
+
+
+def test_special_floats_are_bit_exact():
+    for value in (float("nan"), float("inf"), float("-inf"), -0.0, 5e-324):
+        out = bytearray()
+        encode_value(value, out)
+        decoded, _pos = decode_value(bytes(out), 0)
+        assert struct.pack("<d", decoded) == struct.pack("<d", value)
+
+
+def test_big_ints_survive():
+    for value in (2**63, -(2**63) - 1, 10**50, -(10**50)):
+        out = bytearray()
+        encode_value(value, out)
+        decoded, _pos = decode_value(bytes(out), 0)
+        assert decoded == value and isinstance(decoded, int)
+
+
+def test_hex32_strings_pack_to_half_size():
+    digest = "deadbeef" * 8  # 64 lowercase hex chars
+    packed = bytearray()
+    encode_value(digest, packed)
+    plain = bytearray()
+    encode_value(digest.upper(), plain)  # not lowercase hex: generic str
+    assert len(packed) < len(plain) / 1.8
+    assert decode_value(bytes(packed), 0)[0] == digest
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(CodecError):
+        encode_value({1: "x"}, bytearray())
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(CodecError):
+        encode_value(object(), bytearray())
+
+
+# -- shape-packed records -----------------------------------------------------
+
+
+@given(_records)
+@settings(max_examples=200)
+def test_record_round_trip(record):
+    registry = ShapeRegistry()
+    payload, shape = encode_record(record, registry)
+    assert payload[:8] == shape.shape_id
+    decoded = decode_record(payload, registry)
+    assert _canon(decoded) == _canon(record)
+
+
+def test_shapes_are_content_addressed_across_registries():
+    record = {"n": 100, "seed": 7, "planar": True, "rounds": 12.5}
+    a, b = ShapeRegistry(), ShapeRegistry()
+    payload_a, shape_a = encode_record(record, a)
+    payload_b, shape_b = encode_record(record, b)
+    assert shape_a.shape_id == shape_b.shape_id
+    assert payload_a == payload_b
+
+
+def test_decode_without_shape_definition_raises():
+    record = {"family": "grid", "n": 36}
+    payload, shape = encode_record(record, ShapeRegistry())
+    fresh = ShapeRegistry()
+    assert shape_of_payload(payload, fresh) is None
+    with pytest.raises(UnknownShapeError):
+        decode_record(payload, fresh)
+    fresh.register_block(shape.block)
+    assert decode_record(payload, fresh) == record
+
+
+def test_same_keys_different_codes_get_distinct_shapes():
+    registry = ShapeRegistry()
+    _p1, s1 = encode_record({"x": 1}, registry)
+    _p2, s2 = encode_record({"x": 1.0}, registry)
+    _p3, s3 = encode_record({"x": None}, registry)
+    assert len({s1.shape_id, s2.shape_id, s3.shape_id}) == 3
+
+
+@given(_records)
+@settings(max_examples=50)
+def test_shape_register_block_is_idempotent(record):
+    registry = ShapeRegistry()
+    _payload, shape = encode_record(record, registry)
+    other = ShapeRegistry()
+    first = other.register_block(shape.block)
+    second = other.register_block(shape.block)
+    assert first.shape_id == second.shape_id == shape.shape_id
+
+
+# -- store entry framing ------------------------------------------------------
+
+
+def _entry_stream(records, registry):
+    """Concatenated shape + record entries, like one shard file."""
+    blob = bytearray()
+    seen = set()
+    entries = []
+    for i, record in enumerate(records):
+        payload, shape = encode_record(record, registry)
+        if shape.shape_id not in seen:
+            seen.add(shape.shape_id)
+            blob += pack_shape_entry(shape.block)
+        entries.append((f"k{i}", float(i), payload))
+        blob += pack_record_entry(f"k{i}", float(i), payload)
+    return bytes(blob), entries
+
+
+@given(st.lists(_records, min_size=1, max_size=6))
+@settings(max_examples=50)
+def test_entry_stream_scans_back(records):
+    writer = ShapeRegistry()
+    blob, expected = _entry_stream(records, writer)
+    reader = ShapeRegistry()  # shapes travel inside the stream
+    scanned, offset = scan_entries(blob, 0, len(blob), reader)
+    assert offset == len(blob)
+    assert [(e.key, e.stamp) for e in scanned] == [
+        (key, stamp) for key, stamp, _payload in expected
+    ]
+    for entry, (_key, _stamp, payload) in zip(scanned, expected):
+        start, end = entry.payload_slice
+        assert blob[start:end] == payload
+        assert _canon(decode_record(blob[start:end], reader)) == _canon(
+            records[int(entry.key[1:])]
+        )
+
+
+def test_truncated_tail_stays_unscanned():
+    registry = ShapeRegistry()
+    blob, _expected = _entry_stream([{"a": 1}, {"a": 2}], registry)
+    torn = blob[:-3]  # writer mid-append on the last entry
+    reader = ShapeRegistry()
+    scanned, offset = scan_entries(torn, 0, len(torn), reader)
+    assert [e.key for e in scanned] == ["k0"]
+    # the scan stops exactly at the torn entry so a later pass resumes
+    complete = torn[:offset]
+    rescan, _off = scan_entries(blob, offset, len(blob), reader)
+    assert [e.key for e in rescan] == ["k1"]
+    assert len(complete) == offset
+
+
+def test_scan_resyncs_over_garbage():
+    registry = ShapeRegistry()
+    blob, _expected = _entry_stream([{"a": 1}], registry)
+    dirty = b"\x00garbage\xff" + blob + b"\xa7junk" + blob
+    reader = ShapeRegistry()
+    scanned, _offset = scan_entries(dirty, 0, len(dirty), reader)
+    assert [e.key for e in scanned] == ["k0", "k0"]
+
+
+def test_read_entry_rejects_corrupt_header():
+    registry = ShapeRegistry()
+    blob, _expected = _entry_stream([{"a": 1}], registry)
+    flipped = bytearray(blob)
+    flipped[0] ^= 0xFF  # break the magic
+    with pytest.raises(CorruptEntry):
+        read_entry(bytes(flipped), 0, len(flipped), ShapeRegistry())
+
+
+def test_resync_finds_entry_after_noise():
+    registry = ShapeRegistry()
+    blob, _expected = _entry_stream([{"a": 1}], registry)
+    noisy = b"\x01\x02\x03" + blob
+    assert resync(noisy, 0, len(noisy)) == 3
+    assert resync(b"\x00" * 64, 0, 64) is None
+
+
+# -- wire frames --------------------------------------------------------------
+
+
+def test_wire_frame_round_trip_over_stream():
+    frames = [
+        {"op": "hello", "protocol": 2, "kinds": ["test"], "pid": 123},
+        {"op": "job", "id": 0, "spec_pkd": b"\x00\x01", "key": None},
+        {"op": "result", "id": 0, "record_pkd": b"\xff" * 10,
+         "seconds": 0.25, "hit": False},
+    ]
+    stream = io.BytesIO(b"".join(encode_wire_frame(f) for f in frames))
+    for frame in frames:
+        assert read_wire_frame(stream) == frame
+    assert read_wire_frame(stream) is None  # clean EOF at a boundary
+
+
+def test_torn_wire_frame_raises():
+    encoded = encode_wire_frame({"op": "ping"})
+    with pytest.raises(WireProtocolError):
+        read_wire_frame(io.BytesIO(encoded[:-1]))
+    with pytest.raises(WireProtocolError):
+        read_wire_frame(io.BytesIO(encoded[: FRAME_HEADER_SIZE - 2]))
+
+
+def test_bad_frame_magic_raises():
+    encoded = bytearray(encode_wire_frame({"op": "ping"}))
+    encoded[0] ^= 0xFF
+    with pytest.raises(WireProtocolError):
+        parse_frame_header(bytes(encoded[:FRAME_HEADER_SIZE]))
+
+
+def test_frame_shapes_dedups_per_connection():
+    registry = ShapeRegistry()
+    p1, s1 = encode_record({"a": 1}, registry)
+    p2, s2 = encode_record({"a": 2}, registry)  # same shape
+    p3, s3 = encode_record({"b": "x"}, registry)  # new shape
+    sent = set()
+    first = frame_shapes(iter((p1,)), sent, registry)
+    assert first == [s1.block]
+    assert frame_shapes(iter((p2,)), sent, registry) == []
+    assert frame_shapes(iter((p3,)), sent, registry) == [s3.block]
+    assert frame_shapes(iter((p1, p3)), set(), registry) == [
+        s1.block,
+        s3.block,
+    ]
+
+
+@given(_records)
+@settings(max_examples=50)
+def test_frames_carry_arbitrary_records(record):
+    # a record rides a frame as a value too (dump/debug paths)
+    stream = io.BytesIO(encode_wire_frame({"record": record}))
+    decoded = read_wire_frame(stream)
+    assert _canon(decoded["record"]) == _canon(record)
+
+
+def test_entry_header_size_constant_matches_struct():
+    blob = pack_record_entry("k", 0.0, b"\x00" * 8)
+    assert blob[:2] == b"\xa7R"
+    assert len(blob) > ENTRY_HEADER_SIZE

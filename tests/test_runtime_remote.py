@@ -17,6 +17,11 @@ from repro.runtime import (
     make_backend,
     run_jobs,
 )
+from repro.runtime.codec import (
+    STATS,
+    encode_wire_frame,
+    read_wire_frame,
+)
 from repro.runtime.remote import (
     PROTOCOL_VERSION,
     decode_frame,
@@ -89,14 +94,45 @@ def test_workers_share_store_and_records_land_once(tmp_path):
     batch = run_jobs(SPECS, backend=backend, cache=cache)
     _join(workers)
     assert batch.executed == len(SPECS)
-    lines = sum(
-        len(path.read_bytes().splitlines())
-        for path in store_dir.glob("shard-*.jsonl")
-    )
-    assert lines == len(SPECS)
+    from repro.runtime.store import count_record_entries
+
+    # One physical entry per record, not two.
+    assert count_record_entries(store_dir) == len(SPECS)
     rerun = run_jobs(SPECS, cache=ResultCache(disk_dir=store_dir))
     assert rerun.executed == 0
     assert rerun.records == batch.records
+
+
+def test_handshake_rejects_legacy_json_worker():
+    """A protocol-1 worker opens with a JSON line; the server must
+    answer in JSON (the only dialect it can read) and name the
+    protocol mismatch before closing."""
+    backend = RemoteBackend(port=0)
+    port = backend.bind()
+    holder = {}
+
+    def consume():
+        holder["batch"] = run_jobs(SPECS[:1], backend=backend)
+
+    consumer = threading.Thread(target=consume, daemon=True)
+    consumer.start()
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    reader = sock.makefile("rb")
+    sock.sendall(
+        encode_frame(
+            {"op": "hello", "protocol": 1, "kinds": [], "store": None}
+        )
+    )
+    reject = decode_frame(reader.readline())
+    sock.close()
+    assert reject["op"] == "reject"
+    assert "protocol mismatch" in reject["reason"]
+    # A conforming worker still completes the batch afterwards.
+    workers = _start_workers(port)
+    consumer.join(15)
+    assert not consumer.is_alive()
+    _join(workers)
+    assert len(holder["batch"].records) == 1
 
 
 def test_handshake_rejects_protocol_mismatch():
@@ -112,11 +148,11 @@ def test_handshake_rejects_protocol_mismatch():
     sock = socket.create_connection(("127.0.0.1", port), timeout=10)
     reader = sock.makefile("rb")
     sock.sendall(
-        encode_frame(
+        encode_wire_frame(
             {"op": "hello", "protocol": 999, "kinds": [], "store": None}
         )
     )
-    reject = decode_frame(reader.readline())
+    reject = read_wire_frame(reader)
     sock.close()
     assert reject["op"] == "reject"
     assert "protocol mismatch" in reject["reason"]
@@ -141,7 +177,7 @@ def test_handshake_rejects_missing_kinds():
     sock = socket.create_connection(("127.0.0.1", port), timeout=10)
     reader = sock.makefile("rb")
     sock.sendall(
-        encode_frame(
+        encode_wire_frame(
             {
                 "op": "hello",
                 "protocol": PROTOCOL_VERSION,
@@ -150,7 +186,7 @@ def test_handshake_rejects_missing_kinds():
             }
         )
     )
-    reject = decode_frame(reader.readline())
+    reject = read_wire_frame(reader)
     sock.close()
     assert reject["op"] == "reject"
     assert "missing job kinds" in reject["reason"]
@@ -173,7 +209,7 @@ def test_handshake_rejects_store_mismatch(tmp_path):
     sock = socket.create_connection(("127.0.0.1", port), timeout=10)
     reader = sock.makefile("rb")
     sock.sendall(
-        encode_frame(
+        encode_wire_frame(
             {
                 "op": "hello",
                 "protocol": PROTOCOL_VERSION,
@@ -182,7 +218,7 @@ def test_handshake_rejects_store_mismatch(tmp_path):
             }
         )
     )
-    reject = decode_frame(reader.readline())
+    reject = read_wire_frame(reader)
     sock.close()
     assert reject["op"] == "reject"
     assert "store mismatch" in reject["reason"]
@@ -203,7 +239,7 @@ def test_killed_worker_requeues_its_job():
         sock = socket.create_connection(("127.0.0.1", port), timeout=10)
         reader = sock.makefile("rb")
         sock.sendall(
-            encode_frame(
+            encode_wire_frame(
                 {
                     "op": "hello",
                     "protocol": PROTOCOL_VERSION,
@@ -213,8 +249,8 @@ def test_killed_worker_requeues_its_job():
                 }
             )
         )
-        assert decode_frame(reader.readline())["op"] == "welcome"
-        job = decode_frame(reader.readline())
+        assert read_wire_frame(reader)["op"] == "welcome"
+        job = read_wire_frame(reader)
         assert job["op"] == "job"
         got_job.set()
         sock.close()  # die without answering: the server must requeue
@@ -309,6 +345,38 @@ def test_storeless_adoption_requires_initialized_store(tmp_path):
     _join(workers)
     assert len(batch.records) == 1
     assert _adopt_store(str(tmp_path / "real")) is not None
+
+
+def test_server_appends_result_bytes_without_reencode(tmp_path):
+    """Zero-copy pin: with storeless workers, the orchestrator appends
+    each worker's result *bytes* to the store verbatim.  Workers run
+    in-process here, so ``codec.STATS`` sees both sides: per job there
+    is exactly one spec encode (server), one spec decode (worker), one
+    record encode (worker), and one record decode (server, for the
+    consumer stream).  A server that re-encoded for the store append,
+    or decoded twice, breaks the exact count."""
+    store_dir = tmp_path / "server-store"
+    backend = RemoteBackend(port=0, store_dir=str(store_dir))
+    port = backend.bind()
+    cache = ResultCache(disk_dir=store_dir)  # keys ride to the server
+    # Workers do NOT share the store: every result rides the wire and
+    # the server persists it (stored=False) via put_raw.
+    workers = _start_workers(port, count=2, store_dir=None)
+    encoded_before = STATS.encoded_records
+    decoded_before = STATS.decoded_records
+    batch = run_jobs(SPECS, backend=backend, cache=cache)
+    _join(workers)
+    assert batch.executed == len(SPECS)
+    assert STATS.encoded_records - encoded_before == 2 * len(SPECS)
+    assert STATS.decoded_records - decoded_before == 2 * len(SPECS)
+    # The spliced bytes decode back to exactly what the workers sent.
+    from repro.runtime.cache import KeyDeriver
+    from repro.runtime.store import ShardedStore
+
+    store = ShardedStore(store_dir)
+    deriver = KeyDeriver()
+    for spec, record in zip(SPECS, batch.records):
+        assert store.get(deriver.key_for(spec)) == record
 
 
 def test_worker_reports_seconds_for_executed_jobs():

@@ -1,0 +1,410 @@
+"""Binary shard format: mixed directories, migration, index sidecars.
+
+The companion of ``test_runtime_store.py``: that file pins the store's
+format-agnostic contract (and runs on the default ``rbin`` format);
+this one pins what is *specific* to the binary format -- raw-bytes
+append/read (the zero-copy splice the wire protocol rides), ``.idx``
+sidecar seeding, ``.jsonl``/``.rbin`` coexistence in one directory,
+the ``migrate()`` upgrade/downgrade path, and the binary mirrors of
+the concurrent-writer and GC-during-write suites pinned explicitly to
+``record_format="rbin"`` so they keep covering binary shards even if
+the default or ``REPRO_STORE_FORMAT`` changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.runtime import ShardedStore
+from repro.runtime.codec import (
+    ShapeRegistry,
+    UnknownShapeError,
+    decode_record,
+    encode_record,
+)
+from repro.runtime.store import (
+    FORMAT_ENV_VAR,
+    FORMAT_JSONL,
+    FORMAT_RBIN,
+    count_record_entries,
+    resolve_format,
+)
+
+# -- format resolution --------------------------------------------------------
+
+
+def test_format_resolution_order(monkeypatch):
+    monkeypatch.delenv(FORMAT_ENV_VAR, raising=False)
+    assert resolve_format(None, None) == FORMAT_RBIN
+    assert resolve_format(None, FORMAT_JSONL) == FORMAT_JSONL
+    assert resolve_format(FORMAT_RBIN, FORMAT_JSONL) == FORMAT_RBIN
+    monkeypatch.setenv(FORMAT_ENV_VAR, FORMAT_JSONL)
+    assert resolve_format(None, None) == FORMAT_JSONL
+    # persisted (store.json) beats the environment: an existing store
+    # keeps its format no matter who opens it
+    assert resolve_format(None, FORMAT_RBIN) == FORMAT_RBIN
+
+
+def test_persisted_format_survives_reopen(tmp_path, monkeypatch):
+    monkeypatch.delenv(FORMAT_ENV_VAR, raising=False)
+    store = ShardedStore(tmp_path / "s", record_format=FORMAT_JSONL)
+    store.put("k", {"v": 1})
+    monkeypatch.setenv(FORMAT_ENV_VAR, FORMAT_RBIN)
+    reopened = ShardedStore(tmp_path / "s")
+    assert reopened.format == FORMAT_JSONL
+    assert reopened.get("k") == {"v": 1}
+
+
+def test_invalid_format_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        ShardedStore(tmp_path / "s", record_format="parquet")
+
+
+# -- raw byte append / read (the zero-copy splice) ----------------------------
+
+
+def test_put_raw_get_raw_round_trip(tmp_path):
+    store = ShardedStore(tmp_path / "s")
+    record = {"rounds": 12, "planar": True, "eps": 0.5}
+    payload, _shape = encode_record(record)
+    store.put_raw("k", payload)
+    assert bytes(store.get_raw("k")) == payload
+    assert store.get("k") == record
+    # and the raw bytes a fresh process reads back are the same bytes
+    assert bytes(ShardedStore(tmp_path / "s").get_raw("k")) == payload
+
+
+def test_put_raw_rejects_unregistered_shape(tmp_path):
+    store = ShardedStore(tmp_path / "s")
+    foreign = ShapeRegistry()
+    payload, _shape = encode_record({"zz": 1}, foreign)
+    # the shape never reached the process-global registry via a wire
+    # frame or a shard scan: appending would write undecodable bytes
+    local_payload = bytes(payload[:8][::-1]) + payload[8:]  # unknown id
+    with pytest.raises(UnknownShapeError):
+        store.put_raw("k", local_payload)
+
+
+def test_put_raw_on_jsonl_store_degrades_to_decode(tmp_path):
+    store = ShardedStore(tmp_path / "s", record_format=FORMAT_JSONL)
+    record = {"v": 7, "name": "x"}
+    payload, _shape = encode_record(record)
+    store.put_raw("k", payload)  # jsonl shards cannot splice bytes
+    assert store.get("k") == record
+    from repro.runtime.store import shard_of_key
+
+    shard_id = shard_of_key("k", store.shards)
+    assert (tmp_path / "s" / "shard-{:02d}.jsonl".format(shard_id)).exists()
+    assert not (tmp_path / "s" / "shard-{:02d}.rbin".format(shard_id)).exists()
+
+
+def test_get_raw_returns_none_for_jsonl_source(tmp_path):
+    jsonl = ShardedStore(tmp_path / "s", record_format=FORMAT_JSONL)
+    jsonl.put("k", {"v": 1})
+    assert jsonl.get_raw("k") is None  # no packed bytes exist for it
+    assert jsonl.get("k") == {"v": 1}
+
+
+# -- mixed directories --------------------------------------------------------
+
+
+def test_mixed_directory_reads_both_formats(tmp_path):
+    legacy = ShardedStore(tmp_path / "s", record_format=FORMAT_JSONL)
+    for i in range(8):
+        legacy.put(f"old-{i}", {"v": i, "src": "jsonl"})
+    # flip the store to binary: old keys stay readable, new appends
+    # land in .rbin shards beside the .jsonl ones
+    store = ShardedStore(tmp_path / "s", record_format=FORMAT_RBIN)
+    for i in range(8):
+        store.put(f"new-{i}", {"v": i, "src": "rbin"})
+    fresh = ShardedStore(tmp_path / "s", record_format=FORMAT_RBIN)
+    for i in range(8):
+        assert fresh.get(f"old-{i}") == {"v": i, "src": "jsonl"}
+        assert fresh.get(f"new-{i}") == {"v": i, "src": "rbin"}
+    assert len(fresh) == 16
+    assert count_record_entries(tmp_path / "s") == 16
+
+
+def test_mixed_directory_newest_wins_across_formats(tmp_path):
+    legacy = ShardedStore(tmp_path / "s", record_format=FORMAT_JSONL)
+    legacy.put("k", {"gen": "old"})
+    store = ShardedStore(tmp_path / "s", record_format=FORMAT_RBIN)
+    store.put("k", {"gen": "new"})
+    assert ShardedStore(tmp_path / "s").get("k") == {"gen": "new"}
+    # compaction folds the loser away entirely
+    report = store.gc()
+    assert report.entries_kept == 1
+    assert ShardedStore(tmp_path / "s").get("k") == {"gen": "new"}
+
+
+# -- migration ----------------------------------------------------------------
+
+
+def _fill(store, count=30):
+    expected = {}
+    for i in range(count):
+        record = {"v": i, "family": "grid", "rounds": float(i) / 3}
+        store.put(f"key-{i}", record)
+        expected[f"key-{i}"] = record
+    store.put_meta("cost:test:36", {"kind": "test", "n": 36, "count": 2.0,
+                                    "total_s": 1.0, "mean_s": 0.5})
+    return expected
+
+
+def test_migrate_jsonl_to_rbin_round_trip(tmp_path, monkeypatch):
+    monkeypatch.delenv(FORMAT_ENV_VAR, raising=False)
+    legacy = ShardedStore(tmp_path / "s", record_format=FORMAT_JSONL)
+    expected = _fill(legacy)
+    legacy.put("key-0", expected["key-0"])  # a dead duplicate to drop
+    before = dict(_dump(legacy))
+
+    migrator = ShardedStore(tmp_path / "s", record_format=FORMAT_RBIN)
+    report = migrator.migrate()
+    assert report.format == FORMAT_RBIN
+    assert report.entries == len(expected)
+    assert report.meta_entries == 1
+    assert not list((tmp_path / "s").glob("shard-*.jsonl"))
+
+    # a fresh opener resolves rbin from store.json, no env needed
+    fresh = ShardedStore(tmp_path / "s")
+    assert fresh.format == FORMAT_RBIN
+    assert dict(_dump(fresh)) == before == expected
+    assert fresh.get_meta("cost:test:36")["mean_s"] == 0.5
+    for key in expected:
+        assert fresh.get_raw(key) is not None  # now spliceable bytes
+
+
+def test_migrate_rbin_to_jsonl_downgrade(tmp_path):
+    store = ShardedStore(tmp_path / "s", record_format=FORMAT_RBIN)
+    expected = _fill(store, count=10)
+    down = ShardedStore(tmp_path / "s", record_format=FORMAT_JSONL)
+    report = down.migrate()
+    assert report.format == FORMAT_JSONL
+    assert not list((tmp_path / "s").glob("shard-*.rbin"))
+    assert not list((tmp_path / "s").glob("shard-*.idx"))
+    fresh = ShardedStore(tmp_path / "s")
+    assert fresh.format == FORMAT_JSONL
+    assert dict(_dump(fresh)) == expected
+
+
+def _dump(store):
+    for key, _stamp, record in store.dump():
+        yield key, record
+
+
+def test_migrate_preserves_stamps(tmp_path):
+    legacy = ShardedStore(tmp_path / "s", record_format=FORMAT_JSONL)
+    legacy.put("k", {"v": 1})
+    stamps_before = {key: stamp for key, stamp, _r in legacy.dump()}
+    migrator = ShardedStore(tmp_path / "s", record_format=FORMAT_RBIN)
+    migrator.migrate()
+    stamps_after = {
+        key: stamp for key, stamp, _r in ShardedStore(tmp_path / "s").dump()
+    }
+    assert stamps_after == stamps_before
+
+
+# -- index sidecars -----------------------------------------------------------
+
+
+def test_compaction_writes_idx_and_fresh_open_seeds_from_it(tmp_path):
+    store = ShardedStore(tmp_path / "s", shards=2)
+    _fill(store, count=40)
+    store.gc()  # compaction rewrites shards + sidecar indexes
+    idx_files = list((tmp_path / "s").glob("shard-*.idx"))
+    assert idx_files
+
+    fresh = ShardedStore(tmp_path / "s")
+    for i in range(40):
+        assert fresh.get(f"key-{i}") is not None
+    assert fresh.stats.index_hits > 0
+    assert fresh.stats.index_misses == 0
+
+
+def test_corrupt_idx_falls_back_to_full_scan(tmp_path):
+    store = ShardedStore(tmp_path / "s", shards=2)
+    _fill(store, count=20)
+    store.gc()
+    for idx in (tmp_path / "s").glob("shard-*.idx"):
+        idx.write_bytes(b"RIDX\x01" + b"\x00" * 10)  # valid magic, bad body
+    fresh = ShardedStore(tmp_path / "s")
+    for i in range(20):
+        assert fresh.get(f"key-{i}") is not None, "fallback scan lost a key"
+    assert fresh.stats.index_hits == 0
+
+
+def test_stale_idx_ignored_after_further_appends(tmp_path):
+    store = ShardedStore(tmp_path / "s", shards=1)
+    _fill(store, count=10)
+    store.gc()
+    # appends after the rewrite: the sidecar no longer matches the
+    # data size it recorded, so a fresh open must scan, not seed
+    store.put("late", {"v": 99})
+    fresh = ShardedStore(tmp_path / "s")
+    assert fresh.get("late") == {"v": 99}
+    for i in range(10):
+        assert fresh.get(f"key-{i}") is not None
+
+
+# -- torn tails and corruption ------------------------------------------------
+
+
+def test_torn_binary_tail_degrades_to_miss(tmp_path):
+    store = ShardedStore(tmp_path / "s", shards=1)
+    store.put("a", {"v": 1})
+    store.put("b", {"v": 2})
+    path = tmp_path / "s" / "shard-00.rbin"
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-3])  # crash mid-append on the last entry
+    fresh = ShardedStore(tmp_path / "s")
+    assert fresh.get("a") == {"v": 1}
+    assert fresh.get("b") is None  # torn, not resurrected
+    fresh.put("b", {"v": 3})  # overwrite repairs the shard
+    assert ShardedStore(tmp_path / "s").get("b") == {"v": 3}
+
+
+def test_garbage_between_entries_resyncs(tmp_path):
+    store = ShardedStore(tmp_path / "s", shards=1)
+    store.put("a", {"v": 1})
+    path = tmp_path / "s" / "shard-00.rbin"
+    with path.open("ab") as handle:
+        handle.write(b"\x00\xffgarbage-from-a-crashed-writer")
+    store2 = ShardedStore(tmp_path / "s")
+    store2.put("b", {"v": 2})
+    fresh = ShardedStore(tmp_path / "s")
+    assert fresh.get("a") == {"v": 1}
+    assert fresh.get("b") == {"v": 2}
+
+
+# -- binary mirrors of the concurrency suites ---------------------------------
+
+
+def _bin_writer_process(root, start, barrier, count):
+    store = ShardedStore(root, shards=2, record_format=FORMAT_RBIN)
+    barrier.wait()  # maximize interleaving
+    for index in range(start, start + count):
+        store.put(f"key-{index}", {"writer": start, "v": index})
+
+
+def test_concurrent_binary_writers_share_one_index(tmp_path):
+    root = tmp_path / "s"
+    ShardedStore(root, shards=2, record_format=FORMAT_RBIN).put(
+        "seed", {"v": -1}
+    )
+    count = 200
+    barrier = multiprocessing.Barrier(2)
+    procs = [
+        multiprocessing.Process(
+            target=_bin_writer_process, args=(root, start, barrier, count)
+        )
+        for start in (0, count)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join()
+        assert proc.exitcode == 0
+    store = ShardedStore(root)
+    assert len(store) == 2 * count + 1
+    for index in range(2 * count):
+        assert store.get(f"key-{index}") == {
+            "writer": 0 if index < count else count,
+            "v": index,
+        }
+    # every persisted entry parses: no interleaved or torn appends
+    assert count_record_entries(root) == 2 * count + 1
+
+
+def test_concurrent_binary_writer_during_gc_loses_nothing(tmp_path):
+    store = ShardedStore(tmp_path / "s", shards=2, record_format=FORMAT_RBIN)
+    store.put("seed", {"v": -1})
+    stop = threading.Event()
+    written = []
+
+    def writer():
+        peer = ShardedStore(tmp_path / "s")
+        index = 0
+        while not stop.is_set() and index < 300:
+            peer.put(f"w{index}", {"v": index})
+            written.append(f"w{index}")
+            index += 1
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        for _ in range(10):
+            store.gc(ttl=3600.0)
+    finally:
+        stop.set()
+        thread.join()
+    store.gc(ttl=3600.0)
+    reader = ShardedStore(tmp_path / "s")
+    for key in written:
+        assert reader.get(key) is not None, f"gc lost {key}"
+    assert reader.get("seed") == {"v": -1}
+
+
+def test_migrate_racing_writer_loses_nothing(tmp_path):
+    legacy = ShardedStore(tmp_path / "s", shards=2,
+                          record_format=FORMAT_JSONL)
+    for i in range(50):
+        legacy.put(f"pre-{i}", {"v": i})
+    stop = threading.Event()
+    written = []
+
+    def writer():
+        peer = ShardedStore(tmp_path / "s")
+        index = 0
+        while not stop.is_set() and index < 200:
+            peer.put(f"mid-{index}", {"v": index})
+            written.append(f"mid-{index}")
+            index += 1
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        migrator = ShardedStore(tmp_path / "s", record_format=FORMAT_RBIN)
+        migrator.migrate()
+    finally:
+        stop.set()
+        thread.join()
+    reader = ShardedStore(tmp_path / "s")
+    for i in range(50):
+        assert reader.get(f"pre-{i}") == {"v": i}
+    for key in written:
+        assert reader.get(key) is not None, f"migrate lost {key}"
+
+
+def test_raw_appends_decode_identically_cross_process(tmp_path):
+    """put_raw bytes written by one process decode in another purely
+    from the shard stream (shape defs travel inside the file)."""
+    payloads = {}
+    store = ShardedStore(tmp_path / "s")
+    for i in range(10):
+        record = {"idx": i, "label": f"r{i}", "frac": i / 7}
+        payload, _shape = encode_record(record)
+        store.put_raw(f"k{i}", payload)
+        payloads[f"k{i}"] = (payload, record)
+
+    def reader_process(root, queue):
+        peer = ShardedStore(root)
+        raws = {}
+        for i in range(10):
+            raw = peer.get_raw(f"k{i}")
+            raws[f"k{i}"] = bytes(raw) if raw is not None else None
+        queue.put(raws)
+
+    queue = multiprocessing.Queue()
+    proc = multiprocessing.Process(
+        target=reader_process, args=(tmp_path / "s", queue)
+    )
+    proc.start()
+    raws = queue.get(timeout=30)
+    proc.join()
+    assert proc.exitcode == 0
+    for key, (payload, record) in payloads.items():
+        assert raws[key] == payload
+        assert decode_record(raws[key]) == record

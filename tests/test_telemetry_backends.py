@@ -26,7 +26,8 @@ from repro.runtime import (
     run_jobs,
     run_sweep,
 )
-from repro.runtime.remote import PROTOCOL_VERSION, decode_frame, encode_frame
+from repro.runtime.codec import encode_wire_frame, read_wire_frame
+from repro.runtime.remote import PROTOCOL_VERSION
 from repro.runtime.worker import serve_remote
 from repro.telemetry import configure, read_events, read_metrics, top_spans
 import pytest
@@ -179,7 +180,7 @@ def test_remote_requeue_logs_partial_cost():
         sock = socket.create_connection(("127.0.0.1", port), timeout=10)
         reader = sock.makefile("rb")
         sock.sendall(
-            encode_frame(
+            encode_wire_frame(
                 {
                     "op": "hello",
                     "protocol": PROTOCOL_VERSION,
@@ -189,8 +190,8 @@ def test_remote_requeue_logs_partial_cost():
                 }
             )
         )
-        assert decode_frame(reader.readline())["op"] == "welcome"
-        assert decode_frame(reader.readline())["op"] == "job"
+        assert read_wire_frame(reader)["op"] == "welcome"
+        assert read_wire_frame(reader)["op"] == "job"
         got_job.set()
         sock.close()  # die mid-job: the server requeues
 
