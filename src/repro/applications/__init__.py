@@ -1,5 +1,12 @@
 """Applications of the minor-free partition (Corollary 17)."""
 
+from .dense import DenseSpanner, build_dense_spanner
 from .spanner import SpannerResult, build_spanner, measure_stretch
 
-__all__ = ["SpannerResult", "build_spanner", "measure_stretch"]
+__all__ = [
+    "DenseSpanner",
+    "SpannerResult",
+    "build_dense_spanner",
+    "build_spanner",
+    "measure_stretch",
+]

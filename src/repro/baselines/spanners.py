@@ -9,6 +9,16 @@
   distance between its endpoints exceeds the stretch budget.  Size
   ``O(n^{1+1/k})``; the strongest sequential size baseline (but not a
   distributed algorithm).
+
+Both constructions accept an optional precompiled
+:class:`~repro.congest.topology.CompiledTopology` of the input graph;
+when given, the spanner comes back as a
+:class:`~repro.applications.dense.DenseSpanner` (flat CSR-ready edge
+arrays over the topology's index space) instead of a networkx graph,
+so the E10 baseline column feeds the vectorized
+:func:`~repro.applications.spanner.measure_stretch` directly without
+re-converting the graph per trial.  The edge *set* is identical either
+way -- the greedy scan order stays ``sorted(graph.edges(), key=repr)``.
 """
 
 from __future__ import annotations
@@ -24,12 +34,35 @@ from ..partition.auxiliary import AuxiliaryGraph
 from .mpx_partition import MPXResult, mpx_partition
 
 
+def _to_dense_spanner(spanner: nx.Graph, topology):
+    """Re-index an nx spanner as a DenseSpanner over *topology*."""
+    import numpy as np
+
+    from ..applications.dense import DenseSpanner
+
+    index = topology.index
+    count = spanner.number_of_edges()
+    su = np.fromiter(
+        (index[u] for u, _ in spanner.edges()), dtype=np.int64, count=count
+    )
+    sv = np.fromiter(
+        (index[v] for _, v in spanner.edges()), dtype=np.int64, count=count
+    )
+    return DenseSpanner(topology, su, sv)
+
+
 def cluster_spanner(
     graph: nx.Graph,
     beta: float,
     seed: Optional[int] = None,
+    topology=None,
 ):
-    """MPX-cluster spanner; returns (spanner, MPXResult)."""
+    """MPX-cluster spanner; returns (spanner, MPXResult).
+
+    With *topology* (the graph's compiled topology) the spanner is a
+    :class:`~repro.applications.dense.DenseSpanner` over its index
+    space; otherwise a networkx graph.  Same edge set either way.
+    """
     result = mpx_partition(graph, beta=beta, seed=seed)
     spanner = nx.Graph()
     spanner.add_nodes_from(graph.nodes())
@@ -39,6 +72,8 @@ def cluster_spanner(
     for edge in aux.edges():
         u, v = edge.connector
         spanner.add_edge(u, v)
+    if topology is not None:
+        return _to_dense_spanner(spanner, topology), result
     return spanner, result
 
 
@@ -62,12 +97,14 @@ def _bounded_distance(spanner: nx.Graph, source, target, limit: int) -> bool:
     return False
 
 
-def greedy_spanner(graph: nx.Graph, stretch: int) -> nx.Graph:
+def greedy_spanner(graph: nx.Graph, stretch: int, topology=None):
     """Althofer et al. greedy *stretch*-spanner (stretch must be odd >= 1).
 
     Guarantees exact multiplicative stretch on every edge (hence every
     path).  Quadratic-ish running time; intended for baseline tables on
-    graphs up to a few thousand nodes.
+    graphs up to a few thousand nodes.  With *topology* the result is a
+    :class:`~repro.applications.dense.DenseSpanner` (same edge set; the
+    scan order never changes).
     """
     require_simple(graph, "greedy_spanner input")
     if stretch < 1 or stretch % 2 == 0:
@@ -77,4 +114,6 @@ def greedy_spanner(graph: nx.Graph, stretch: int) -> nx.Graph:
     for u, v in sorted(graph.edges(), key=repr):
         if not _bounded_distance(spanner, u, v, stretch):
             spanner.add_edge(u, v)
+    if topology is not None:
+        return _to_dense_spanner(spanner, topology)
     return spanner

@@ -349,6 +349,7 @@ def _cmd_sweep(args) -> int:
     result = run_sweep(
         sweep, backend=backend, cache=cache, shard=shard, resume=args.resume,
         balance=args.balance, progress=progress, batch=args.batch,
+        batch_waste=args.batch_waste,
     )
     shard_label = f" [shard {shard[0]}/{shard[1]}]" if shard else ""
     table = result.to_table(
@@ -635,7 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--programs",
         default="bfs",
         help="comma-separated simulator programs (simulate kind): "
-        "bfs,flood,forest,storm",
+        "bfs,cv,flood,forest,storm",
     )
     p_sweep.add_argument(
         "--profile",
@@ -723,6 +724,15 @@ def build_parser() -> argparse.ArgumentParser:
         "fast; records are identical to unbatched runs; 'auto' sizes "
         "batches from the cost table's measured per-trial wall-times; "
         "default REPRO_SIM_BATCH or 1)",
+    )
+    p_sweep.add_argument(
+        "--batch-waste",
+        type=float,
+        default=None,
+        metavar="W",
+        help="padding-waste bound for ragged batch jobs: never pad a "
+        "batch's smallest trial by more than a factor of W in edge "
+        "slots (>= 1; default REPRO_SIM_BATCH_WASTE or 4.0)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -1,12 +1,14 @@
 """CONGEST model substrate: simulator, cost ledger, and node programs."""
 
 from .batch import (
+    WASTE_ENV_VAR,
     BatchAccounting,
     BatchKernel,
     BatchTopology,
     batch_kernels,
     pad_groups,
     register_batch_kernel,
+    resolve_pad_waste,
     run_batched,
 )
 from .instrumentation import (
@@ -55,6 +57,7 @@ __all__ = [
     "SimulationResult",
     "SlotInbox",
     "TreeCostModel",
+    "WASTE_ENV_VAR",
     "XP_ENV_VAR",
     "asnumpy",
     "batch_kernels",
@@ -67,6 +70,7 @@ __all__ = [
     "register_batch_kernel",
     "register_profile",
     "reset_topology_stats",
+    "resolve_pad_waste",
     "resolve_profile",
     "run_batched",
     "topology_stats",

@@ -48,6 +48,7 @@ array ops per round.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from .network import SimulationResult
@@ -56,6 +57,29 @@ from .xp import asnumpy, get_xp
 
 BIG = 1 << 60
 """Reduction identity for minima (larger than any distance or round)."""
+
+WASTE_ENV_VAR = "REPRO_SIM_BATCH_WASTE"
+"""Environment override for the default padding-waste bound."""
+
+DEFAULT_PAD_WASTE = 4.0
+"""Default :func:`pad_groups` slot-padding bound (factor over the
+group's smallest member)."""
+
+
+def resolve_pad_waste(waste: Optional[float] = None) -> float:
+    """Resolve the padding-waste bound (arg, then env, then 4.0).
+
+    The bound caps how much a ragged batch may pad its smallest member:
+    a group never allocates more than ``waste`` times the slot count of
+    its smallest trial.  Must be >= 1 (a group of one pads nothing).
+    """
+    if waste is None:
+        raw = os.environ.get(WASTE_ENV_VAR)
+        waste = float(raw) if raw else DEFAULT_PAD_WASTE
+    waste = float(waste)
+    if waste < 1.0:
+        raise ValueError(f"pad waste bound must be >= 1, got {waste}")
+    return waste
 
 
 def _resolve_xp(xp):
@@ -195,7 +219,7 @@ class BatchTopology:
 def pad_groups(
     topologies: Sequence[CompiledTopology],
     limit: int,
-    waste: float = 4.0,
+    waste: Optional[float] = None,
 ) -> List[List[int]]:
     """Group trial indices into batches with bounded padding waste.
 
@@ -204,10 +228,12 @@ def pad_groups(
     smallest member by more than a factor of *waste* in slots.  Returns
     index lists into *topologies* (every index appears exactly once),
     so callers can batch heterogeneous sweep cells without drowning a
-    sparse trial in a dense trial's padding.
+    sparse trial in a dense trial's padding.  ``waste=None`` resolves
+    via :func:`resolve_pad_waste` (``REPRO_SIM_BATCH_WASTE``, then 4.0).
     """
     if limit < 1:
         raise ValueError(f"limit must be positive, got {limit}")
+    waste = resolve_pad_waste(waste)
     order = sorted(
         range(len(topologies)),
         key=lambda i: (topologies[i].n, topologies[i].m),

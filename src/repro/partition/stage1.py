@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 import networkx as nx
@@ -31,6 +31,7 @@ import networkx as nx
 from ..congest.ledger import RoundLedger, TreeCostModel
 from ..errors import PartitionError
 from ..graphs.utils import id_key
+from ..telemetry import get_tracer
 from .auxiliary import AuxiliaryGraph
 from .coloring import cole_vishkin_emulated
 from .forest_decomposition import forest_decomposition_emulated
@@ -107,6 +108,12 @@ class Stage1Result:
         ledger: round-cost accounting for the whole stage.
         target_cut: the cut-size target that was used.
         theoretical_phase_cap: the a-priori phase bound t.
+        dense_state: the final :class:`~repro.partition.dense.
+            DensePartitionState` when the dense engine ran (``None``
+            under the legacy engine).  Downstream consumers -- the
+            Corollary 17 spanner builder and the application verifiers
+            -- read the partition's parent/part-of arrays from here
+            instead of round-tripping through :class:`Partition`.
     """
 
     partition: Partition
@@ -116,6 +123,7 @@ class Stage1Result:
     ledger: RoundLedger
     target_cut: float
     theoretical_phase_cap: int
+    dense_state: Optional[Any] = field(default=None, repr=False, compare=False)
 
     @property
     def rounds(self) -> int:
@@ -407,25 +415,28 @@ def _partition_stage1_dense(
     m = graph.number_of_edges()
     phases: List[PhaseStats] = []
     cut = m
+    tracer = get_tracer()
 
     for phase_index in range(1, max_phases + 1):
         if cut == 0 or (early_stop and cut <= target_cut):
             break
-        aux = state.build_aux()
+        with tracer.span("stage1.aux_build", phase=phase_index, parts=state.size):
+            aux = state.build_aux()
         height = state.max_height()
         pids = aux.pids
 
-        success, active, inactive_round, fd_super_rounds = (
-            forest_decomposition_dense(
-                aux,
-                alpha,
-                n_graph=n,
-                height=height,
-                ledger=ledger,
-                cost_model=model,
-                charge_full_budget=charge_full_budget,
+        with tracer.span("stage1.forest", phase=phase_index, aux_edges=aux.edge_count()):
+            success, active, inactive_round, fd_super_rounds = (
+                forest_decomposition_dense(
+                    aux,
+                    alpha,
+                    n_graph=n,
+                    height=height,
+                    ledger=ledger,
+                    cost_model=model,
+                    charge_full_budget=charge_full_budget,
+                )
             )
-        )
         if not success:
             rejecting = tuple(
                 sorted(ids[pids[c]] for c in _np.nonzero(active)[0].tolist())
@@ -438,29 +449,32 @@ def _partition_stage1_dense(
                 ledger=ledger,
                 target_cut=target_cut,
                 theoretical_phase_cap=cap,
+                dense_state=state,
             )
 
         # Sub-steps 1-4 on compact arrays: heaviest-out-edge selection,
         # vectorized Cole-Vishkin, CHW marking, star contraction.
-        parent_c, weight_c = orient_and_select_dense(aux, inactive_round)
-        init_colors = _np.fromiter(
-            (ids[pid] for pid in pids), dtype=_np.int64, count=len(pids)
-        )
-        colors, cv_rounds = cole_vishkin_dense(
-            parent_c,
-            init_colors,
-            ledger=ledger,
-            cost_model=model,
-            height=height,
-        )
-        marking = mark_and_choose_dense(parent_c, weight_c, colors)
-        _charge_merging_overhead(ledger, model, height, marking)
+        with tracer.span("stage1.cv", phase=phase_index):
+            parent_c, weight_c = orient_and_select_dense(aux, inactive_round)
+            init_colors = _np.fromiter(
+                (ids[pid] for pid in pids), dtype=_np.int64, count=len(pids)
+            )
+            colors, cv_rounds = cole_vishkin_dense(
+                parent_c,
+                init_colors,
+                ledger=ledger,
+                cost_model=model,
+                height=height,
+            )
+        with tracer.span("stage1.marking", phase=phase_index):
+            marking = mark_and_choose_dense(parent_c, weight_c, colors)
+            _charge_merging_overhead(ledger, model, height, marking)
 
-        parts_before = state.size
-        state.merge(
-            [(pids[c], pids[p]) for c, p in marking.contract_edges], aux
-        )
-        new_cut = state.cut_size()
+            parts_before = state.size
+            state.merge(
+                [(pids[c], pids[p]) for c, p in marking.contract_edges], aux
+            )
+            new_cut = state.cut_size()
         phases.append(
             PhaseStats(
                 phase=phase_index,
@@ -493,4 +507,5 @@ def _partition_stage1_dense(
         ledger=ledger,
         target_cut=target_cut,
         theoretical_phase_cap=cap,
+        dense_state=state,
     )

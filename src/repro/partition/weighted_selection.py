@@ -453,6 +453,7 @@ def _partition_randomized_dense(
         ledger=ledger,
         target_cut=target_cut,
         theoretical_phase_cap=cap,
+        dense_state=state,
         trials=trials,
         delta=delta,
     )

@@ -88,7 +88,13 @@ def _run_application_audit(spec: JobSpec, graph: nx.Graph) -> Record:
     else:
         raise ValueError(f"unknown property {prop!r}")
     epsilon = max(0.05, min(0.4, farness * 0.8)) if farness > 0 else 0.3
-    result = runner(graph, epsilon=epsilon, method=method, seed=spec.seed)
+    result = runner(
+        graph,
+        epsilon=epsilon,
+        method=method,
+        seed=spec.seed,
+        engine=params.get("engine"),
+    )
     return {
         "property": prop,
         "method": method,
@@ -104,17 +110,33 @@ def _run_application_audit(spec: JobSpec, graph: nx.Graph) -> Record:
 
 
 def _run_spanner_baseline(spec: JobSpec, graph: nx.Graph) -> Record:
+    """One baseline spanner trial (MPX cluster or sequential greedy).
+
+    Under the dense engine the graph's compiled topology (memoized per
+    graph object, so one compilation per sweep cell) is handed to the
+    baseline, which returns its spanner as flat edge arrays -- the
+    vectorized stretch measurement then never re-converts either graph.
+    """
     from ..applications.spanner import measure_stretch
+    from ..partition.stage1 import resolve_engine
 
     params = spec.params
     method = params.get("method", "mpx")
     sample_nodes = params.get("sample_nodes", 8)
     n = graph.number_of_nodes()
+    engine = params.get("engine")
+    topology = None
+    if resolve_engine(engine, graph) == "dense":
+        from ..congest.topology import compile_topology
+
+        topology = compile_topology(graph)
     if method == "mpx":
         from ..baselines import cluster_spanner
 
         beta = params.get("beta", 0.3)
-        spanner, mpx = cluster_spanner(graph, beta=beta, seed=spec.seed)
+        spanner, mpx = cluster_spanner(
+            graph, beta=beta, seed=spec.seed, topology=topology
+        )
         guarantee: object = ABLATION_GUARANTEE
         rounds: object = mpx.rounds
         parameter: object = beta
@@ -122,20 +144,28 @@ def _run_spanner_baseline(spec: JobSpec, graph: nx.Graph) -> Record:
         from ..baselines import greedy_spanner
 
         stretch_bound = params.get("stretch", 5)
-        spanner = greedy_spanner(graph, stretch=stretch_bound)
+        spanner = greedy_spanner(
+            graph, stretch=stretch_bound, topology=topology
+        )
         guarantee = stretch_bound
         rounds = "(sequential)"
         parameter = "-"
     else:
         raise ValueError(f"unknown baseline method {method!r}")
     stretch = measure_stretch(
-        graph, spanner, sample_nodes=sample_nodes, seed=spec.seed
+        graph, spanner, sample_nodes=sample_nodes, seed=spec.seed,
+        engine=engine,
+    )
+    edges = (
+        spanner.edge_count
+        if topology is not None
+        else spanner.number_of_edges()
     )
     return {
         "method": method,
         "parameter": parameter,
-        "spanner_edges": spanner.number_of_edges(),
-        "size_per_n": spanner.number_of_edges() / max(n, 1),
+        "spanner_edges": edges,
+        "size_per_n": edges / max(n, 1),
         "measured_stretch": stretch,
         "guaranteed_stretch": guarantee,
         "rounds": rounds,

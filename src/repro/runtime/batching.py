@@ -27,7 +27,7 @@ from .jobs import JobSpec, Record
 
 BATCH_ENV_VAR = "REPRO_SIM_BATCH"
 
-BATCHABLE_PROGRAMS = frozenset({"bfs", "flood", "forest", "storm"})
+BATCHABLE_PROGRAMS = frozenset({"bfs", "cv", "flood", "forest", "storm"})
 """Programs with a registered batch kernel (kept in sync by tests)."""
 
 AUTO_BATCH_DEFAULT = 32

@@ -431,6 +431,7 @@ def _run_spanner(spec: JobSpec, graph: nx.Graph) -> Record:
     from ..applications.spanner import build_spanner, measure_stretch
 
     params = spec.params
+    engine = params.get("engine")
     result = build_spanner(
         graph,
         epsilon=params.get("epsilon", 0.1),
@@ -438,12 +439,14 @@ def _run_spanner(spec: JobSpec, graph: nx.Graph) -> Record:
         delta=params.get("delta", 0.1),
         alpha=params.get("alpha", 3),
         seed=spec.seed,
+        engine=engine,
     )
     stretch = measure_stretch(
         graph,
-        result.spanner,
+        result.dense if result.dense is not None else result.spanner,
         sample_nodes=params.get("sample_nodes", 8),
         seed=spec.seed,
+        engine=engine,
     )
     n = graph.number_of_nodes()
     return {
@@ -482,6 +485,7 @@ def _run_cycle_freeness(spec: JobSpec, graph: nx.Graph) -> Record:
         method=params.get("method", "deterministic"),
         delta=params.get("delta", 0.1),
         seed=spec.seed,
+        engine=params.get("engine"),
     )
     return _application_record(result, epsilon)
 
@@ -498,6 +502,7 @@ def _run_bipartiteness(spec: JobSpec, graph: nx.Graph) -> Record:
         method=params.get("method", "deterministic"),
         delta=params.get("delta", 0.1),
         seed=spec.seed,
+        engine=params.get("engine"),
     )
     return _application_record(result, epsilon)
 
@@ -512,9 +517,10 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
     exactly once per process and reused across all trials.
 
     Config knobs: ``program`` (``bfs`` | ``flood`` | ``forest`` |
-    ``storm``), ``profile`` (instrumentation profile name; defaults to
-    the ``REPRO_SIM_PROFILE`` environment knob), plus per-program
-    parameters (``alpha`` for forest, ``storm_rounds`` for storm).
+    ``cv`` | ``storm``), ``profile`` (instrumentation profile name;
+    defaults to the ``REPRO_SIM_PROFILE`` environment knob), plus
+    per-program parameters (``alpha`` for forest, ``storm_rounds`` for
+    storm; ``cv`` colors the canonical min-smaller-neighbor forest).
 
     When telemetry is on, the network's per-round profile hook
     collects ``(round, active nodes, messages, bits)`` deltas and the
@@ -577,6 +583,25 @@ def _run_simulate_program(spec: JobSpec, graph: nx.Graph) -> Record:
             profile=profile,
             round_hook=round_hook,
         )
+    elif program == "cv":
+        from ..congest.programs.cole_vishkin import (
+            ColeVishkinProgram,
+            cv_schedule,
+            min_neighbor_parents,
+        )
+
+        schedule = cv_schedule(max(graph.nodes(), default=1))
+        result = network.run(
+            ColeVishkinProgram,
+            max_rounds=len(schedule) + 3,
+            config={
+                "parents": min_neighbor_parents(graph),
+                "schedule": schedule,
+            },
+            strict_bandwidth=True,
+            profile=profile,
+            round_hook=round_hook,
+        )
     elif program == "storm":
         rounds = int(params.get("storm_rounds", 8))
         result = network.run(
@@ -627,7 +652,11 @@ def _run_simulate_batch(spec: JobSpec, graph: Optional[nx.Graph]) -> Record:
     here, once per distinct ``graph_coordinates`` (a graph-seed-pinned
     sweep shares a single compiled topology across the whole batch; an
     unpinned one becomes a ragged batch of per-trial graphs), and all
-    trials run in lockstep on the batched tensor plane.
+    trials run in lockstep on the batched tensor plane.  Ragged
+    batches are split through :func:`~repro.congest.batch.pad_groups`
+    first, so no trial pads beyond the resolved waste bound
+    (``REPRO_SIM_BATCH_WASTE``); a pinned batch is one group by
+    construction.
 
     The record packs one scalar-identical ``simulate_program`` record
     per trial into a compact ``trials`` JSON string; the executor
@@ -635,7 +664,7 @@ def _run_simulate_batch(spec: JobSpec, graph: Optional[nx.Graph]) -> Record:
     A registered graphless kind: the executor never generates a graph
     for it (*graph* is always ``None``).
     """
-    from ..congest.batch import run_batched
+    from ..congest.batch import pad_groups, run_batched
     from ..congest.topology import compile_topology
 
     params = dict(spec.params)
@@ -668,9 +697,14 @@ def _run_simulate_batch(spec: JobSpec, graph: Optional[nx.Graph]) -> Record:
         if built is None:
             built = graphs[coordinates] = trial_spec.build_graph()
         trial_graphs.append(built)
-    results = run_batched(
-        program, [compile_topology(g) for g in trial_graphs], params=params
-    )
+    topologies = [compile_topology(g) for g in trial_graphs]
+    results: list = [None] * len(topologies)
+    for group in pad_groups(topologies, limit=len(topologies)):
+        group_results = run_batched(
+            program, [topologies[i] for i in group], params=params
+        )
+        for member, result in zip(group, group_results):
+            results[member] = result
     trials = []
     for trial_spec, built, result in zip(trial_specs, trial_graphs, results):
         trials.append(

@@ -332,6 +332,7 @@ def run_sweep(
     cost_model: Optional[CostModel] = None,
     progress=None,
     batch: Union[int, str, None] = None,
+    batch_waste: Optional[float] = None,
 ) -> SweepResult:
     """Expand *spec* and execute it via :func:`repro.runtime.run_jobs`.
 
@@ -367,6 +368,11 @@ def run_sweep(
             work (fixed default without history).  Transparent:
             records, cache state, and cost accounting stay per-trial
             on every backend.
+        batch_waste: padding-waste bound for ragged batches -- a batch
+            job never pads its smallest member by more than this slot
+            factor (``None`` consults ``REPRO_SIM_BATCH_WASTE``, then
+            4.0).  Exported to the environment for the sweep's
+            duration so pool workers split their batches identically.
 
     Runs with a disk store feed their measured wall-times back into
     the store's metadata shard, so later ``balance="cost"`` splits
@@ -415,6 +421,16 @@ def run_sweep(
         # predicted-vs-actual error histogram (scheduler.cost_rel_error).
         cost_book.model = CostModel.from_store(store)
     with ExitStack() as stack:
+        if batch_waste is not None:
+            from ..congest.batch import WASTE_ENV_VAR, resolve_pad_waste
+
+            bound = resolve_pad_waste(batch_waste)
+            # Exported (and restored on exit) so process-pool workers
+            # resolve the same bound when splitting their batch jobs.
+            stack.callback(
+                _set_env, WASTE_ENV_VAR, os.environ.get(WASTE_ENV_VAR)
+            )
+            os.environ[WASTE_ENV_VAR] = repr(bound)
         sweep_span = stack.enter_context(
             tracer.span(
                 "sweep", kind=spec.kind, jobs=len(specs), backend=backend_name

@@ -41,11 +41,12 @@ def _partition_for_application(
     method: str,
     delta: float,
     seed: Optional[int],
+    engine: Optional[str],
 ) -> Stage1Result:
     target = epsilon * graph.number_of_edges() / 2
     if method == "deterministic":
         return partition_stage1(
-            graph, epsilon=epsilon, alpha=alpha, target_cut=target
+            graph, epsilon=epsilon, alpha=alpha, target_cut=target, engine=engine
         )
     if method == "randomized":
         return partition_randomized(
@@ -55,6 +56,7 @@ def _partition_for_application(
             alpha=alpha,
             target_cut=target,
             seed=seed,
+            engine=engine,
         )
     raise ValueError(f"unknown method {method!r}")
 
@@ -91,6 +93,72 @@ def _verify_parts(
     return rejecting, max_rounds
 
 
+def _verify_parts_dense(stage1: Stage1Result, check: str) -> Tuple[List[Any], int]:
+    """The per-part BFS verification on the dense partition state.
+
+    One multi-source BFS from every part root over the intra-part edge
+    arrays replaces the per-part ``graph.subgraph`` + BFS walk, and the
+    non-tree / parity predicates evaluate vectorized over all intra-part
+    edges at once.  Equivalence with :func:`_verify_parts`: dense
+    indices sort like the original non-negative int ids (certified by
+    ``dense_supported``), so the min-index parent at depth ``d - 1``
+    is exactly ``deterministic_bfs_tree``'s min-``id_key`` parent, and
+    the per-part verdicts -- hence the rejecting root set and the round
+    maximum -- match the legacy walk bit for bit.
+    """
+    import numpy as np
+
+    state = stage1.dense_state
+    topology = state.topology
+    n = topology.n
+    ids = topology.nodes
+    part_of = state.part_of
+    intra = part_of[state.eu] == part_of[state.ev]
+    ieu = state.eu[intra]
+    iev = state.ev[intra]
+
+    roots = np.fromiter(
+        state.heights.keys(), dtype=np.int64, count=len(state.heights)
+    )
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[roots] = 0
+    frontier = np.zeros(n, dtype=bool)
+    frontier[roots] = True
+    level = 0
+    while True:
+        level += 1
+        hit = np.zeros(n, dtype=bool)
+        hit[iev[frontier[ieu]]] = True
+        hit[ieu[frontier[iev]]] = True
+        new = hit & (depth < 0)
+        if not new.any():
+            break
+        depth[new] = level
+        frontier = new
+
+    model = TreeCostModel()
+    max_rounds = (int(depth.max()) + 1) + model.neighbor_exchange()
+
+    # BFS parent per non-root node: minimum intra-part neighbor one
+    # level up (min dense index == min id under the dense-support
+    # certificate).
+    parent = np.full(n, n, dtype=np.int64)
+    du = depth[ieu]
+    dv = depth[iev]
+    up = dv == du + 1
+    np.minimum.at(parent, iev[up], ieu[up])
+    down = du == dv + 1
+    np.minimum.at(parent, ieu[down], iev[down])
+
+    nontree = (parent[iev] != ieu) & (parent[ieu] != iev)
+    if check == "cycle":
+        bad = nontree
+    else:
+        bad = nontree & (du % 2 == dv % 2)
+    rejecting_roots = np.unique(part_of[ieu[bad]])
+    return [ids[r] for r in rejecting_roots.tolist()], max_rounds
+
+
 def _run_application(
     graph: nx.Graph,
     epsilon: float,
@@ -99,12 +167,18 @@ def _run_application(
     method: str,
     delta: float,
     seed: Optional[int],
+    engine: Optional[str] = None,
 ) -> ApplicationTestResult:
     require_simple(graph)
     if not 0 < epsilon <= 1:
         raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
-    stage1 = _partition_for_application(graph, epsilon, alpha, method, delta, seed)
-    rejecting, verify_rounds = _verify_parts(graph, stage1, check)
+    stage1 = _partition_for_application(
+        graph, epsilon, alpha, method, delta, seed, engine
+    )
+    if stage1.dense_state is not None:
+        rejecting, verify_rounds = _verify_parts_dense(stage1, check)
+    else:
+        rejecting, verify_rounds = _verify_parts(graph, stage1, check)
     return ApplicationTestResult(
         accepted=not rejecting,
         rejecting_parts=tuple(sorted(rejecting, key=repr)),
@@ -121,14 +195,19 @@ def test_cycle_freeness(
     method: str = "deterministic",
     delta: float = 0.1,
     seed: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> ApplicationTestResult:
     """Corollary 16 cycle-freeness tester (minor-free promise).
 
     Deterministic method: ``O(poly(1/eps) log n)`` rounds, never errs on
     promise-satisfying inputs.  Randomized method: ``O(poly(1/eps)
     (log 1/delta + log* n))`` rounds, success probability >= 1 - delta.
+    ``engine`` selects the partition + verification engine
+    (``auto``/``dense``/``legacy``; identical verdicts either way).
     """
-    return _run_application(graph, epsilon, "cycle", alpha, method, delta, seed)
+    return _run_application(
+        graph, epsilon, "cycle", alpha, method, delta, seed, engine
+    )
 
 
 def test_bipartiteness(
@@ -138,6 +217,9 @@ def test_bipartiteness(
     method: str = "deterministic",
     delta: float = 0.1,
     seed: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> ApplicationTestResult:
     """Corollary 16 bipartiteness tester (minor-free promise)."""
-    return _run_application(graph, epsilon, "bipartite", alpha, method, delta, seed)
+    return _run_application(
+        graph, epsilon, "bipartite", alpha, method, delta, seed, engine
+    )

@@ -1,0 +1,169 @@
+"""Differential suite: dense vs legacy applications/spanner engines.
+
+The dense engine's contract is *bit identity* with the legacy walk:
+``build_spanner`` must produce the same ``SpannerResult`` (tree and
+connector counts, guaranteed stretch, edge set, size, rounds),
+``measure_stretch`` the same worst-ratio float (same RNG sample), and
+the Corollary 16 application testers the same verdicts (accepted,
+rejecting parts, round counts) -- across every bundled planar and
+far-from-planar generator, for both the deterministic and the seeded
+randomized partition method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import networkx as nx
+
+from repro.applications import DenseSpanner, build_spanner, measure_stretch
+from repro.errors import GraphInputError
+from repro.graphs.far_from_planar import FAR_FAMILIES, make_far
+from repro.graphs.generators import PLANAR_FAMILIES, make_planar
+from repro.testers.applications import (
+    test_bipartiteness as run_bipartiteness,
+    test_cycle_freeness as run_cycle_freeness,
+)
+
+N = 36
+
+FAMILIES = sorted(PLANAR_FAMILIES) + sorted(FAR_FAMILIES)
+
+METHODS = ("deterministic", "randomized")
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    graphs = {}
+    for family in sorted(PLANAR_FAMILIES):
+        graphs[family] = make_planar(family, N, seed=0)
+    for family in sorted(FAR_FAMILIES):
+        graphs[family], _farness = make_far(family, N, seed=0)
+    return graphs
+
+
+def edge_set(result):
+    if result.dense is not None:
+        return {frozenset(e) for e in result.dense.edges()}
+    return {frozenset(e) for e in result.spanner.edges()}
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_spanner_bit_identical(family, method, zoo):
+    graph = zoo[family]
+    legacy = build_spanner(graph, method=method, seed=7, engine="legacy")
+    dense = build_spanner(graph, method=method, seed=7, engine="dense")
+    assert legacy.dense is None
+    assert isinstance(dense.dense, DenseSpanner)
+    assert dense.tree_edges == legacy.tree_edges
+    assert dense.connector_edges == legacy.connector_edges
+    assert dense.guaranteed_stretch == legacy.guaranteed_stretch
+    assert dense.size == legacy.size
+    assert dense.rounds == legacy.rounds
+    assert (
+        dense.partition_result.success == legacy.partition_result.success
+    )
+    assert edge_set(dense) == edge_set(legacy)
+    # The lazy networkx materialization matches the legacy graph.
+    materialized = dense.spanner
+    assert set(materialized.nodes()) == set(legacy.spanner.nodes())
+    assert {frozenset(e) for e in materialized.edges()} == edge_set(legacy)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_stretch_bit_identical(family, method, zoo):
+    graph = zoo[family]
+    legacy = build_spanner(graph, method=method, seed=7, engine="legacy")
+    dense = build_spanner(graph, method=method, seed=7, engine="dense")
+    want = measure_stretch(graph, legacy.spanner, sample_nodes=6, seed=3,
+                           engine="legacy")
+    # Dense engine, dense spanner input (the fast path).
+    assert measure_stretch(graph, dense.dense, sample_nodes=6, seed=3,
+                           engine="dense") == want
+    # Dense engine, networkx spanner input (compiled on the fly).
+    assert measure_stretch(graph, legacy.spanner, sample_nodes=6, seed=3,
+                           engine="dense") == want
+    # Auto resolution picks dense here; still the same float.
+    assert measure_stretch(graph, dense.dense, sample_nodes=6, seed=3) == want
+    # Exhaustive sampling (>= n sources) agrees too.
+    assert measure_stretch(
+        graph, dense.dense, sample_nodes=10**6, seed=3, engine="dense"
+    ) == measure_stretch(
+        graph, legacy.spanner, sample_nodes=10**6, seed=3, engine="legacy"
+    )
+
+
+@pytest.mark.parametrize("check", ("cycle", "bipartite"))
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_application_verdicts_identical(family, method, check, zoo):
+    graph = zoo[family]
+    runner = run_cycle_freeness if check == "cycle" else run_bipartiteness
+    legacy = runner(graph, method=method, seed=11, engine="legacy")
+    dense = runner(graph, method=method, seed=11, engine="dense")
+    assert dense.accepted == legacy.accepted
+    assert dense.rejecting_parts == legacy.rejecting_parts
+    assert dense.partition_rounds == legacy.partition_rounds
+    assert dense.verification_rounds == legacy.verification_rounds
+    assert dense.rounds == legacy.rounds
+
+
+def test_bfs_fallback_matches_scipy_path():
+    """The numpy level-synchronous BFS == the scipy C BFS (same hops)."""
+    import numpy as np
+
+    from repro.applications.dense import (
+        _level_synchronous_distances,
+        multi_source_distances,
+    )
+    from repro.congest.topology import compile_topology
+
+    graph = nx.disjoint_union(
+        make_planar("delaunay", 40, seed=2), nx.empty_graph(3)
+    )
+    arrays = compile_topology(graph).batch_arrays()
+    sources = np.asarray([0, 5, 41], dtype=np.int64)
+    n = graph.number_of_nodes()
+    fast = multi_source_distances(
+        arrays.indptr, arrays.indices, arrays.degrees, sources, n
+    )
+    slow = _level_synchronous_distances(
+        arrays.indptr, arrays.indices, arrays.degrees, sources, n
+    )
+    assert (fast == slow).all()
+    assert (fast[:, -1] == -1).all()  # isolated tail nodes unreachable
+
+
+def test_explicit_dense_rejects_unsupported_labels():
+    graph = nx.relabel_nodes(nx.path_graph(6), lambda v: f"v{v}")
+    with pytest.raises(ValueError, match="dense"):
+        build_spanner(graph, engine="dense")
+    # Auto falls back to the legacy engine and succeeds.
+    result = build_spanner(graph)
+    assert result.dense is None
+    assert result.size == 5
+
+
+def test_dense_stretch_requires_spanning_subgraph():
+    graph = make_planar("grid", 25)
+    broken = nx.Graph()
+    broken.add_nodes_from(graph.nodes())  # no edges: spans nothing
+    with pytest.raises(GraphInputError):
+        measure_stretch(graph, broken, sample_nodes=4, seed=0, engine="dense")
+    with pytest.raises(GraphInputError):
+        measure_stretch(graph, broken, sample_nodes=4, seed=0, engine="legacy")
+
+
+def test_dense_stretch_node_mismatch_falls_back():
+    graph = make_planar("grid", 25)
+    spanner = build_spanner(graph, engine="legacy").spanner.copy()
+    spanner.add_node(10**9)  # extra node: not the input node set
+    want = measure_stretch(graph, spanner, sample_nodes=4, seed=0,
+                           engine="legacy")
+    # Auto detects the mismatch and quietly uses the legacy fold.
+    assert measure_stretch(graph, spanner, sample_nodes=4, seed=0) == want
+    with pytest.raises(ValueError, match="node set"):
+        measure_stretch(graph, spanner, sample_nodes=4, seed=0,
+                        engine="dense")

@@ -4,7 +4,7 @@ The batched engine's contract is *bit identity* with the scalar dense
 plane under the ``fast`` profile, per trial: outputs, round counts,
 halting, message/bit ledger totals, ``max_message_bits``, bandwidth
 budgets, and over-budget counts.  This suite certifies it across every
-bundled generator (planar and far-from-planar families) for all four
+bundled generator (planar and far-from-planar families) for all five
 vectorized programs, including ragged batches with padded CSR and
 trials that halt mid-batch, plus the strict-bandwidth abort path.
 """
@@ -31,6 +31,11 @@ from repro.congest.programs import (
     BroadcastStormProgram,
     FloodProgram,
 )
+from repro.congest.programs.cole_vishkin import (
+    ColeVishkinProgram,
+    cv_schedule,
+    min_neighbor_parents,
+)
 from repro.congest.programs.forest_decomposition import (
     barenboim_elkin_round_budget,
 )
@@ -39,7 +44,7 @@ from repro.errors import BandwidthExceededError
 from repro.graphs.far_from_planar import FAR_FAMILIES, make_far
 from repro.graphs.generators import PLANAR_FAMILIES, make_planar
 
-PROGRAMS = ("flood", "bfs", "forest", "storm")
+PROGRAMS = ("flood", "bfs", "forest", "cv", "storm")
 
 RESULT_FIELDS = (
     "rounds",
@@ -81,6 +86,18 @@ def scalar_reference(program, graph, bandwidth_bits=None):
             BarenboimElkinProgram,
             max_rounds=budget + 3,
             config={"alpha": 3, "budget": budget},
+            strict_bandwidth=True,
+            profile="fast",
+        )
+    if program == "cv":
+        schedule = cv_schedule(max(graph.nodes(), default=1))
+        return network.run(
+            ColeVishkinProgram,
+            max_rounds=len(schedule) + 3,
+            config={
+                "parents": min_neighbor_parents(graph),
+                "schedule": schedule,
+            },
             strict_bandwidth=True,
             profile="fast",
         )
@@ -199,7 +216,7 @@ def test_over_budget_counts_match_non_strict():
 
 def test_unknown_program_rejected():
     with pytest.raises(ValueError, match="no batch kernel"):
-        run_batched("cole-vishkin", [nx.path_graph(3)])
+        run_batched("gossip", [nx.path_graph(3)])
     assert set(batch_kernels()) == set(PROGRAMS)
 
 

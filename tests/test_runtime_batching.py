@@ -244,3 +244,84 @@ def test_run_sweep_auto_batch_matches_unbatched(tmp_path):
     second = run_sweep(sweep, cache=cache2, batch="auto", resume=True)
     assert second.records == base.records
     assert second.batch.executed == 0
+
+
+# -- padding-waste bound ------------------------------------------------------
+
+
+def test_resolve_pad_waste_arg_env_default(monkeypatch):
+    import pytest
+
+    from repro.congest.batch import WASTE_ENV_VAR, resolve_pad_waste
+
+    monkeypatch.delenv(WASTE_ENV_VAR, raising=False)
+    assert resolve_pad_waste() == 4.0
+    monkeypatch.setenv(WASTE_ENV_VAR, "2.5")
+    assert resolve_pad_waste() == 2.5
+    assert resolve_pad_waste(8) == 8.0  # explicit arg beats the env
+    with pytest.raises(ValueError):
+        resolve_pad_waste(0.5)
+    monkeypatch.setenv(WASTE_ENV_VAR, "0.25")
+    with pytest.raises(ValueError):
+        resolve_pad_waste()
+
+
+def test_pad_groups_reads_waste_env(monkeypatch):
+    import networkx as nx
+
+    from repro.congest import compile_topology, pad_groups
+    from repro.congest.batch import WASTE_ENV_VAR
+
+    topologies = [compile_topology(nx.path_graph(n)) for n in (4, 8, 64)]
+    monkeypatch.delenv(WASTE_ENV_VAR, raising=False)
+    default_groups = pad_groups(topologies, limit=8)
+    monkeypatch.setenv(WASTE_ENV_VAR, "1.0")
+    tight = pad_groups(topologies, limit=8)
+    # A waste bound of 1 forbids any padding: every distinct slot count
+    # lands in its own group, tighter than the 4.0 default's split.
+    assert len(tight) == 3
+    assert len(default_groups) < len(tight)
+
+
+def test_ragged_batch_respects_waste_bound(monkeypatch):
+    """A ragged (unpinned-graph) batch splits through ``pad_groups``
+    inside the job; under the tightest bound the record still expands
+    to exactly the scalar per-trial records."""
+    from repro.congest.batch import WASTE_ENV_VAR
+
+    members = [
+        JobSpec.make(
+            "simulate_program",
+            family="planar-sparse",
+            n=24,
+            seed=s,
+            program="bfs",
+            profile="fast",
+        )
+        for s in range(4)
+    ]
+    scalar = [run_job(spec) for spec in members]
+    batch = make_batch_spec(members)
+    monkeypatch.setenv(WASTE_ENV_VAR, "1.0")
+    assert expand_batch_record(run_job(batch)) == scalar
+
+
+def test_run_sweep_batch_waste_exports_and_restores_env(monkeypatch):
+    import os
+
+    from repro.congest.batch import WASTE_ENV_VAR
+
+    monkeypatch.setenv(WASTE_ENV_VAR, "3.0")
+    sweep = SweepSpec.make(
+        "simulate_program",
+        families=["grid"],
+        ns=[30],
+        seeds=[0, 1, 2, 3],
+        program=["bfs"],
+        profile=["fast"],
+    )
+    base = run_sweep(sweep)
+    bounded = run_sweep(sweep, batch=4, batch_waste=1.5)
+    assert bounded.records == base.records
+    # The flag was exported only for the sweep's duration.
+    assert os.environ[WASTE_ENV_VAR] == "3.0"
