@@ -12,7 +12,14 @@ Subcommands:
   them on the :mod:`repro.runtime` orchestrator (serial, process-pool,
   async worker, or remote socket backend, with a sharded on-disk
   result store)
-* ``worker``      -- join a ``sweep --backend remote`` server over TCP
+* ``serve``       -- run the persistent sweep service: many clients
+  submit sweeps concurrently, one shared worker fleet executes them
+  (round-robin fairness, admission control, straggler re-dispatch)
+* ``submit``      -- send one sweep to a running ``serve`` endpoint
+  (``--connect``) or run it through the same :class:`Client` facade
+  locally (``--backend``); records are identical either way
+* ``worker``      -- join a ``sweep --backend remote`` server or a
+  ``serve`` fleet over TCP (``--reconnect`` survives restarts)
 * ``cache``       -- inspect (``stats``) or garbage-collect (``gc``)
   a sharded result store
 * ``trace``       -- inspect a telemetry trace directory written by
@@ -47,6 +54,11 @@ Examples::
     repro-planarity sweep --backend remote --listen 127.0.0.1:7341 \\
         --cache-dir /tmp/repro-cache   # then, on each worker host:
     repro-planarity worker --connect 127.0.0.1:7341
+    repro-planarity serve --listen 127.0.0.1:7077 \\
+        --cache-dir /tmp/repro-cache   # persistent fleet; then:
+    repro-planarity worker --connect 127.0.0.1:7077 --reconnect
+    repro-planarity submit --connect 127.0.0.1:7077 --kind test \\
+        --families grid --ns 128,256 --epsilons 0.5,0.1
     repro-planarity cache gc --cache-dir /tmp/repro-cache \\
         --ttl 604800 --max-bytes 500000000
 """
@@ -65,9 +77,17 @@ from .congest.instrumentation import PROFILE_ENV_VAR, PROFILES
 from .graphs.far_from_planar import FAR_FAMILIES, make_far
 from .graphs.generators import PLANAR_FAMILIES, make_planar
 from .graphs.lower_bound import lower_bound_instance
-from .partition.stage1 import ENGINES, ENGINE_ENV_VAR, partition_stage1
+from .partition.stage1 import ENGINES, partition_stage1
 from .partition.weighted_selection import partition_randomized
-from .runtime import ResultCache, ShardedStore, SweepSpec, make_backend, run_sweep
+from .runtime import (
+    Client,
+    ResultCache,
+    RunConfig,
+    ShardedStore,
+    SweepSpec,
+    make_backend,
+    run_sweep,
+)
 from .runtime.remote import parse_endpoint
 from .testers.applications import test_bipartiteness, test_cycle_freeness
 from .testers.planarity import PlanarityTestConfig, test_planarity
@@ -265,19 +285,9 @@ def _parse_batch(raw: str):
         raise SystemExit(f"--batch expects an integer or 'auto', got {raw!r}")
 
 
-def _cmd_sweep(args) -> int:
+def _sweep_spec_from_args(args) -> SweepSpec:
+    """Expand the grid axes shared by ``sweep`` and ``submit``."""
     kind = SWEEP_KINDS[args.kind]
-    if args.trace:
-        # Enable tracing for this process and everything it spawns
-        # (pool forks, async worker env, remote welcome frames).
-        from .telemetry import configure
-
-        configure(trace_dir=args.trace)
-    progress = None
-    if args.progress:
-        from .telemetry.dashboard import SweepProgress
-
-        progress = SweepProgress()
     if kind == "simulate_program":
         # Simulator sweeps iterate over protocols, not epsilons.
         params = {"program": _parse_axis(args.programs, str)}
@@ -291,10 +301,6 @@ def _cmd_sweep(args) -> int:
         # The env knob reaches every CongestNetwork.run in this process
         # *and* in process-pool workers (they inherit the environment).
         os.environ[PROFILE_ENV_VAR] = args.profile
-    if args.engine:
-        # Same trick for the partition engine: the env knob reaches every
-        # partition_stage1/partition_randomized call in workers too.
-        os.environ[ENGINE_ENV_VAR] = args.engine
     if kind == "simulate_program":
         # Simulator jobs carry the *effective* profile (flag, else env,
         # else default) in their config so fast/faithful results occupy
@@ -303,7 +309,7 @@ def _cmd_sweep(args) -> int:
             args.profile or os.environ.get(PROFILE_ENV_VAR) or "faithful"
         ]
     fars = _parse_axis(args.far_families, str) if args.far_families else ()
-    sweep = SweepSpec.make(
+    return SweepSpec.make(
         kind,
         families=_parse_axis(args.families, str),
         fars=fars,
@@ -311,6 +317,35 @@ def _cmd_sweep(args) -> int:
         seeds=_parse_axis(args.seeds, int),
         **params,
     )
+
+
+def _run_config_from_args(args) -> RunConfig:
+    """Batch/engine knobs as a :class:`RunConfig` (CLI flag beats env).
+
+    ``run_sweep`` / ``iter_jobs`` export the explicitly-set knobs for
+    the run's duration, which is how ``--engine`` reaches partition
+    calls in process-pool workers too.
+    """
+    return RunConfig(
+        sim_batch=args.batch,
+        sim_batch_waste=args.batch_waste,
+        partition_engine=args.engine,
+    )
+
+
+def _cmd_sweep(args) -> int:
+    if args.trace:
+        # Enable tracing for this process and everything it spawns
+        # (pool forks, async worker env, remote welcome frames).
+        from .telemetry import configure
+
+        configure(trace_dir=args.trace)
+    progress = None
+    if args.progress:
+        from .telemetry.dashboard import SweepProgress
+
+        progress = SweepProgress()
+    sweep = _sweep_spec_from_args(args)
     if args.backend == "process":
         backend = make_backend("process", max_workers=args.workers)
     elif args.backend == "async":
@@ -348,8 +383,8 @@ def _cmd_sweep(args) -> int:
         )
     result = run_sweep(
         sweep, backend=backend, cache=cache, shard=shard, resume=args.resume,
-        balance=args.balance, progress=progress, batch=args.batch,
-        batch_waste=args.batch_waste,
+        balance=args.balance, progress=progress,
+        config=_run_config_from_args(args),
     )
     shard_label = f" [shard {shard[0]}/{shard[1]}]" if shard else ""
     table = result.to_table(
@@ -431,8 +466,92 @@ def _cmd_worker(args) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     return serve_remote(
-        host, port, store_dir=args.store, retry_seconds=args.retry_seconds
+        host, port, store_dir=args.store, retry_seconds=args.retry_seconds,
+        reconnect=args.reconnect,
     )
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .runtime.scheduler import SpeculationPolicy
+    from .runtime.service import SweepService
+
+    try:
+        host, port = parse_endpoint(args.listen)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    service = SweepService(
+        host=host,
+        port=port,
+        store_dir=args.cache_dir,
+        heartbeat=args.heartbeat,
+        max_clients=args.max_clients,
+        max_pending=args.max_pending,
+        speculation=SpeculationPolicy() if args.speculate else None,
+    )
+    service.bind()
+    print(
+        f"service listening on {service.endpoint}\n"
+        f"  workers: repro-planarity worker --connect {service.endpoint} "
+        f"--reconnect\n"
+        f"  clients: repro-planarity submit --connect {service.endpoint} ...",
+        flush=True,
+    )
+    # Graceful shutdown on SIGTERM (supervisors, CI) as well as ^C.
+    # SIGINT needs re-arming too: a shell that launched us in the
+    # background may have left it SIG_IGN, in which case Python never
+    # installs its KeyboardInterrupt handler.
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _interrupt)
+    signal.signal(signal.SIGINT, _interrupt)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    sweep = _sweep_spec_from_args(args)
+    client = Client(
+        endpoint=args.connect,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        config=_run_config_from_args(args),
+        name=args.name,
+    )
+
+    def on_progress(frame) -> None:
+        print(
+            f"progress: {frame.get('done')}/{frame.get('total')} "
+            f"(queued {frame.get('queued')}, inflight {frame.get('inflight')}, "
+            f"workers {frame.get('workers')})",
+            file=sys.stderr,
+        )
+
+    records = list(
+        client.submit(sweep, on_progress=on_progress if args.progress else None)
+    )
+    # Sorted columns so the rendering is deterministic whatever order
+    # record fields arrived in -- the CI smoke byte-compares the
+    # markdown of a serial leg against concurrent service legs.
+    columns = sorted({key for record in records for key in record})
+    table = Table(f"submit: {args.kind} over {len(records)} jobs", columns)
+    for record in records:
+        table.add_row(*(record.get(col, "-") for col in columns))
+    table.print()
+    target = (
+        f"service {args.connect}" if args.connect else f"backend {args.backend}"
+    )
+    print(f"jobs={len(records)} target={target}")
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(table.to_markdown() + "\n")
+        print(f"markdown table written to {args.markdown}")
+    return 0
 
 
 def _format_bytes(count) -> str:
@@ -538,6 +657,77 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sweep_axis_arguments(parser: argparse.ArgumentParser) -> None:
+    """Grid axes + run knobs shared by ``sweep`` and ``submit``."""
+    parser.add_argument(
+        "--kind",
+        default="test",
+        choices=sorted(SWEEP_KINDS),
+        help="workload to sweep",
+    )
+    parser.add_argument(
+        "--families",
+        default="delaunay",
+        help="comma-separated planar families",
+    )
+    parser.add_argument(
+        "--far-families",
+        default=None,
+        help="comma-separated far families (overrides --families)",
+    )
+    parser.add_argument("--ns", default="256,512", help="comma-separated sizes")
+    parser.add_argument(
+        "--epsilons", default="0.5,0.1", help="comma-separated epsilons"
+    )
+    parser.add_argument("--seeds", default="0", help="comma-separated seeds")
+    parser.add_argument(
+        "--deltas", default=None, help="comma-separated deltas (randomized kinds)"
+    )
+    parser.add_argument(
+        "--methods", default=None, help="comma-separated methods (spanner/apps)"
+    )
+    parser.add_argument(
+        "--programs",
+        default="bfs",
+        help="comma-separated simulator programs (simulate kind): "
+        "bfs,cv,flood,forest,storm",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        choices=sorted(PROFILES),
+        help="simulator instrumentation profile (sets REPRO_SIM_PROFILE "
+        "for this run, including process-pool workers)",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=ENGINES,
+        help="partition engine for partition/test kinds (sets "
+        "REPRO_PARTITION_ENGINE for this run, including workers)",
+    )
+    parser.add_argument(
+        "--batch",
+        type=_parse_batch,
+        default=None,
+        metavar="B",
+        help="coalesce up to B same-cell simulator trials into one "
+        "graph-batched tensor-plane job (simulate kind with --profile "
+        "fast; records are identical to unbatched runs; 'auto' sizes "
+        "batches from the cost table's measured per-trial wall-times; "
+        "default REPRO_SIM_BATCH or 1)",
+    )
+    parser.add_argument(
+        "--batch-waste",
+        type=float,
+        default=None,
+        metavar="W",
+        help="padding-waste bound for ragged batch jobs: never pad a "
+        "batch's smallest trial by more than a factor of W in edge "
+        "slots (>= 1; default REPRO_SIM_BATCH_WASTE or 4.0)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -605,53 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a parameter-grid sweep on the batch runtime",
     )
-    p_sweep.add_argument(
-        "--kind",
-        default="test",
-        choices=sorted(SWEEP_KINDS),
-        help="workload to sweep",
-    )
-    p_sweep.add_argument(
-        "--families",
-        default="delaunay",
-        help="comma-separated planar families",
-    )
-    p_sweep.add_argument(
-        "--far-families",
-        default=None,
-        help="comma-separated far families (overrides --families)",
-    )
-    p_sweep.add_argument("--ns", default="256,512", help="comma-separated sizes")
-    p_sweep.add_argument(
-        "--epsilons", default="0.5,0.1", help="comma-separated epsilons"
-    )
-    p_sweep.add_argument("--seeds", default="0", help="comma-separated seeds")
-    p_sweep.add_argument(
-        "--deltas", default=None, help="comma-separated deltas (randomized kinds)"
-    )
-    p_sweep.add_argument(
-        "--methods", default=None, help="comma-separated methods (spanner/apps)"
-    )
-    p_sweep.add_argument(
-        "--programs",
-        default="bfs",
-        help="comma-separated simulator programs (simulate kind): "
-        "bfs,cv,flood,forest,storm",
-    )
-    p_sweep.add_argument(
-        "--profile",
-        default=None,
-        choices=sorted(PROFILES),
-        help="simulator instrumentation profile (sets REPRO_SIM_PROFILE "
-        "for this run, including process-pool workers)",
-    )
-    p_sweep.add_argument(
-        "--engine",
-        default=None,
-        choices=ENGINES,
-        help="partition engine for partition/test kinds (sets "
-        "REPRO_PARTITION_ENGINE for this run, including workers)",
-    )
+    _add_sweep_axis_arguments(p_sweep)
     p_sweep.add_argument(
         "--backend",
         default="serial",
@@ -714,27 +858,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="live stderr dashboard: done/total, cache hits, workers, "
         "throughput, CostModel ETA, straggler flags",
     )
-    p_sweep.add_argument(
-        "--batch",
-        type=_parse_batch,
-        default=None,
-        metavar="B",
-        help="coalesce up to B same-cell simulator trials into one "
-        "graph-batched tensor-plane job (simulate kind with --profile "
-        "fast; records are identical to unbatched runs; 'auto' sizes "
-        "batches from the cost table's measured per-trial wall-times; "
-        "default REPRO_SIM_BATCH or 1)",
-    )
-    p_sweep.add_argument(
-        "--batch-waste",
-        type=float,
-        default=None,
-        metavar="W",
-        help="padding-waste bound for ragged batch jobs: never pad a "
-        "batch's smallest trial by more than a factor of W in edge "
-        "slots (>= 1; default REPRO_SIM_BATCH_WASTE or 4.0)",
-    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent sweep service (clients: submit; "
+        "workers: worker --connect ... --reconnect)",
+    )
+    p_serve.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="endpoint to listen on (port 0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sharded store shared with workers: submissions are "
+        "answered from it where possible and every executed job is "
+        "appended exactly once",
+    )
+    p_serve.add_argument(
+        "--heartbeat",
+        type=float,
+        default=10.0,
+        help="idle-worker ping interval in seconds (default 10)",
+    )
+    p_serve.add_argument(
+        "--max-clients",
+        type=int,
+        default=16,
+        help="admission bound on concurrent client sessions (default 16)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=100_000,
+        help="admission bound on queued jobs across all sessions "
+        "(default 100000)",
+    )
+    p_serve.add_argument(
+        "--no-speculate",
+        dest="speculate",
+        action="store_false",
+        help="disable straggler re-dispatch (on by default: jobs "
+        "running far past their CostModel prediction get a second "
+        "copy; first result wins)",
+    )
+    p_serve.set_defaults(func=_cmd_serve, speculate=True)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit one sweep to a `serve` endpoint (or run it "
+        "locally through the same Client facade)",
+    )
+    _add_sweep_axis_arguments(p_submit)
+    p_submit.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="a running `repro-planarity serve` endpoint; omit to run "
+        "locally on --backend",
+    )
+    p_submit.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "process", "async"),
+        help="local execution backend when no --connect is given "
+        "(records are identical to the service's)",
+    )
+    p_submit.add_argument(
+        "--cache-dir",
+        default=None,
+        help="sharded store for the local path (hits stream back "
+        "without executing, like the service's store hits)",
+    )
+    p_submit.add_argument(
+        "--name",
+        default=None,
+        help="client display name in the service's logs and telemetry",
+    )
+    p_submit.add_argument(
+        "--markdown", default=None, help="also write the table as markdown"
+    )
+    p_submit.add_argument(
+        "--progress",
+        action="store_true",
+        help="print progress frames to stderr as the service streams "
+        "records back",
+    )
+    p_submit.set_defaults(func=_cmd_submit)
 
     p_worker = sub.add_parser(
         "worker",
@@ -757,6 +970,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="how long to retry the initial connection (default 30)",
+    )
+    p_worker.add_argument(
+        "--reconnect",
+        action="store_true",
+        help="fleet mode (serve): redial with capped backoff + jitter "
+        "when the server drops the connection; only an exit frame or "
+        "a handshake rejection ends the worker",
     )
     p_worker.set_defaults(func=_cmd_worker)
 

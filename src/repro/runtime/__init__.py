@@ -15,7 +15,25 @@ shards (``ShardedSweep`` / ``repro-planarity sweep --shard i/k``) --
 by key-hash or cost-balanced LPT (``--balance cost``) -- and resume
 from whatever the store already holds.
 
-Typical use::
+Typical use -- the :class:`Client` facade, which runs the same
+``submit(SweepSpec)`` against the in-process serial path, any local
+backend, or a live ``repro-planarity serve`` endpoint::
+
+    from repro.runtime import Client, RunConfig, SweepSpec
+
+    sweep = SweepSpec.make(
+        "test", families=["grid"], ns=[128, 256],
+        epsilon=[0.5, 0.25], seeds=[0, 1],
+    )
+    client = Client(backend="serial", cache_dir="/tmp/repro-cache",
+                    config=RunConfig(sim_batch="auto"))
+    for record in client.submit(sweep):       # canonical expansion order
+        print(record["n"], record["accepted"])
+
+    remote = Client(endpoint="127.0.0.1:7077")  # same call, live fleet
+    records = remote.run(sweep)               # byte-identical records
+
+Batch-level control (the layer the facade sits on) stays available::
 
     from repro.runtime import JobSpec, ResultCache, run_jobs
 
@@ -23,21 +41,12 @@ Typical use::
         JobSpec.make("test_planarity", family="grid", n=n, epsilon=0.25)
         for n in (128, 256, 512)
     ]
-    cache = ResultCache()
-    batch = run_jobs(specs, backend="process", cache=cache)
-    for record in batch:
-        print(record["n"], record["rounds"])
+    batch = run_jobs(specs, backend="process", cache=ResultCache())
 
-Grid sweeps (the benchmark/CLI entry point) layer on top::
-
-    from repro.runtime import SweepSpec, run_sweep
-
-    sweep = SweepSpec.make(
-        "test_planarity", families=["grid"], ns=[128, 256],
-        epsilon=[0.5, 0.25], seeds=[0, 1],
-    )
-    result = run_sweep(sweep, backend="serial", cache=cache)
-    result.to_table("rounds vs n").print()
+The public surface splits in two: ``STABLE_API`` names are the
+supported library API (semver-stable); everything else in ``__all__``
+is internal machinery re-exported for the CLI, benchmarks, and tests,
+and may change between PRs without notice.
 """
 
 from .async_backend import AsyncBackend, AsyncWorkerError
@@ -65,13 +74,16 @@ from .codec import (
     encode_wire_frame,
     read_wire_frame,
 )
+from .client import Client, ServiceError
+from .config import RunConfig
 from .remote import (
     PROTOCOL_VERSION,
     RemoteBackend,
     RemoteProtocolError,
     RemoteWorkerError,
 )
-from .scheduler import CostBook, CostModel, assign_shards
+from .scheduler import CostBook, CostModel, SpeculationPolicy, assign_shards
+from .service import SweepService
 from .cache import (
     COORD_KEYS_ENV_VAR,
     CacheStats,
@@ -119,7 +131,27 @@ from .sweeps import (
 
 from . import audit as _audit_kinds  # noqa: F401  (registers E08-E14 kinds)
 
-__all__ = [
+STABLE_API = [
+    # The supported library surface: one facade, its spec/config
+    # inputs, the batch entry points it wraps, and the cache handle.
+    "Client",
+    "JobSpec",
+    "SweepSpec",
+    "RunConfig",
+    "run_jobs",
+    "run_sweep",
+    "iter_jobs",
+    "ResultCache",
+    "SweepService",
+    "ServiceError",
+    "BatchResult",
+    "SweepResult",
+    "Record",
+]
+
+_INTERNAL_API = [
+    # Machinery re-exported for the CLI, benchmarks, and tests; may
+    # change between PRs without notice.
     "AsyncBackend",
     "AsyncWorkerError",
     "BACKENDS",
@@ -128,7 +160,6 @@ __all__ = [
     "AUTO_TARGET_SECONDS",
     "BATCHABLE_PROGRAMS",
     "BATCH_ENV_VAR",
-    "BatchResult",
     "CacheStats",
     "ClearReport",
     "CodecError",
@@ -137,21 +168,17 @@ __all__ = [
     "CostModel",
     "GCReport",
     "GLOBAL_SHAPES",
-    "JobSpec",
     "PROTOCOL_VERSION",
     "ProcessPoolBackend",
-    "Record",
     "RemoteBackend",
     "RemoteProtocolError",
     "RemoteWorkerError",
-    "ResultCache",
     "SerialBackend",
     "ShapeRegistry",
     "ShardedStore",
     "ShardedSweep",
+    "SpeculationPolicy",
     "StoreStats",
-    "SweepResult",
-    "SweepSpec",
     "WireProtocolError",
     "assign_shards",
     "auto_batch_size",
@@ -166,7 +193,6 @@ __all__ = [
     "derive_seed",
     "expand_batch_record",
     "graph_fingerprint",
-    "iter_jobs",
     "job_kinds",
     "job_shard",
     "kind_needs_graph",
@@ -180,8 +206,8 @@ __all__ = [
     "resolve_batch",
     "run_job",
     "run_job_timed",
-    "run_jobs",
-    "run_sweep",
     "shard_of_key",
     "spec_needs_graph",
 ]
+
+__all__ = STABLE_API + _INTERNAL_API

@@ -1,0 +1,355 @@
+"""The ``Client`` facade: one ``submit(SweepSpec)`` for every target.
+
+This is the library face of the runtime.  The same call shape --
+``Client(...).submit(sweep)`` returning an iterator of records in the
+sweep's canonical expansion order -- works against three targets:
+
+* **a remote service** (``Client(endpoint="host:port")``): dials a
+  :class:`~repro.runtime.service.SweepService`, streams ``record``
+  frames as the fleet completes jobs, and reorders them client-side;
+* **a local backend** (``Client(backend="process")`` etc.): runs the
+  expansion through :func:`~repro.runtime.executor.iter_jobs` on any
+  registered backend, with the same optional disk cache;
+* **the in-process serial path** (the default): no fleet, no pools --
+  jobs run inline as the iterator is consumed.
+
+Records are byte-identical across all three (specs carry all
+randomness), so code written against the facade is deployment-
+agnostic: develop against ``backend="serial"``, point the same call
+at a service endpoint in production.
+
+The remote path is a sync wrapper over an async core: ``submit``
+eagerly sends the ``submit`` frame from a background thread running
+:meth:`Client.submit_async`'s machinery, and the returned iterator
+drains a queue bridge -- so the server starts scheduling the sweep
+the moment ``submit`` returns, not on the first ``next()``.
+
+Typical use::
+
+    from repro.runtime import Client, SweepSpec
+
+    sweep = SweepSpec.make("test", families=["grid"], ns=[64, 100],
+                           epsilon=[0.5, 0.25])
+    with Client(endpoint="127.0.0.1:7077") as client:
+        for record in client.submit(sweep):
+            print(record["n"], record["accepted"])
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import threading
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .cache import ResultCache
+from .codec import (
+    GLOBAL_SHAPES,
+    WireProtocolError,
+    decode_record,
+    encode_wire_frame,
+)
+from .config import RunConfig
+from .executor import iter_jobs
+from .jobs import Record
+from .remote import PROTOCOL_VERSION, parse_endpoint, read_bframe
+from .sweeps import SweepSpec
+
+_SENTINEL = object()
+
+_PROGRESS_FIELDS = ("done", "total", "queued", "inflight", "workers")
+
+
+class ServiceError(RuntimeError):
+    """The service rejected, aborted, or truncated a submission."""
+
+
+class Client:
+    """Submit sweeps to a service, a local backend, or in-process.
+
+    Args:
+        endpoint: ``host:port`` of a running ``repro-planarity serve``
+            instance; when set, submissions go over the wire and the
+            other execution arguments are ignored.
+        backend: local execution backend name or instance (``"serial"``,
+            ``"process"``, ``"async"``; see
+            :data:`~repro.runtime.executor.BACKENDS`) used when no
+            *endpoint* is configured.
+        cache_dir: optional sharded-store directory for the local path
+            (hits stream back without executing, like the service's
+            store hits).
+        config: optional :class:`~repro.runtime.config.RunConfig` for
+            the local path (batch coalescing etc.).
+        name: client display name shown in the service's logs,
+            telemetry gauges, and dispatch log.
+    """
+
+    def __init__(
+        self,
+        endpoint: Optional[str] = None,
+        backend="serial",
+        cache_dir: Optional[str] = None,
+        config: Optional[RunConfig] = None,
+        name: Optional[str] = None,
+    ):
+        self.endpoint = endpoint
+        self.backend = backend
+        self.cache_dir = cache_dir
+        self.config = config
+        self.name = name
+
+    def submit(
+        self,
+        sweep: SweepSpec,
+        on_progress: Optional[Callable[[Dict], None]] = None,
+    ) -> Iterator[Record]:
+        """Execute *sweep*, yielding records in canonical expansion order.
+
+        The iterator is identical whichever target the client points
+        at.  *on_progress* (optional) receives ``{"done", "total",
+        "queued", "inflight", "workers"}`` dicts as execution
+        advances; it is called on the consuming thread.
+
+        Raises :class:`ServiceError` when the service rejects the
+        submission, aborts it (a job failed deterministically), or
+        the connection dies before every record arrived.
+        """
+        if self.endpoint:
+            return self._submit_remote(sweep, on_progress)
+        return self._submit_local(sweep, on_progress)
+
+    def run(self, sweep: SweepSpec) -> List[Record]:
+        """``submit`` drained into a list (canonical expansion order)."""
+        return list(self.submit(sweep))
+
+    def close(self) -> None:
+        """Release resources (connections are per-submit; no-op today)."""
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- local path -----------------------------------------------------------
+
+    def _submit_local(
+        self,
+        sweep: SweepSpec,
+        on_progress: Optional[Callable[[Dict], None]],
+    ) -> Iterator[Record]:
+        specs = sweep.expand()
+        cache = (
+            ResultCache(disk_dir=self.cache_dir) if self.cache_dir else None
+        )
+
+        config = self.config if self.config is not None else RunConfig()
+
+        def generate():
+            buffer: Dict[int, Record] = {}
+            next_index = 0
+            done = 0
+            # Export the config's env knobs for the run's duration so
+            # they reach job code (and pool workers) the same way
+            # run_sweep's do; restored when the iterator finishes.
+            with config.export():
+                for index, record, _from_cache in iter_jobs(
+                    specs,
+                    backend=self.backend,
+                    cache=cache,
+                    config=config,
+                ):
+                    done += 1
+                    buffer[index] = record
+                    while next_index in buffer:
+                        yield buffer.pop(next_index)
+                        next_index += 1
+                    if on_progress is not None:
+                        on_progress({
+                            "done": done,
+                            "total": len(specs),
+                            "queued": len(specs) - done,
+                            "inflight": 0,
+                            "workers": 0,
+                        })
+
+        return generate()
+
+    # -- remote path ----------------------------------------------------------
+
+    def _submit_remote(
+        self,
+        sweep: SweepSpec,
+        on_progress: Optional[Callable[[Dict], None]],
+    ) -> Iterator[Record]:
+        out: "queue.Queue" = queue.Queue()
+        ctrl: Dict = {"loop": None, "cancel": None, "started": threading.Event()}
+
+        def pump():
+            try:
+                asyncio.run(self._drive_submission(sweep, out, ctrl))
+            except BaseException as exc:  # surfaced by the iterator
+                out.put(("error", exc))
+            finally:
+                out.put(_SENTINEL)
+
+        thread = threading.Thread(
+            target=pump, name="repro-client-submit", daemon=True
+        )
+        # Eager: the submit frame is on the wire (or the dial has
+        # failed) by the time submit() returns, so concurrent clients
+        # contend for the fleet immediately, not on first next().
+        thread.start()
+        ctrl["started"].wait()
+        return self._drain(out, thread, ctrl, sweep.size, on_progress)
+
+    def _drain(
+        self,
+        out: "queue.Queue",
+        thread: threading.Thread,
+        ctrl: Dict,
+        total: int,
+        on_progress: Optional[Callable[[Dict], None]],
+    ) -> Iterator[Record]:
+        buffer: Dict[int, Record] = {}
+        next_index = 0
+        verdict: Optional[dict] = None
+        completed = False
+        try:
+            while True:
+                item = out.get()
+                if item is _SENTINEL:
+                    break
+                kind = item[0]
+                if kind == "error":
+                    raise item[1]
+                if kind == "progress":
+                    if on_progress is not None:
+                        on_progress(item[1])
+                    continue
+                if kind == "verdict":
+                    verdict = item[1]
+                    continue
+                _kind, index, record = item
+                buffer[index] = record
+                while next_index in buffer:
+                    yield buffer.pop(next_index)
+                    next_index += 1
+            completed = True
+            if verdict is not None and not verdict.get("ok"):
+                raise ServiceError(
+                    verdict.get("error")
+                    or "submission cancelled by the service"
+                )
+            if verdict is None:
+                raise ServiceError(
+                    "service closed the connection before the verdict"
+                )
+            if next_index != total:
+                raise ServiceError(
+                    f"service delivered {next_index} of {total} records"
+                )
+        finally:
+            if not completed:
+                # The consumer abandoned the iterator mid-sweep (or an
+                # error unwound it): tell the service to cancel our
+                # queued jobs instead of leaving them to run blind.
+                self._request_cancel(ctrl)
+            thread.join()
+
+    @staticmethod
+    def _request_cancel(ctrl: Dict) -> None:
+        loop, cancel = ctrl.get("loop"), ctrl.get("cancel")
+        if loop is None or cancel is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(cancel.set)
+        except RuntimeError:
+            pass  # loop already gone: the connection is closed anyway
+
+    async def _drive_submission(
+        self, sweep: SweepSpec, out: "queue.Queue", ctrl: Dict
+    ) -> None:
+        """The async core: one connection, one submission, one verdict."""
+        ctrl["loop"] = asyncio.get_running_loop()
+        cancel = asyncio.Event()
+        ctrl["cancel"] = cancel
+        try:
+            host, port = parse_endpoint(self.endpoint)
+            reader, writer = await asyncio.open_connection(host, port)
+        finally:
+            ctrl["started"].set()
+        try:
+            writer.write(encode_wire_frame({
+                "op": "submit",
+                "protocol": PROTOCOL_VERSION,
+                "client": self.name,
+                "sweep_json": json.dumps(
+                    sweep.to_payload(), sort_keys=True, separators=(",", ":")
+                ),
+            }))
+            await writer.drain()
+            while True:
+                frame_task = asyncio.ensure_future(read_bframe(reader))
+                cancel_task = asyncio.ensure_future(cancel.wait())
+                done, _ = await asyncio.wait(
+                    {frame_task, cancel_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                cancel_task.cancel()
+                if frame_task not in done:
+                    frame_task.cancel()
+                    await self._send_cancel(reader, writer)
+                    return
+                frame = frame_task.result()  # WireProtocolError propagates
+                if frame is None:
+                    out.put((
+                        "error",
+                        ServiceError(
+                            "service closed the connection before the verdict"
+                        ),
+                    ))
+                    return
+                op = frame.get("op")
+                if op == "reject":
+                    out.put((
+                        "error",
+                        ServiceError(
+                            f"service rejected submission: "
+                            f"{frame.get('reason')}"
+                        ),
+                    ))
+                    return
+                if op == "record":
+                    for block in frame.get("shapes") or ():
+                        GLOBAL_SHAPES.register_block(block)
+                    record = decode_record(bytes(frame["record_pkd"]))
+                    out.put(("record", int(frame["index"]), record))
+                    continue
+                if op == "progress":
+                    out.put((
+                        "progress",
+                        {k: frame.get(k) for k in _PROGRESS_FIELDS},
+                    ))
+                    continue
+                if op == "verdict":
+                    out.put(("verdict", frame))
+                    return
+                # Unknown op: ignore (forward-compatible with new
+                # server-side frame types).
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _send_cancel(reader, writer) -> None:
+        """Best-effort cancel: ask, then wait briefly for the verdict."""
+        try:
+            writer.write(encode_wire_frame({"op": "cancel"}))
+            await writer.drain()
+            while True:
+                frame = await asyncio.wait_for(read_bframe(reader), timeout=5.0)
+                if frame is None or frame.get("op") == "verdict":
+                    return
+        except (asyncio.TimeoutError, WireProtocolError, OSError):
+            pass

@@ -41,6 +41,7 @@ from ..telemetry.spans import telemetry_enabled
 from .async_backend import AsyncBackend
 from .batching import coalesce, expand_batch_record
 from .cache import CacheStats, KeyDeriver, ResultCache
+from .config import RunConfig, warn_deprecated_kwarg
 from .jobs import JobSpec, Record, run_job, run_job_timed, spec_needs_graph
 from .remote import RemoteBackend
 
@@ -275,6 +276,7 @@ def iter_jobs(
     stats: Optional[CacheStats] = None,
     cost_book=None,
     batch: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> Iterator[Tuple[int, Record, bool]]:
     """Execute *specs*, yielding ``(index, record, from_cache)`` as they land.
 
@@ -301,7 +303,12 @@ def iter_jobs(
             (``None`` consults ``REPRO_SIM_BATCH``; 1 disables).  The
             expansion is transparent: yielded records, cache contents,
             and cost observations are per-trial regardless.
+        config: optional :class:`~repro.runtime.config.RunConfig`; when
+            *batch* is ``None`` its ``sim_batch`` knob (arg > env >
+            default) supplies the coalescing limit.
     """
+    if batch is None and config is not None:
+        batch = config.resolve("sim_batch")
     if backend is None:
         backend = SerialBackend()
     elif isinstance(backend, str):
@@ -440,6 +447,7 @@ def run_jobs(
     cache: Optional[ResultCache] = None,
     cost_book=None,
     batch: Optional[int] = None,
+    config: Optional[RunConfig] = None,
 ) -> BatchResult:
     """Execute *specs*, serving repeats from *cache*.
 
@@ -451,13 +459,34 @@ def run_jobs(
             spec executes).
         cost_book: optional :class:`~repro.runtime.scheduler.CostBook`
             collecting per-job wall-times (see :func:`iter_jobs`).
-        batch: coalesce eligible simulator trials into batches of at
-            most this many (see :func:`iter_jobs`); record contents,
-            ordering, and cache state are unaffected.
+        batch: deprecated -- pass ``config=RunConfig(sim_batch=...)``
+            instead.  Still honored (it wins over *config*) but emits a
+            :class:`DeprecationWarning`.
+        config: optional :class:`~repro.runtime.config.RunConfig`
+            supplying the ``sim_batch`` coalescing limit (arg > env >
+            default; see :func:`iter_jobs`).
 
     Returns:
         A :class:`BatchResult` with one record per spec, in input order.
     """
+    if batch is not None:
+        warn_deprecated_kwarg("run_jobs", "batch", "sim_batch")
+    elif config is not None:
+        batch = config.resolve("sim_batch")
+    return _run_jobs(
+        specs, backend=backend, cache=cache, cost_book=cost_book,
+        batch=batch,
+    )
+
+
+def _run_jobs(
+    specs: Sequence[JobSpec],
+    backend=None,
+    cache: Optional[ResultCache] = None,
+    cost_book=None,
+    batch: Optional[int] = None,
+) -> BatchResult:
+    """Warning-free core of :func:`run_jobs` (internal callers)."""
     if backend is None:
         backend = SerialBackend()
     elif isinstance(backend, str):

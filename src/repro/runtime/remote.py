@@ -169,14 +169,18 @@ class _Connection:
     """Server-side state for one connected worker."""
 
     __slots__ = (
-        "reader", "writer", "name", "read_task", "sent_shapes",
+        "reader", "writer", "name", "kinds", "read_task", "sent_shapes",
         "connected_at", "jobs_done", "busy_s", "ping_sent",
     )
 
-    def __init__(self, reader, writer, name: str):
+    def __init__(self, reader, writer, name: str, kinds: Sequence[str] = ()):
         self.reader = reader
         self.writer = writer
         self.name = name
+        # Job kinds the worker registered at handshake; the service
+        # uses them to filter dispatch (the batch backend rejects
+        # under-equipped workers outright instead).
+        self.kinds = frozenset(kinds)
         # The persistent frame-read task: lets the dispatch loop wait
         # on "next frame OR next job" without two readers racing.
         self.read_task: Optional[asyncio.Task] = None
@@ -436,115 +440,13 @@ class RemoteBackend:
         self, reader, writer, kinds_needed: List[str]
     ) -> Optional[_Connection]:
         """Validate a connecting worker; ``None`` means rejected."""
-
-        async def reject(reason: str, legacy: bool = False) -> None:
-            get_tracer().event("remote.reject", reason=reason)
-            frame = {"op": "reject", "reason": reason}
-            try:
-                # A legacy JSON-lines worker cannot parse a binary
-                # frame; the reject is the one message still sent in
-                # its dialect so it can report *why* it was dropped.
-                writer.write(
-                    encode_frame(frame) if legacy else encode_wire_frame(frame)
-                )
-                await writer.drain()
-            except (OSError, ConnectionError):
-                pass
-            writer.close()
-
-        try:
-            hello = await asyncio.wait_for(
-                self._read_hello(reader), timeout=max(self.heartbeat, 10.0)
-            )
-        except (
-            asyncio.TimeoutError,
-            asyncio.IncompleteReadError,
-            ValueError,  # covers WireProtocolError
-        ):
-            writer.close()
-            return None
-        if hello.get("legacy"):
-            await reject(
-                f"protocol mismatch: server speaks {PROTOCOL_VERSION} "
-                f"(binary frames), worker speaks legacy JSON "
-                f"({hello.get('protocol', 1)!r})",
-                legacy=True,
-            )
-            return None
-        if hello.get("op") != "hello":
-            await reject("expected hello frame")
-            return None
-        if hello.get("protocol") != PROTOCOL_VERSION:
-            await reject(
-                f"protocol mismatch: server speaks {PROTOCOL_VERSION}, "
-                f"worker speaks {hello.get('protocol')!r}"
-            )
-            return None
-        worker_kinds = set(hello.get("kinds") or ())
-        missing = [k for k in kinds_needed if k not in worker_kinds]
-        if missing:
-            await reject(f"worker is missing job kinds: {missing}")
-            return None
-        worker_store = hello.get("store")
-        if (
-            worker_store
-            and self.store_dir
-            and not _same_path(worker_store, self.store_dir)
-        ):
-            await reject(
-                f"store mismatch: server uses {self.store_dir}, "
-                f"worker uses {worker_store}"
-            )
-            return None
-        welcome = {
-            "op": "welcome",
-            "protocol": PROTOCOL_VERSION,
-            "store": self.store_dir,
-        }
-        tracer = get_tracer()
-        if tracer.enabled and tracer.trace_dir is not None:
-            # Advertise the trace context: same-host workers adopt the
-            # sink directory and parent span, so their job spans land
-            # in the merged trace under the orchestrator's sweep span.
-            # The directory must exist *before* the worker's visibility
-            # probe runs -- the tracer only creates it on first write,
-            # and an early-joining worker would lose that race and
-            # silently decline adoption.
-            try:
-                tracer.trace_dir.mkdir(parents=True, exist_ok=True)
-                welcome["trace"] = {
-                    "dir": str(tracer.trace_dir),
-                    "parent": tracer.current_span_id(),
-                }
-            except OSError:
-                pass  # unwritable sink: workers run untraced
-        writer.write(encode_wire_frame(welcome))
-        await writer.drain()
-        name = f"worker-pid{hello.get('pid', '?')}"
-        return _Connection(reader, writer, name)
-
-    @staticmethod
-    async def _read_hello(reader) -> dict:
-        """Read the opening frame, detecting legacy JSON workers.
-
-        A v2 worker opens with a binary frame (magic ``\\xa6R``); a
-        legacy JSON-lines worker opens with ``{"op": "hello", ...}\\n``.
-        The first byte tells them apart, so old workers get a readable
-        rejection instead of a silent disconnect.
-        """
-        first = await reader.readexactly(1)
-        if first == b"{":
-            line = first + await reader.readline()
-            try:
-                hello = decode_frame(line)
-            except RemoteProtocolError:
-                hello = {}
-            hello["legacy"] = True
-            return hello
-        rest = await reader.readexactly(FRAME_HEADER_SIZE - 1)
-        body_len = parse_frame_header(first + rest)
-        body = await reader.readexactly(body_len)
-        return decode_wire_body(body)
+        return await welcome_worker(
+            reader,
+            writer,
+            kinds_needed=kinds_needed,
+            store_dir=self.store_dir,
+            timeout=max(self.heartbeat, 10.0),
+        )
 
     async def _dispatch_loop(
         self,
@@ -755,6 +657,158 @@ class RemoteBackend:
                 worker=conn.name,
                 rtt_s=round(rtt, 6),
             )
+
+
+async def read_first_frame(reader) -> dict:
+    """Read a connection's opening frame, detecting legacy JSON peers.
+
+    A v2 peer opens with a binary frame (magic ``\\xa6R``); a legacy
+    JSON-lines worker opens with ``{"op": "hello", ...}\\n``.  The
+    first byte tells them apart, so old workers get a readable
+    rejection instead of a silent disconnect.  Legacy frames come back
+    with ``"legacy": True`` added.
+    """
+    first = await reader.readexactly(1)
+    if first == b"{":
+        line = first + await reader.readline()
+        try:
+            hello = decode_frame(line)
+        except RemoteProtocolError:
+            hello = {}
+        hello["legacy"] = True
+        return hello
+    rest = await reader.readexactly(FRAME_HEADER_SIZE - 1)
+    body_len = parse_frame_header(first + rest)
+    body = await reader.readexactly(body_len)
+    return decode_wire_body(body)
+
+
+async def reject_peer(writer, reason: str, legacy: bool = False) -> None:
+    """Send a ``reject`` frame (legacy JSON for protocol-1 peers) and close."""
+    get_tracer().event("remote.reject", reason=reason)
+    frame = {"op": "reject", "reason": reason}
+    try:
+        # A legacy JSON-lines worker cannot parse a binary frame; the
+        # reject is the one message still sent in its dialect so it
+        # can report *why* it was dropped.
+        writer.write(encode_frame(frame) if legacy else encode_wire_frame(frame))
+        await writer.drain()
+    except (OSError, ConnectionError):
+        pass
+    writer.close()
+
+
+async def validate_worker_hello(
+    hello: dict,
+    writer,
+    kinds_needed: Optional[Sequence[str]],
+    store_dir: Optional[str],
+) -> bool:
+    """Check a worker ``hello`` against this server; reject + ``False`` on
+    mismatch.
+
+    *kinds_needed* is the batch's required job kinds -- ``None`` skips
+    the check (the long-lived service admits any worker and instead
+    filters dispatch per connection, since future submissions may need
+    kinds no current worker has).
+    """
+    if hello.get("legacy"):
+        await reject_peer(
+            writer,
+            f"protocol mismatch: server speaks {PROTOCOL_VERSION} "
+            f"(binary frames), worker speaks legacy JSON "
+            f"({hello.get('protocol', 1)!r})",
+            legacy=True,
+        )
+        return False
+    if hello.get("op") != "hello":
+        await reject_peer(writer, "expected hello frame")
+        return False
+    if hello.get("protocol") != PROTOCOL_VERSION:
+        await reject_peer(
+            writer,
+            f"protocol mismatch: server speaks {PROTOCOL_VERSION}, "
+            f"worker speaks {hello.get('protocol')!r}",
+        )
+        return False
+    if kinds_needed is not None:
+        worker_kinds = set(hello.get("kinds") or ())
+        missing = [k for k in kinds_needed if k not in worker_kinds]
+        if missing:
+            await reject_peer(
+                writer, f"worker is missing job kinds: {missing}"
+            )
+            return False
+    worker_store = hello.get("store")
+    if (
+        worker_store
+        and store_dir
+        and not _same_path(worker_store, store_dir)
+    ):
+        await reject_peer(
+            writer,
+            f"store mismatch: server uses {store_dir}, "
+            f"worker uses {worker_store}",
+        )
+        return False
+    return True
+
+
+async def welcome_worker(
+    reader,
+    writer,
+    kinds_needed: Optional[Sequence[str]] = None,
+    store_dir: Optional[str] = None,
+    timeout: float = 10.0,
+    hello: Optional[dict] = None,
+) -> Optional[_Connection]:
+    """Run the server side of the worker handshake; ``None`` = rejected.
+
+    Shared by the per-batch :class:`RemoteBackend` and the persistent
+    :class:`~repro.runtime.service.SweepService` (which has already
+    read the opening frame to tell workers from clients apart and
+    passes it as *hello*).
+    """
+    if hello is None:
+        try:
+            hello = await asyncio.wait_for(
+                read_first_frame(reader), timeout=timeout
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ValueError,  # covers WireProtocolError
+        ):
+            writer.close()
+            return None
+    if not await validate_worker_hello(hello, writer, kinds_needed, store_dir):
+        return None
+    welcome = {
+        "op": "welcome",
+        "protocol": PROTOCOL_VERSION,
+        "store": store_dir,
+    }
+    tracer = get_tracer()
+    if tracer.enabled and tracer.trace_dir is not None:
+        # Advertise the trace context: same-host workers adopt the
+        # sink directory and parent span, so their job spans land
+        # in the merged trace under the orchestrator's sweep span.
+        # The directory must exist *before* the worker's visibility
+        # probe runs -- the tracer only creates it on first write,
+        # and an early-joining worker would lose that race and
+        # silently decline adoption.
+        try:
+            tracer.trace_dir.mkdir(parents=True, exist_ok=True)
+            welcome["trace"] = {
+                "dir": str(tracer.trace_dir),
+                "parent": tracer.current_span_id(),
+            }
+        except OSError:
+            pass  # unwritable sink: workers run untraced
+    writer.write(encode_wire_frame(welcome))
+    await writer.drain()
+    name = f"worker-pid{hello.get('pid', '?')}"
+    return _Connection(reader, writer, name, kinds=hello.get("kinds") or ())
 
 
 async def _requeue_cancelled(getter: "asyncio.Task", pending) -> None:

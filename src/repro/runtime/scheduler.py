@@ -200,6 +200,50 @@ class CostModel:
         return anchor_mean * (float(n) / float(anchor_n or 1))
 
 
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """When to re-dispatch an in-flight job to a second worker.
+
+    The service (:mod:`repro.runtime.service`) scans its running jobs
+    against this policy: a job whose elapsed time exceeds ``factor``
+    times its :class:`CostModel` prediction -- the same multiple the
+    telemetry dashboard uses to flag stragglers -- earns a speculative
+    twin on another worker.  First result wins; the duplicate's result
+    is dropped on arrival, so the store stays one-line-per-job.
+
+    Attributes:
+        factor: elapsed / predicted multiple that flags a straggler
+            (matches ``telemetry.dashboard.STRAGGLER_FACTOR``).
+        min_seconds: never speculate before this much wall-time, no
+            matter the prediction -- guards against thrashing on
+            sub-millisecond jobs where dispatch overhead dominates.
+        no_history_seconds: elapsed threshold for jobs whose ``(kind,
+            n)`` has no cost history (prediction ``None``).
+        max_copies: total dispatches per job, original + twins
+            (2 = at most one speculative copy).
+    """
+
+    factor: float = 3.0
+    min_seconds: float = 1.0
+    no_history_seconds: float = 10.0
+    max_copies: int = 2
+
+    def should_speculate(
+        self,
+        predicted: Optional[float],
+        elapsed: float,
+        copies: int,
+    ) -> bool:
+        """Does a job with *copies* dispatches deserve another one?"""
+        if copies >= self.max_copies:
+            return False
+        if elapsed < self.min_seconds:
+            return False
+        if predicted is None or predicted <= 0:
+            return elapsed >= self.no_history_seconds
+        return elapsed >= self.factor * predicted
+
+
 def _fit_power_law(by_n: Dict[int, float]) -> Optional[Tuple[float, float]]:
     """Least-squares ``log(cost) = log(a) + b*log(n)`` over measured cells."""
     points = [

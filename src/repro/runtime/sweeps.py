@@ -41,9 +41,10 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..analysis.tables import Table
 from ..telemetry.metrics import get_metrics
 from ..telemetry.spans import TRACE_PARENT_ENV_VAR, get_tracer
-from .batching import BATCH_ENV_VAR, auto_batch_size
+from .batching import auto_batch_size
 from .cache import CacheStats, ResultCache
-from .executor import BatchResult, iter_jobs, make_backend, run_jobs
+from .config import RunConfig, warn_deprecated_kwarg
+from .executor import BatchResult, _run_jobs, iter_jobs, make_backend, run_jobs
 from .jobs import JobSpec, Record
 from .scheduler import CostBook, CostModel, assign_shards
 
@@ -94,6 +95,38 @@ class SweepSpec:
             ns=tuple(int(n) for n in ns),
             seeds=tuple(int(s) for s in seeds),
             params=axes,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict encoding (inverse of :meth:`from_payload`).
+
+        This is what travels inside a service ``submit`` frame: plain
+        lists and primitives only, so any codec (JSON, the binary wire
+        format) can carry it and the server reconstructs an identical
+        grid -- ``SweepSpec.from_payload(s.to_payload()) == s``.
+        """
+        return {
+            "kind": self.kind,
+            "families": list(self.families),
+            "fars": list(self.fars),
+            "ns": list(self.ns),
+            "seeds": list(self.seeds),
+            "params": [[key, list(values)] for key, values in self.params],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_payload` output."""
+        return cls(
+            kind=payload["kind"],
+            families=tuple(payload.get("families", ())),
+            fars=tuple(payload.get("fars", ())),
+            ns=tuple(int(n) for n in payload.get("ns", ())),
+            seeds=tuple(int(s) for s in payload.get("seeds", ())),
+            params=tuple(
+                (key, tuple(values))
+                for key, values in payload.get("params", ())
+            ),
         )
 
     @property
@@ -333,6 +366,7 @@ def run_sweep(
     progress=None,
     batch: Union[int, str, None] = None,
     batch_waste: Optional[float] = None,
+    config: Optional[RunConfig] = None,
 ) -> SweepResult:
     """Expand *spec* and execute it via :func:`repro.runtime.run_jobs`.
 
@@ -359,20 +393,27 @@ def run_sweep(
             update per landing record (the CLI's ``--progress`` live
             line); switches execution to the streaming
             :func:`~repro.runtime.iter_jobs` path.
-        batch: coalesce eligible simulator trials of one sweep cell
-            into graph-batched ``simulate_batch`` jobs of at most this
-            many members (``None`` consults ``REPRO_SIM_BATCH``; 1
-            disables).  ``"auto"`` sizes batches from the store's
+        batch: deprecated -- pass ``config=RunConfig(sim_batch=...)``
+            instead.  Still honored (it wins over *config*) but emits
+            a :class:`DeprecationWarning`.
+        batch_waste: deprecated -- pass
+            ``config=RunConfig(sim_batch_waste=...)`` instead.  Still
+            honored (it wins over *config*) with a
+            :class:`DeprecationWarning`.
+        config: optional :class:`~repro.runtime.config.RunConfig`.
+            Its ``sim_batch`` knob (arg > env > default) sets the
+            coalescing limit: an int caps graph-batched
+            ``simulate_batch`` jobs at that many member trials (1
+            disables), ``"auto"`` sizes batches from the store's
             measured per-trial wall-times so one batch job lands near
             :data:`~repro.runtime.batching.AUTO_TARGET_SECONDS` of
-            work (fixed default without history).  Transparent:
-            records, cache state, and cost accounting stay per-trial
-            on every backend.
-        batch_waste: padding-waste bound for ragged batches -- a batch
-            job never pads its smallest member by more than this slot
-            factor (``None`` consults ``REPRO_SIM_BATCH_WASTE``, then
-            4.0).  Exported to the environment for the sweep's
-            duration so pool workers split their batches identically.
+            work (fixed default without history); batching is
+            transparent either way -- records, cache state, and cost
+            accounting stay per-trial on every backend.  Its
+            ``sim_batch_waste`` knob bounds the padding waste of
+            ragged batches.  Every *explicitly set* knob is exported
+            to the environment for the sweep's duration, so pool
+            forks and same-host workers resolve the run identically.
 
     Runs with a disk store feed their measured wall-times back into
     the store's metadata shard, so later ``balance="cost"`` splits
@@ -383,7 +424,15 @@ def run_sweep(
     backend's job spans -- including remote workers' -- link under it
     in the merged trace.
     """
-    batch_limit = batch
+    if batch is not None:
+        warn_deprecated_kwarg("run_sweep", "batch", "sim_batch")
+    if batch_waste is not None:
+        warn_deprecated_kwarg("run_sweep", "batch_waste", "sim_batch_waste")
+    if config is None:
+        config = RunConfig()
+    # Deprecated kwargs win over *config*; a plain config defers to the
+    # environment, matching the pre-RunConfig behavior exactly.
+    batch_limit = batch if batch is not None else config.resolve("sim_batch")
     if resume and cache is None:
         raise ValueError(
             "resume=True needs a cache (e.g. ResultCache(disk_dir=...)); "
@@ -401,10 +450,7 @@ def run_sweep(
         ).shard_specs(index)
     else:
         specs = spec.expand()
-    if batch_limit == "auto" or (
-        batch_limit is None
-        and (os.environ.get(BATCH_ENV_VAR) or "").strip().lower() == "auto"
-    ):
+    if isinstance(batch_limit, str) and batch_limit.strip().lower() == "auto":
         # Cost-aware sizing: the store's metadata shard holds measured
         # per-trial wall-times from earlier runs of this grid.
         auto_model = cost_model or CostModel.from_store(store)
@@ -421,6 +467,10 @@ def run_sweep(
         # predicted-vs-actual error histogram (scheduler.cost_rel_error).
         cost_book.model = CostModel.from_store(store)
     with ExitStack() as stack:
+        # Exported knobs (and the deprecated batch_waste below, which
+        # wins by being applied after) are restored on exit, so nested
+        # sweeps with different configs stay coherent.
+        stack.enter_context(config.export())
         if batch_waste is not None:
             from ..congest.batch import WASTE_ENV_VAR, resolve_pad_waste
 
@@ -464,7 +514,7 @@ def run_sweep(
                     backend_name, batch_limit=batch_limit,
                 )
             else:
-                batch = run_jobs(
+                batch = _run_jobs(
                     specs, backend=backend, cache=cache,
                     cost_book=cost_book, batch=batch_limit,
                 )

@@ -100,6 +100,12 @@ def handle_request(message: dict, store: Optional[ShardedStore]) -> dict:
     wire.
     """
     key = message.get("key")
+    # A request flagged ``nostore`` must never append: the service uses
+    # it for speculative duplicate dispatches, where it persists the
+    # winning copy's bytes itself -- exactly once -- so the store stays
+    # one line per job no matter how many twins raced.  Probing for an
+    # existing row is still fine (a hit *is* the one row).
+    nostore = bool(message.get("nostore"))
     try:
         payload: Optional[bytes] = None
         hit = False
@@ -113,7 +119,7 @@ def handle_request(message: dict, store: Optional[ShardedStore]) -> dict:
             spec = JobSpec.from_payload(decode_record(message["spec_pkd"]))
             record, seconds = run_job_timed(spec)
             payload, _shape = encode_record(record)
-            if store is not None and key:
+            if store is not None and key and not nostore:
                 store.put_raw(key, payload)
                 stored = True
         return {
@@ -160,12 +166,36 @@ def serve(stdin=None, stdout=None, store_dir: Optional[str] = None) -> int:
     return 0
 
 
+RETRY_DELAY_START = 0.1
+RETRY_DELAY_CAP = 5.0
+
+
+def retry_delays():
+    """Capped exponential backoff with jitter for server dials.
+
+    Yields sleep durations ``0.1, 0.2, 0.4, ... -> 5.0``, each scaled
+    by a uniform jitter in ``[0.5, 1.0)`` so a fleet of workers started
+    together does not hammer a recovering service in lockstep.
+    """
+    import random
+
+    delay = RETRY_DELAY_START
+    while True:
+        yield delay * (0.5 + 0.5 * random.random())
+        delay = min(delay * 2.0, RETRY_DELAY_CAP)
+
+
 def _connect_with_retry(
     host: str, port: int, retry_seconds: float
 ) -> socket.socket:
-    """Dial the sweep server, retrying while it is not yet listening."""
+    """Dial the sweep server, retrying while it is not yet listening.
+
+    *retry_seconds* bounds the total time spent retrying
+    (``float("inf")`` retries forever -- the ``--reconnect`` fleet
+    mode); the last ``OSError`` propagates when the bound is hit.
+    """
     deadline = time.monotonic() + retry_seconds
-    delay = 0.1
+    delays = retry_delays()
     while True:
         try:
             sock = socket.create_connection((host, port), timeout=10.0)
@@ -179,8 +209,7 @@ def _connect_with_retry(
         except OSError:
             if time.monotonic() >= deadline:
                 raise
-            time.sleep(delay)
-            delay = min(delay * 1.5, 1.0)
+            time.sleep(min(next(delays), max(deadline - time.monotonic(), 0)))
 
 
 def _adopt_store(store_dir: Optional[str]) -> Optional[ShardedStore]:
@@ -203,20 +232,15 @@ def _adopt_store(store_dir: Optional[str]) -> Optional[ShardedStore]:
         return None  # different filesystem: run storeless
 
 
-def serve_remote(
-    host: str,
-    port: int,
-    store_dir: Optional[str] = None,
-    retry_seconds: float = 30.0,
-) -> int:
-    """Join a remote sweep server and serve jobs until it says exit.
+def _serve_connection(sock: socket.socket, store_dir: Optional[str]) -> str:
+    """One server connection's lifetime; the socket is consumed.
 
-    Returns 0 on a clean exit (``exit`` frame or server EOF), 1 when
-    the server rejected the handshake.
+    Returns ``"exit"`` (clean ``exit`` frame), ``"eof"`` (the server
+    vanished: EOF, reset, torn frame), or ``"rejected"`` (handshake
+    refused -- retrying would refuse again).
     """
     from .remote import PROTOCOL_VERSION
 
-    sock = _connect_with_retry(host, port, retry_seconds)
     store = ShardedStore(store_dir) if store_dir else None
     try:
         reader = sock.makefile("rb")
@@ -231,13 +255,13 @@ def serve_remote(
         welcome = read_wire_frame(reader)
         if welcome is None:
             print("worker: server closed during handshake", file=sys.stderr)
-            return 1
+            return "eof"
         if welcome.get("op") != "welcome":
             print(
                 f"worker: rejected: {welcome.get('reason', welcome)}",
                 file=sys.stderr,
             )
-            return 1
+            return "rejected"
         if store is None:
             store = _adopt_store(welcome.get("store"))
         if welcome.get("trace"):
@@ -251,23 +275,53 @@ def serve_remote(
         while True:
             frame = read_wire_frame(reader)
             if frame is None:
-                break
+                return "eof"
             op = frame.get("op")
             if op == "exit":
-                break
+                return "exit"
             if op == "ping":
                 sock.sendall(encode_wire_frame({"op": "pong"}))
                 continue
             if op != "job":
                 continue
             sock.sendall(_result_frame(frame, store, sent_shapes))
-        return 0
+    except (OSError, ValueError):  # reset / torn frame: same as EOF
+        return "eof"
     finally:
         _flush_telemetry()
         try:
             sock.close()
         except OSError:
             pass
+
+
+def serve_remote(
+    host: str,
+    port: int,
+    store_dir: Optional[str] = None,
+    retry_seconds: float = 30.0,
+    reconnect: bool = False,
+) -> int:
+    """Join a remote sweep server and serve jobs until it says exit.
+
+    With ``reconnect=False`` (the per-batch default) the worker serves
+    one connection: 0 on a clean end (``exit`` frame or server EOF),
+    1 when the server rejected the handshake.  With ``reconnect=True``
+    (the fleet mode behind ``worker --reconnect``) the worker outlives
+    the server: a dropped connection -- service restarting, network
+    blip -- sends it back to the capped-backoff dial loop
+    (:func:`retry_delays`, retrying indefinitely), and only an explicit
+    ``exit`` frame or a handshake rejection ends it.
+    """
+    while True:
+        sock = _connect_with_retry(
+            host, port, float("inf") if reconnect else retry_seconds
+        )
+        outcome = _serve_connection(sock, store_dir)
+        if outcome == "rejected":
+            return 1
+        if outcome == "exit" or not reconnect:
+            return 0
 
 
 def main(argv=None) -> int:
@@ -295,6 +349,15 @@ def main(argv=None) -> int:
         default=30.0,
         help="how long to retry the initial --connect dial (default 30)",
     )
+    parser.add_argument(
+        "--reconnect",
+        action="store_true",
+        help=(
+            "fleet mode: redial (capped backoff + jitter, forever) when "
+            "the server drops the connection; only an exit frame or a "
+            "handshake rejection ends the worker"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.connect:
         from .remote import parse_endpoint
@@ -303,6 +366,7 @@ def main(argv=None) -> int:
         return serve_remote(
             host, port, store_dir=args.store,
             retry_seconds=args.retry_seconds,
+            reconnect=args.reconnect,
         )
     return serve(store_dir=args.store)
 
